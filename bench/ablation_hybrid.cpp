@@ -1,0 +1,64 @@
+// Ablation for §4.3 "Hybrid Algorithms": on an oversubscribed-TOR cluster,
+// compare (a) the flat binomial pipeline with topology-blind random
+// placement — the datacenter reality the paper describes — against (b) the
+// flat pipeline with rack-aligned ranks, and (c) the two-level hybrid.
+#include "bench_util.hpp"
+#include "harness/sim_harness.hpp"
+#include "util/random.hpp"
+
+using namespace rdmc;
+using namespace rdmc::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const std::uint64_t bytes = quick ? (16ull << 20) : (64ull << 20);
+  header("Ablation — hybrid two-level pipeline on an oversubscribed TOR",
+         "§4.3 Hybrid Algorithms (the experiment Apt's scheduler made "
+         "impractical for the authors)",
+         "random placement hammers the TOR; rack-aligned flat helps; the "
+         "topology-aware hybrid crosses the TOR once per block per rack "
+         "and wins, at the price of leader double-duty");
+
+  util::TextTable table({"nodes", "racks", "flat random (ms)",
+                         "flat aligned (ms)", "hybrid (ms)",
+                         "hybrid vs random"});
+  for (std::size_t n : {32, 64}) {
+    const std::size_t per_rack = 16;
+    auto profile = sim::apt_profile(n);
+    profile.preemption.probability = 0.0;
+
+    harness::MulticastConfig flat_random;
+    flat_random.profile = profile;
+    flat_random.group_size = n;
+    flat_random.message_bytes = bytes;
+    flat_random.ideal_software = true;
+    std::vector<NodeId> shuffled(n);
+    for (std::size_t i = 0; i < n; ++i)
+      shuffled[i] = static_cast<NodeId>(i);
+    util::Rng rng(4242);
+    for (std::size_t i = n - 1; i > 0; --i)
+      std::swap(shuffled[i], shuffled[rng.uniform(0, i)]);
+    flat_random.members = shuffled;
+
+    harness::MulticastConfig flat_aligned = flat_random;
+    flat_aligned.members.reset();
+
+    harness::MulticastConfig hybrid = flat_aligned;
+    std::vector<std::uint32_t> racks(n);
+    for (std::size_t i = 0; i < n; ++i)
+      racks[i] = static_cast<std::uint32_t>(i / per_rack);
+    hybrid.hybrid_racks = racks;
+
+    const double tr = harness::run_multicast(flat_random).total_seconds;
+    const double ta = harness::run_multicast(flat_aligned).total_seconds;
+    const double th = harness::run_multicast(hybrid).total_seconds;
+    table.add_row({util::TextTable::integer(n),
+                   util::TextTable::integer(n / per_rack),
+                   util::TextTable::num(tr * 1e3, 2),
+                   util::TextTable::num(ta * 1e3, 2),
+                   util::TextTable::num(th * 1e3, 2),
+                   util::TextTable::num(tr / th, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// (§5) on the simulated substrate and prints the same rows/series the paper
+// reports. Pass --quick to shrink message sizes/iterations (CI smoke mode).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/table.hpp"
+
+namespace rdmc::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  return false;
+}
+
+inline void header(const char* title, const char* paper_ref,
+                   const char* expectation) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Expected shape: %s\n", expectation);
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace rdmc::bench

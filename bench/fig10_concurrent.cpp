@@ -1,0 +1,65 @@
+// Figure 10: aggregate bandwidth of concurrent multicasts to overlapping
+// groups (identical membership, rotated roots) on Fractus (full bisection)
+// and Apt (oversubscribed TOR), varying the fraction of active senders.
+#include "bench_util.hpp"
+#include "harness/sim_harness.hpp"
+
+using namespace rdmc;
+using namespace rdmc::bench;
+
+namespace {
+
+void run_cluster(const char* name, const sim::ClusterProfile& base,
+                 const std::vector<std::size_t>& group_sizes,
+                 const std::vector<std::uint64_t>& sizes, bool quick) {
+  std::printf("\n--- Figure 10 (%s) ---\n", name);
+  for (std::uint64_t message : sizes) {
+    util::TextTable table({"group size", "all send (Gb/s)",
+                           "half send (Gb/s)", "one send (Gb/s)"});
+    for (std::size_t n : group_sizes) {
+      std::vector<std::string> row{util::TextTable::integer(n)};
+      for (std::size_t senders :
+           {n, std::max<std::size_t>(1, n / 2), std::size_t{1}}) {
+        harness::ConcurrentConfig cfg;
+        cfg.profile = base;
+        cfg.group_size = n;
+        cfg.senders = senders;
+        cfg.message_bytes = message;
+        cfg.block_size = std::min<std::size_t>(1 << 20, message);
+        cfg.messages = quick ? 2 : (message >= (16ull << 20) ? 2 : 6);
+        auto r = harness::run_concurrent(cfg);
+        row.push_back(util::TextTable::num(r.aggregate_gbps, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("\nmessage size %s per sender:\n",
+                util::format_bytes(message).c_str());
+    table.print();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  header("Figure 10 — aggregate bandwidth of concurrent overlapping groups",
+         "Fig 10a (Fractus) and Fig 10b (Apt), §5.2.2",
+         "Fractus approaches its ~100 Gb/s bisection for large messages; "
+         "Apt's oversubscribed TOR caps aggregate inter-rack goodput near "
+         "16 Gb/s per link under load; no interference collapse from "
+         "overlap");
+
+  // The "100 MB" series is simulated at 16 MB: both run at steady-state
+  // bandwidth (k >> log n), so the aggregate-Gb/s values are equivalent.
+  std::vector<std::uint64_t> sizes{16ull << 20, 1ull << 20, 64ull << 10};
+  if (quick) sizes = {4ull << 20, 1ull << 20};
+
+  run_cluster("Fractus, full bisection", sim::fractus_profile(16),
+              {4, 8, 12, 16}, sizes, quick);
+
+  // Apt groups span racks (16 nodes/rack), like the paper's batch-placed
+  // allocations.
+  run_cluster("Apt, oversubscribed TOR", sim::apt_profile(32),
+              {8, 16, 24, 32}, sizes, quick);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 12: CORE-Direct (cross-channel) offload of the chain-send request
+// pattern vs the traditional software-relayed path, 100 MB messages,
+// groups of 3-8, in polling and interrupt completion modes.
+#include "bench_util.hpp"
+#include "harness/sim_harness.hpp"
+
+using namespace rdmc;
+using namespace rdmc::bench;
+
+namespace {
+
+double run_case(std::size_t n, bool cross_channel,
+                fabric::CompletionMode mode, std::uint64_t bytes) {
+  harness::MulticastConfig cfg;
+  cfg.profile = sim::fractus_profile(8);
+  cfg.group_size = n;
+  cfg.message_bytes = bytes;
+  // 256 KB blocks: the per-block software relay cost is a visible
+  // fraction of the 20 us block time, as on the paper's testbed.
+  cfg.block_size = 256 << 10;
+  cfg.algorithm = sched::Algorithm::kChain;
+  cfg.cross_channel = cross_channel;
+  cfg.completion_mode = mode;
+  auto r = harness::run_multicast(cfg);
+  return r.bandwidth_gbps;
+}
+
+void table_for(fabric::CompletionMode mode, const char* label,
+               std::uint64_t bytes) {
+  std::printf("\n--- %s ---\n", label);
+  util::TextTable table({"group size", "traditional (Gb/s)",
+                         "cross-channel (Gb/s)", "speedup"});
+  for (std::size_t n : {3, 4, 5, 6, 7, 8}) {
+    const double trad = run_case(n, false, mode, bytes);
+    const double cc = run_case(n, true, mode, bytes);
+    table.add_row({util::TextTable::integer(n),
+                   util::TextTable::num(trad, 2),
+                   util::TextTable::num(cc, 2),
+                   util::TextTable::num(cc / trad, 3)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const std::uint64_t bytes = quick ? (25ull << 20) : (100ull << 20);
+  header("Figure 12 — CORE-Direct chain send vs traditional (100 MB)",
+         "Fig 12, §5.2.3",
+         "cross-channel removes the software relay delay: ~5% faster "
+         "chain sends, with zero CPU involvement");
+  table_for(fabric::CompletionMode::kHybrid,
+            "hybrid polling/interrupts (Fig 12 left)", bytes);
+  table_for(fabric::CompletionMode::kInterrupt,
+            "pure interrupts (Fig 12 right)", bytes);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7: 1-byte messages per second vs group size on Fractus, using the
+// binomial pipeline. The paper stresses this is an overhead probe, not an
+// event-notification benchmark.
+#include "bench_util.hpp"
+#include "harness/sim_harness.hpp"
+
+using namespace rdmc;
+using namespace rdmc::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  header("Figure 7 — 1-byte messages per second (Fractus)",
+         "Fig 7, §5.2.1",
+         "throughput falls with group size (each message costs a full "
+         "log-depth relay round plus per-message setup)");
+
+  const std::size_t count = quick ? 200 : 1000;
+  util::TextTable table({"group size", "messages/sec", "per-message (us)"});
+  for (std::size_t n : {2, 3, 4, 6, 8, 12, 16}) {
+    harness::MulticastConfig cfg;
+    cfg.profile = sim::fractus_profile(16);
+    cfg.group_size = n;
+    cfg.message_bytes = 1;
+    cfg.block_size = 4096;
+    cfg.messages = count;
+    auto r = harness::run_multicast(cfg);
+    const double per_sec =
+        static_cast<double>(count) / r.total_seconds;
+    table.add_row({util::TextTable::integer(n),
+                   util::TextTable::integer(
+                       static_cast<std::uint64_t>(per_sec)),
+                   util::TextTable::num(r.total_seconds / count * 1e6, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8: total time to replicate a 256 MB object to up to 512 nodes on
+// Sierra (40 Gb/s QDR), binomial pipeline vs sequential send. Like the
+// paper, the largest sequential points are extrapolated (they scale
+// linearly and the full runs add nothing).
+#include "bench_util.hpp"
+#include "harness/sim_harness.hpp"
+
+using namespace rdmc;
+using namespace rdmc::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  header("Figure 8 — 256 MB replication time vs number of nodes (Sierra)",
+         "Fig 8, §5.2.2",
+         "sequential grows linearly with receivers; the binomial pipeline "
+         "grows ~logarithmically — 'replication is almost free': 128 vs 512 "
+         "copies cost nearly the same");
+
+  // Simulated with a 32 MB message: with k >> log n the pipeline runs at
+  // its steady-state bandwidth, so the 256 MB times the paper plots are an
+  // 8x linear scaling (printed alongside).
+  const std::uint64_t bytes = quick ? (16ull << 20) : (32ull << 20);
+  const double scale = 256.0 * (1ull << 20) / static_cast<double>(bytes);
+  util::TextTable table({"nodes", "pipeline (s)", "pipeline 256MB-equiv (s)",
+                         "sequential 256MB-equiv (s)", "speedup"});
+  double seq128 = 0.0;
+  for (std::size_t n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    harness::MulticastConfig cfg;
+    cfg.profile = sim::sierra_profile(n);
+    cfg.group_size = n;
+    cfg.message_bytes = bytes;
+    cfg.block_size = 1 << 20;
+    const double pipe = harness::run_multicast(cfg).total_seconds;
+
+    double seq;
+    std::string seq_note;
+    if (n <= 128) {
+      auto scfg = cfg;
+      scfg.algorithm = sched::Algorithm::kSequential;
+      seq = harness::run_multicast(scfg).total_seconds;
+      if (n == 128) seq128 = seq;
+      seq_note = util::TextTable::num(seq * scale, 3);
+    } else {
+      // Extrapolated (the paper does the same for its 512-node point).
+      seq = seq128 * static_cast<double>(n - 1) / 127.0;
+      seq_note = util::TextTable::num(seq * scale, 3) + "*";
+    }
+    table.add_row({util::TextTable::integer(n),
+                   util::TextTable::num(pipe, 3),
+                   util::TextTable::num(pipe * scale, 3),
+                   seq_note,
+                   util::TextTable::num(seq / pipe, 1)});
+  }
+  table.print();
+  std::printf("\n(*) extrapolated linearly, as in the paper\n");
+  return 0;
+}

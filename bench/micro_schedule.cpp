@@ -1,0 +1,69 @@
+// Microbenchmarks (google-benchmark) for the hot control-plane paths: the
+// closed-form schedule queries RDMC performs on every transfer setup, and
+// the per-message list building the engine does (§4.2 "RDMC computes
+// sequences of sends and receives at the outset").
+#include <benchmark/benchmark.h>
+
+#include "baselines/mpi_bcast.hpp"
+#include "sched/binomial_pipeline.hpp"
+#include "sched/schedule_audit.hpp"
+
+namespace {
+
+using namespace rdmc;
+
+void BM_PipelineSendsAt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 256;
+  sched::BinomialPipelineSchedule schedule(n, n / 2 + 1);
+  std::size_t step = 0;
+  const std::size_t steps = schedule.num_steps(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.sends_at(k, step));
+    if (++step == steps) step = 0;
+  }
+}
+BENCHMARK(BM_PipelineSendsAt)->Arg(16)->Arg(512);
+
+void BM_BuildTransferLists(benchmark::State& state) {
+  // The full per-message flattening a node performs at transfer start.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 256;
+  sched::BinomialPipelineSchedule schedule(n, 1);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    const std::size_t steps = schedule.num_steps(k);
+    for (std::size_t j = 0; j < steps; ++j) {
+      total += schedule.sends_at(k, j).size();
+      total += schedule.recvs_at(k, j).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_BuildTransferLists)->Arg(16)->Arg(512);
+
+void BM_MpiScheduleStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 256;
+  baseline::MpiBcastSchedule schedule(n, n / 2);
+  std::size_t step = 0;
+  const std::size_t steps = schedule.num_steps(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.sends_at(k, step));
+    if (++step == steps) step = 0;
+  }
+}
+BENCHMARK(BM_MpiScheduleStep)->Arg(16);
+
+void BM_AuditPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::audit_algorithm(sched::Algorithm::kBinomialPipeline, n, 32));
+  }
+}
+BENCHMARK(BM_AuditPipeline)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

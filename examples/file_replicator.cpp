@@ -1,0 +1,131 @@
+// File replicator: the paper's motivating use case (§1) — pushing one
+// large object to many nodes at once instead of copy-by-copy.
+//
+// Reads a file (or generates synthetic data), replicates it to N in-process
+// "storage servers" with a selectable algorithm, verifies the replicas
+// byte-for-byte, and reports throughput and per-replica skew.
+//
+//   ./file_replicator [--algorithm seq|chain|tree|pipeline]
+//                     [--replicas N] [--size BYTES | --file PATH]
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/rdmc.hpp"
+#include "fabric/mem_fabric.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+
+using namespace rdmc;
+
+namespace {
+
+sched::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "seq") return sched::Algorithm::kSequential;
+  if (name == "chain") return sched::Algorithm::kChain;
+  if (name == "tree") return sched::Algorithm::kBinomialTree;
+  return sched::Algorithm::kBinomialPipeline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replicas = 7;
+  std::size_t size = 64 << 20;
+  std::string algorithm_name = "pipeline";
+  std::string path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--algorithm") algorithm_name = argv[i + 1];
+    else if (flag == "--replicas") replicas = std::stoul(argv[i + 1]);
+    else if (flag == "--size")
+      size = util::parse_size(argv[i + 1]).value_or(size);
+    else if (flag == "--file") path = argv[i + 1];
+  }
+
+  // Load or synthesise the object to replicate.
+  std::vector<std::byte> object;
+  if (!path.empty()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::vector<char> raw(std::istreambuf_iterator<char>(in), {});
+    object.resize(((raw.size() + 4095) / 4096) * 4096);  // pad tail
+    std::memcpy(object.data(), raw.data(), raw.size());
+  } else {
+    object.resize(size);
+    util::Rng rng(1);
+    for (auto& b : object) b = static_cast<std::byte>(rng());
+  }
+  std::printf("replicating %s to %zu replicas via %s send\n",
+              util::format_bytes(object.size()).c_str(), replicas,
+              algorithm_name.c_str());
+
+  const std::size_t n = replicas + 1;
+  fabric::MemFabric fabric(n);
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back(std::make_unique<Node>(fabric, static_cast<NodeId>(i)));
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::vector<std::vector<std::byte>> stores(n);
+  std::vector<double> finish_seconds(n, 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<NodeId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+  GroupOptions options;
+  options.algorithm = parse_algorithm(algorithm_name);
+  for (NodeId m : members) {
+    nodes[m]->create_group(
+        1, members, options,
+        [&, m](std::size_t bytes) {
+          stores[m].resize(bytes);
+          return fabric::MemoryView{stores[m].data(), bytes};
+        },
+        [&, m](std::byte*, std::size_t) {
+          std::lock_guard lock(mutex);
+          finish_seconds[m] = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+          if (m != 0) ++done;
+          cv.notify_all();
+        });
+  }
+
+  nodes[0]->send(1, object.data(), object.size());
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return done == replicas; });
+  }
+
+  double first = 1e300, last = 0.0;
+  for (std::size_t m = 1; m < n; ++m) {
+    if (stores[m] != object) {
+      std::fprintf(stderr, "replica %zu corrupt!\n", m);
+      return 1;
+    }
+    first = std::min(first, finish_seconds[m]);
+    last = std::max(last, finish_seconds[m]);
+  }
+  const double total_bytes =
+      static_cast<double>(object.size()) * static_cast<double>(replicas);
+  std::printf("all replicas verified.\n");
+  std::printf("wall time: %s; replication goodput: %s; skew "
+              "(first vs last replica): %s\n",
+              util::format_duration(last).c_str(),
+              util::format_gbps(total_bytes, last).c_str(),
+              util::format_duration(last - first).c_str());
+  std::printf("(in-process threads move the bytes here; on RDMA hardware "
+              "the same schedule runs at NIC line rate)\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Replicated object store: the Cosmos-style workload (§5.2.2) on the real
+// threaded fabric — many overlapping 3-replica groups, writes of wildly
+// varying size, full data verification.
+//
+//   ./replicated_store [--writes N] [--hosts H]
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/rdmc.hpp"
+#include "fabric/mem_fabric.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "workload/cosmos.hpp"
+
+using namespace rdmc;
+
+int main(int argc, char** argv) {
+  std::size_t writes = 40;
+  std::uint32_t hosts = 8;  // C(8,3) = 56 groups; keep the demo snappy
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--writes") writes = std::stoul(argv[i + 1]);
+    else if (flag == "--hosts")
+      hosts = static_cast<std::uint32_t>(std::stoul(argv[i + 1]));
+  }
+
+  workload::CosmosConfig trace_config;
+  trace_config.num_hosts = hosts;
+  trace_config.median_bytes = 2'000'000;  // scaled down for an in-process demo
+  trace_config.mean_bytes = 5'000'000;
+  trace_config.max_bytes = 32'000'000;
+  workload::CosmosTraceGenerator generator(trace_config);
+
+  const std::size_t n = hosts + 1;  // + the write front-end (node `hosts`)
+  const NodeId frontend = hosts;
+  fabric::MemFabric fabric(n);
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back(std::make_unique<Node>(fabric, static_cast<NodeId>(i)));
+
+  std::printf("replicated store: %u hosts, %u groups, front-end node %u\n",
+              hosts, generator.num_groups(), frontend);
+
+  // Pre-create every 3-replica group, rooted at the front-end.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t deliveries = 0;
+  // stored[host] = list of received objects, in arrival order.
+  std::vector<std::vector<std::vector<std::byte>>> stored(n);
+  for (std::uint32_t g = 0; g < generator.num_groups(); ++g) {
+    const auto combo = generator.group_members(g);
+    std::vector<NodeId> members{frontend, combo[0], combo[1], combo[2]};
+    for (NodeId m : members) {
+      nodes[m]->create_group(
+          static_cast<GroupId>(g), members, GroupOptions{},
+          [&, m](std::size_t size) {
+            stored[m].emplace_back(size);
+            return fabric::MemoryView{stored[m].back().data(), size};
+          },
+          [&, m](std::byte*, std::size_t) {
+            if (m == frontend) return;
+            std::lock_guard lock(mutex);
+            ++deliveries;
+            cv.notify_all();
+          });
+    }
+  }
+
+  // Issue the writes; keep payloads alive until all complete.
+  const auto trace = generator.generate(writes);
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(writes);
+  util::Rng rng(55);
+  double total_bytes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& w : trace) {
+    payloads.emplace_back(w.bytes);
+    for (auto& b : payloads.back()) b = static_cast<std::byte>(rng());
+    total_bytes += static_cast<double>(w.bytes) * 3;
+    nodes[frontend]->send(static_cast<GroupId>(w.group_index),
+                          payloads.back().data(), payloads.back().size());
+  }
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return deliveries == writes * 3; });
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  // Verify: every replica of every write holds the exact bytes.
+  std::map<std::uint32_t, std::size_t> group_progress;
+  std::vector<std::size_t> host_cursor(n, 0);
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& w = trace[i];
+    for (auto host : w.replicas) {
+      const auto& got = stored[host][host_cursor[host]++];
+      if (got.size() != payloads[i].size() ||
+          std::memcmp(got.data(), payloads[i].data(), got.size()) != 0) {
+        // Writes to *different* groups can interleave per host; fall back
+        // to content search for robustness of the demo check.
+        bool found = false;
+        for (const auto& candidate : stored[host])
+          found |= candidate == payloads[i];
+        if (!found) {
+          std::fprintf(stderr, "host %u missing write %zu!\n", host, i);
+          return 1;
+        }
+      }
+      ++verified;
+    }
+  }
+  std::printf("verified %zu replica copies of %zu writes (%s replicated)\n",
+              verified, writes, util::format_bytes(
+                                    static_cast<std::uint64_t>(total_bytes))
+                                    .c_str());
+  std::printf("wall time %s, replication goodput %s\n",
+              util::format_duration(wall).c_str(),
+              util::format_gbps(total_bytes, wall).c_str());
+  return 0;
+}

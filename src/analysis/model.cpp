@@ -1,0 +1,59 @@
+#include "analysis/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace rdmc::analysis {
+
+std::size_t pipeline_steps(std::size_t num_nodes, std::size_t num_blocks) {
+  assert(num_nodes >= 2 && num_blocks >= 1);
+  return util::ceil_log2(num_nodes) + num_blocks - 1;
+}
+
+double sequential_time(std::size_t num_nodes, std::size_t num_blocks,
+                       double block_time) {
+  // The root pushes k blocks to each of n-1 receivers through one tx port.
+  return static_cast<double>((num_nodes - 1) * num_blocks) * block_time;
+}
+
+double chain_time(std::size_t num_nodes, std::size_t num_blocks,
+                  double block_time) {
+  // Fill the pipe (n-1 hops) then stream the remaining k-1 blocks.
+  return static_cast<double>(num_nodes + num_blocks - 2) * block_time;
+}
+
+double binomial_tree_time(std::size_t num_nodes, std::size_t num_blocks,
+                          double block_time) {
+  // ceil(log2 n) whole-message rounds, no pipelining across rounds.
+  return static_cast<double>(util::ceil_log2(num_nodes) * num_blocks) *
+         block_time;
+}
+
+double binomial_pipeline_time(std::size_t num_nodes, std::size_t num_blocks,
+                              double block_time) {
+  return static_cast<double>(pipeline_steps(num_nodes, num_blocks)) *
+         block_time;
+}
+
+double delayed_pipeline_time(std::size_t num_nodes, std::size_t num_blocks,
+                             double block_time, double epsilon) {
+  return binomial_pipeline_time(num_nodes, num_blocks, block_time) + epsilon;
+}
+
+double slow_link_fraction(std::size_t num_nodes, double t_fast,
+                          double t_slow) {
+  assert(num_nodes >= 2 && t_fast > 0.0 && t_slow > 0.0 && t_slow <= t_fast);
+  const double l = static_cast<double>(util::ceil_log2(num_nodes));
+  return l * t_slow / (t_fast + (l - 1.0) * t_slow);
+}
+
+double average_slack(std::size_t num_nodes) {
+  assert(num_nodes >= 4);
+  const double l = static_cast<double>(util::ceil_log2(num_nodes));
+  const double n = static_cast<double>(num_nodes);
+  return 2.0 * (1.0 - (l - 1.0) / (n - 2.0));
+}
+
+}  // namespace rdmc::analysis

@@ -1,0 +1,45 @@
+// Closed-form performance and robustness models (paper §4.4-4.5).
+//
+// These are the analytical predictions the paper states; the robustness
+// bench and the property tests compare simulator measurements against them.
+#pragma once
+
+#include <cstddef>
+
+namespace rdmc::analysis {
+
+/// Steps for a k-block binomial pipeline over n nodes: l + k - 1 with
+/// l = ceil(log2 n) (§4.4). n >= 2.
+std::size_t pipeline_steps(std::size_t num_nodes, std::size_t num_blocks);
+
+/// Predicted total transfer time for each algorithm under an idealised
+/// network where one block takes `block_time` seconds per hop and the
+/// message has k blocks. These are the first-order models behind Fig 4's
+/// shapes (software overheads excluded).
+double sequential_time(std::size_t num_nodes, std::size_t num_blocks,
+                       double block_time);
+double chain_time(std::size_t num_nodes, std::size_t num_blocks,
+                  double block_time);
+double binomial_tree_time(std::size_t num_nodes, std::size_t num_blocks,
+                          double block_time);
+double binomial_pipeline_time(std::size_t num_nodes, std::size_t num_blocks,
+                              double block_time);
+
+/// §4.5 item 1: a single delay of epsilon adds at most epsilon to the
+/// total: (l + k - 1) * block_time + epsilon.
+double delayed_pipeline_time(std::size_t num_nodes, std::size_t num_blocks,
+                             double block_time, double epsilon);
+
+/// §4.5 item 2: with one slow link of bandwidth t_slow among links of
+/// bandwidth t_fast, effective multicast bandwidth is at least
+/// l*t_slow / (t_fast + (l-1)*t_slow) of the uniform-bandwidth case.
+/// Returns that fraction (in (0, 1]). The paper's example: t_slow = t/2,
+/// n = 64 gives 0.856.
+double slow_link_fraction(std::size_t num_nodes, double t_fast,
+                          double t_slow);
+
+/// §4.5 item 3: average steady-step slack 2(1 - (l-1)/(n-2)), ~2 for
+/// moderate n. Requires n >= 4 and n a power of two for exactness.
+double average_slack(std::size_t num_nodes);
+
+}  // namespace rdmc::analysis

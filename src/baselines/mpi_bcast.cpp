@@ -1,0 +1,153 @@
+#include "baselines/mpi_bcast.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace rdmc::baseline {
+
+MpiBcastSchedule::MpiBcastSchedule(std::size_t num_nodes, std::size_t rank)
+    : Schedule(num_nodes, rank),
+      rounds_(num_nodes > 1 ? util::ceil_log2(num_nodes) : 0) {}
+
+std::vector<sched::Transfer> MpiBcastSchedule::tree_sends_at(
+    std::size_t num_blocks, std::size_t step) const {
+  const std::size_t round = step / num_blocks;
+  const std::size_t block = step % num_blocks;
+  if (round >= rounds_) return {};
+  const std::size_t s = std::size_t{1} << (rounds_ - 1 - round);
+  if (rank_ % (2 * s) != 0 || rank_ + s >= num_nodes_) return {};
+  return {sched::Transfer{static_cast<std::uint32_t>(rank_ + s), block}};
+}
+
+std::vector<sched::Transfer> MpiBcastSchedule::tree_recvs_at(
+    std::size_t num_blocks, std::size_t step) const {
+  if (rank_ == 0) return {};
+  const std::size_t round = step / num_blocks;
+  const std::size_t block = step % num_blocks;
+  if (round >= rounds_) return {};
+  const std::size_t s = std::size_t{1} << (rounds_ - 1 - round);
+  // Node i joins the tree at the round whose stride is i's lowest set bit.
+  if (rank_ % (2 * s) != s) return {};
+  return {sched::Transfer{static_cast<std::uint32_t>(rank_ - s), block}};
+}
+
+std::size_t MpiBcastSchedule::max_chunk(std::size_t num_blocks) const {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < num_nodes_; ++i)
+    m = std::max(m, chunk_end(i, num_blocks) - chunk_begin(i, num_blocks));
+  return m;
+}
+
+std::vector<MpiBcastSchedule::ScatterXfer> MpiBcastSchedule::scatter_plan(
+    std::size_t num_blocks) const {
+  // Binomial-tree scatter: at stride s = 2^(l-1), 2^(l-2), ..., 1 every
+  // subtree root i (i % 2s == 0) hands the blocks owned by ranks
+  // [i+s, min(i+2s, n)) to node i+s. Steps within a stride are packed so a
+  // stride occupies max-transfer-size consecutive steps.
+  std::vector<ScatterXfer> plan;
+  std::size_t base = 0;
+  for (std::size_t r = 0; r < rounds_; ++r) {
+    const std::size_t s = std::size_t{1} << (rounds_ - 1 - r);
+    std::size_t widest = 0;
+    for (std::size_t i = 0; i + s < num_nodes_; i += 2 * s) {
+      const std::size_t lo = chunk_begin(i + s, num_blocks);
+      const std::size_t hi =
+          chunk_begin(std::min(i + 2 * s, num_nodes_), num_blocks);
+      widest = std::max(widest, hi - lo);
+      for (std::size_t b = lo; b < hi; ++b) {
+        plan.push_back(ScatterXfer{static_cast<std::uint32_t>(i),
+                                   static_cast<std::uint32_t>(i + s), b,
+                                   base + (b - lo)});
+      }
+    }
+    base += widest;
+  }
+  return plan;
+}
+
+MpiBcastSchedule::PhaseSplit MpiBcastSchedule::split(
+    std::size_t num_blocks) const {
+  std::size_t scatter_steps = 0;
+  for (std::size_t r = 0; r < rounds_; ++r) {
+    const std::size_t s = std::size_t{1} << (rounds_ - 1 - r);
+    std::size_t widest = 0;
+    for (std::size_t i = 0; i + s < num_nodes_; i += 2 * s) {
+      const std::size_t lo = chunk_begin(i + s, num_blocks);
+      const std::size_t hi =
+          chunk_begin(std::min(i + 2 * s, num_nodes_), num_blocks);
+      widest = std::max(widest, hi - lo);
+    }
+    scatter_steps += widest;
+  }
+  return PhaseSplit{scatter_steps, max_chunk(num_blocks)};
+}
+
+std::vector<sched::Transfer> MpiBcastSchedule::sends_at(
+    std::size_t num_blocks, std::size_t step) const {
+  std::vector<sched::Transfer> out;
+  if (num_blocks == 0 || num_nodes_ <= 1) return out;
+  if (use_tree(num_blocks)) return tree_sends_at(num_blocks, step);
+  const PhaseSplit ps = split(num_blocks);
+  if (step < ps.scatter_steps) {
+    for (const auto& x : scatter_plan(num_blocks)) {
+      if (x.src == rank_ && x.step == step)
+        out.push_back(sched::Transfer{x.dst, x.block});
+    }
+    return out;
+  }
+  // Ring allgather: at round t, rank i forwards chunk((i - t) mod n) to
+  // rank (i + 1) mod n, one block per step.
+  if (ps.ring_round_steps == 0) return out;
+  const std::size_t ring_step = step - ps.scatter_steps;
+  const std::size_t t = ring_step / ps.ring_round_steps;
+  if (t >= num_nodes_ - 1) return out;
+  const std::size_t idx = ring_step % ps.ring_round_steps;
+  const std::size_t chunk_owner = (rank_ + num_nodes_ - t) % num_nodes_;
+  const std::size_t lo = chunk_begin(chunk_owner, num_blocks);
+  const std::size_t hi = chunk_end(chunk_owner, num_blocks);
+  if (lo + idx < hi) {
+    out.push_back(sched::Transfer{
+        static_cast<std::uint32_t>((rank_ + 1) % num_nodes_), lo + idx});
+  }
+  return out;
+}
+
+std::vector<sched::Transfer> MpiBcastSchedule::recvs_at(
+    std::size_t num_blocks, std::size_t step) const {
+  std::vector<sched::Transfer> out;
+  if (num_blocks == 0 || num_nodes_ <= 1) return out;
+  if (use_tree(num_blocks)) return tree_recvs_at(num_blocks, step);
+  const PhaseSplit ps = split(num_blocks);
+  if (step < ps.scatter_steps) {
+    for (const auto& x : scatter_plan(num_blocks)) {
+      if (x.dst == rank_ && x.step == step)
+        out.push_back(sched::Transfer{x.src, x.block});
+    }
+    return out;
+  }
+  if (ps.ring_round_steps == 0) return out;
+  const std::size_t ring_step = step - ps.scatter_steps;
+  const std::size_t t = ring_step / ps.ring_round_steps;
+  if (t >= num_nodes_ - 1) return out;
+  const std::size_t idx = ring_step % ps.ring_round_steps;
+  const std::size_t pred = (rank_ + num_nodes_ - 1) % num_nodes_;
+  const std::size_t chunk_owner = (pred + num_nodes_ - t) % num_nodes_;
+  const std::size_t lo = chunk_begin(chunk_owner, num_blocks);
+  const std::size_t hi = chunk_end(chunk_owner, num_blocks);
+  if (lo + idx < hi) {
+    out.push_back(sched::Transfer{static_cast<std::uint32_t>(pred),
+                                  lo + idx});
+  }
+  return out;
+}
+
+std::size_t MpiBcastSchedule::num_steps(std::size_t num_blocks) const {
+  if (num_blocks == 0 || num_nodes_ <= 1) return 0;
+  if (use_tree(num_blocks)) return rounds_ * num_blocks;
+  const PhaseSplit ps = split(num_blocks);
+  return ps.scatter_steps + (num_nodes_ - 1) * ps.ring_round_steps;
+}
+
+}  // namespace rdmc::baseline

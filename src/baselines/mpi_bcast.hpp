@@ -1,0 +1,77 @@
+// MVAPICH-style MPI_Bcast baseline (paper §5.2, Fig 4).
+//
+// MVAPICH broadcasts large messages as a binomial-tree *scatter* (each node
+// ends up owning a ~k/n chunk of the blocks) followed by a *ring allgather*
+// (n-1 rounds in which every node forwards the chunk it most recently
+// received to its successor). We express that as an RDMC block-transfer
+// schedule so the baseline runs through the identical engine and fabric —
+// an apples-to-apples comparison.
+//
+// Note the ring wraps through the root, so unlike RDMC's own algorithms
+// this schedule has rank 0 receiving (redundant) blocks; the engine
+// supports root receives for exactly this baseline.
+//
+// Like MVAPICH, the broadcast switches algorithm by message size: when the
+// message has fewer blocks than the group has members (empty scatter
+// chunks), it falls back to a whole-message binomial-tree broadcast over
+// the *same* tree the scatter uses (parent = clear the lowest set bit).
+// Besides matching MVAPICH, using one tree for both regimes keeps every
+// node's first-hop source independent of message size, which the RDMC
+// engine's initial-receive protocol requires.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace rdmc::baseline {
+
+class MpiBcastSchedule final : public sched::Schedule {
+ public:
+  MpiBcastSchedule(std::size_t num_nodes, std::size_t rank);
+
+  std::vector<sched::Transfer> sends_at(std::size_t num_blocks,
+                                        std::size_t step) const override;
+  std::vector<sched::Transfer> recvs_at(std::size_t num_blocks,
+                                        std::size_t step) const override;
+  std::size_t num_steps(std::size_t num_blocks) const override;
+  std::string_view name() const override { return "mpi_scatter_allgather"; }
+
+ private:
+  /// Blocks [chunk_begin(i), chunk_end(i)) are owned by rank i after the
+  /// scatter phase.
+  std::size_t chunk_begin(std::size_t rank, std::size_t num_blocks) const {
+    return rank * num_blocks / num_nodes_;
+  }
+  std::size_t chunk_end(std::size_t rank, std::size_t num_blocks) const {
+    return chunk_begin(rank + 1, num_blocks);
+  }
+  std::size_t max_chunk(std::size_t num_blocks) const;
+
+  struct PhaseSplit {
+    std::size_t scatter_steps;
+    std::size_t ring_round_steps;  // steps per allgather round
+  };
+  PhaseSplit split(std::size_t num_blocks) const;
+
+  /// Scatter transfers: all (src, dst, block, step) tuples, precomputed
+  /// per num_blocks on demand (cheap: O(k log n)).
+  struct ScatterXfer {
+    std::uint32_t src, dst;
+    std::size_t block;
+    std::size_t step;
+  };
+  std::vector<ScatterXfer> scatter_plan(std::size_t num_blocks) const;
+
+  bool use_tree(std::size_t num_blocks) const {
+    return num_blocks < num_nodes_;
+  }
+  /// Small-message fallback: whole-message binomial tree with descending
+  /// strides (round r uses stride 2^(l-1-r); i with i % 2s == 0 feeds i+s).
+  std::vector<sched::Transfer> tree_sends_at(std::size_t num_blocks,
+                                             std::size_t step) const;
+  std::vector<sched::Transfer> tree_recvs_at(std::size_t num_blocks,
+                                             std::size_t step) const;
+
+  std::size_t rounds_;  // ceil(log2 n)
+};
+
+}  // namespace rdmc::baseline

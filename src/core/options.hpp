@@ -1,0 +1,42 @@
+// Per-group configuration (the "configuration parameters like block size"
+// Figure 1 omits).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace rdmc {
+
+struct GroupOptions {
+  /// Message block size in bytes. Fig 6 sweeps this; 1 MB is the paper's
+  /// usual operating point for large transfers.
+  std::size_t block_size = std::size_t{1} << 20;
+
+  /// Which block-transfer algorithm the group uses (§4.3).
+  sched::Algorithm algorithm = sched::Algorithm::kBinomialPipeline;
+
+  /// If set, use the two-level hybrid binomial pipeline with this
+  /// member-rank -> rack-id mapping (overrides `algorithm`).
+  std::optional<std::vector<std::uint32_t>> hybrid_racks;
+
+  /// Escape hatch for custom schedules (e.g. the MPI scatter+allgather
+  /// baseline); overrides both `algorithm` and `hybrid_racks`.
+  std::function<std::unique_ptr<sched::Schedule>(std::size_t num_nodes,
+                                                 std::size_t rank)>
+      make_schedule;
+
+  /// Receive buffers kept posted ahead per neighbour. The paper posts
+  /// "only a few receives per group" to respect NIC caching limits (§4.2).
+  std::size_t recv_window = 4;
+
+  /// Record a per-event timeline for microbenchmarks (Table 1 / Fig 5).
+  bool enable_trace = false;
+};
+
+}  // namespace rdmc

@@ -1,0 +1,200 @@
+// Verbs-shaped fabric abstraction.
+//
+// RDMC (the core library) is written against this interface, which captures
+// exactly the slice of RDMA reliable-connected (RC) verbs semantics the
+// paper relies on (§2):
+//
+//   * two-sided sends/receives over bound queue pairs, zero-copy between
+//     registered buffers, FIFO per QP, no corruption or duplication;
+//   * a 32-bit "immediate" value carried with each send (RDMC uses it to
+//     announce total message size, §4.2);
+//   * a one-sided write-with-immediate used for the tiny ready-for-block
+//     notification (§4.2; see DESIGN.md §6 for the modelling note);
+//   * completion events on a single per-node completion queue, consumed by
+//     one completion thread in polling / interrupt / hybrid mode (§4.2);
+//   * connection breakage reported to the surviving endpoint(s) after
+//     hardware retry exhaustion (§2, §3 item 6);
+//   * an out-of-band control mesh standing in for the N x N TCP mesh the
+//     paper bootstraps with (§2).
+//
+// Two interchangeable backends implement it:
+//   * MemFabric  — real threads, real byte movement (tests, examples);
+//   * SimFabric  — discrete-event virtual time at cluster scale (benches).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace rdmc::fabric {
+
+using NodeId = std::uint32_t;
+using QpId = std::uint64_t;
+
+/// A view of registered memory. `data` may be null: a *phantom* buffer that
+/// moves simulated bytes without touching host memory, used for
+/// cluster-scale experiments where allocating 512 x 256 MB is infeasible.
+struct MemoryView {
+  std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+enum class WcOpcode : std::uint8_t {
+  kSend,          // a posted send finished (sender side)
+  kRecv,          // a posted receive was filled (receiver side)
+  kWriteImm,      // a one-sided write-with-immediate finished (issuer side)
+  kRecvWriteImm,  // a one-sided write-with-immediate arrived (target side)
+  kWindowWrite,   // a one-sided window write finished (issuer side)
+  kRecvWindowWrite,  // a one-sided window write landed (target side)
+  kDisconnect,    // the connection broke; peer identifies the QP's peer
+};
+
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kFlushed,  // posted work discarded because the QP broke
+  kError,
+};
+
+struct Completion {
+  std::uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint32_t byte_len = 0;
+  std::uint32_t immediate = 0;
+  QpId qp = 0;
+  NodeId peer = 0;
+};
+
+/// How the per-node completion thread detects completions (§4.2, Fig 11).
+enum class CompletionMode : std::uint8_t {
+  kPolling,    // busy-poll: zero pickup latency, one core at 100%
+  kInterrupt,  // event-driven: wakeup latency on every completion
+  kHybrid,     // poll for a window after each event, then sleep (default)
+};
+
+/// One bound queue pair (one side of an RC connection).
+///
+/// All post_* calls are non-blocking and thread-safe. They return false if
+/// the connection is (already known to be) broken.
+class QueuePair {
+ public:
+  virtual ~QueuePair() = default;
+
+  QpId id() const { return id_; }
+  NodeId peer() const { return peer_; }
+
+  /// Two-sided send carrying an immediate value. Completes with kSend at
+  /// the sender and kRecv at the receiver (into its oldest posted recv).
+  virtual bool post_send(MemoryView buf, std::uint64_t wr_id,
+                         std::uint32_t immediate) = 0;
+
+  /// Post a receive buffer. Buffers are consumed in FIFO order.
+  virtual bool post_recv(MemoryView buf, std::uint64_t wr_id) = 0;
+
+  /// One-sided write-with-immediate: delivers a kRecvWriteImm completion at
+  /// the peer without consuming a posted receive. Used for the
+  /// ready-for-block notification.
+  virtual bool post_write_imm(std::uint32_t immediate,
+                              std::uint64_t wr_id) = 0;
+
+  /// One-sided write with payload into the peer's registered memory window
+  /// (the RDMA one-sided write-with-immediate mode of §2, as used by
+  /// Derecho's small-message and status-table protocols, §4.6): places
+  /// `local` at `offset` within the peer's window `window_id` and delivers
+  /// a kRecvWindowWrite completion there (no posted receive consumed).
+  /// FIFO-ordered with the QP's two-sided sends. Fails (false) if the QP
+  /// is broken; a write beyond the window's bounds breaks the connection,
+  /// like a remote-access error on real hardware.
+  /// `signaled=false` suppresses the issuer-side kWindowWrite completion
+  /// (unsignaled verbs posts — senders typically signal every Nth write).
+  virtual bool post_window_write(std::uint32_t window_id,
+                                 std::uint64_t offset, MemoryView local,
+                                 std::uint32_t immediate,
+                                 std::uint64_t wr_id,
+                                 bool signaled = true) = 0;
+
+  /// Locally tear the QP down (RDMA destroy-QP): posted receives are
+  /// revoked with a fence — on return no in-flight transfer will touch
+  /// their buffers again — and traffic still arriving for this QP is
+  /// silently discarded. No completions are delivered after close(); the
+  /// peer is NOT notified (group teardown is collective, §4.1). Posting
+  /// after close fails.
+  virtual void close() = 0;
+
+  bool broken() const { return broken_; }
+
+  /// Backend-internal: mark the QP dead after a connection break.
+  void mark_broken() { broken_ = true; }
+
+ protected:
+  QueuePair(QpId id, NodeId peer) : id_(id), peer_(peer) {}
+  QpId id_;
+  NodeId peer_;
+  bool broken_ = false;
+};
+
+/// Per-node endpoint: owns the node's single completion queue/thread and
+/// its out-of-band control mesh port.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  virtual NodeId id() const = 0;
+
+  /// Handler invoked for every completion, on the node's completion thread
+  /// (MemFabric) or at the node's virtual CPU time (SimFabric). At most one
+  /// invocation runs at a time per node. Must be set before traffic flows.
+  /// Setting a new handler (including nullptr) synchronises with any
+  /// in-flight invocation: once the setter returns, the old handler is
+  /// guaranteed not to be running.
+  virtual void set_completion_handler(
+      std::function<void(const Completion&)> handler) = 0;
+
+  /// Out-of-band reliable control channel (the bootstrap "TCP mesh").
+  virtual void send_oob(NodeId to, std::vector<std::byte> payload) = 0;
+  virtual void set_oob_handler(
+      std::function<void(NodeId from, std::span<const std::byte>)>
+          handler) = 0;
+
+  virtual void set_completion_mode(CompletionMode mode) = 0;
+  virtual CompletionMode completion_mode() const = 0;
+
+  /// Expose a memory region for one-sided writes from peers (RDMA memory
+  /// registration + rkey exchange, collapsed: window ids are agreed out of
+  /// band, here by convention). Re-registering an id replaces the region.
+  virtual void register_window(std::uint32_t window_id,
+                               MemoryView region) = 0;
+
+  /// Withdraw a window. Like RDMA memory deregistration this *fences*: on
+  /// return, no in-flight one-sided write will touch the region again, so
+  /// the caller may free it. Unknown ids are a no-op.
+  virtual void unregister_window(std::uint32_t window_id) = 0;
+};
+
+/// A fabric instance: a set of endpoints plus connection management.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual std::size_t num_nodes() const = 0;
+  virtual Endpoint& endpoint(NodeId node) = 0;
+
+  /// Create (or return the existing) queue pair between `a` and `b` on
+  /// logical channel `channel` and return `a`'s side. Channels let one node
+  /// pair carry several independent QPs (one per RDMC group). Symmetric:
+  /// connect(a, b, c) and connect(b, a, c) return the two sides of the same
+  /// connection.
+  virtual QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) = 0;
+
+  /// Sever the connection(s) between two nodes (failure injection). Both
+  /// sides receive kDisconnect completions for every affected QP; posted
+  /// work flushes with kFlushed.
+  virtual void break_link(NodeId a, NodeId b) = 0;
+
+  /// Crash a node: breaks every connection it participates in.
+  virtual void crash_node(NodeId node) = 0;
+};
+
+}  // namespace rdmc::fabric

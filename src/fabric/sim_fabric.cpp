@@ -1,0 +1,531 @@
+#include "fabric/sim_fabric.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace rdmc::fabric {
+
+// ---------------------------------------------------------------------------
+// Per-node state: the virtual CPU.
+// ---------------------------------------------------------------------------
+
+struct SimFabric::NodeState {
+  /// Virtual time at which the node's software thread becomes free.
+  sim::SimTime cpu_free = 0.0;
+  /// Accumulated busy seconds (handler execution + posting costs).
+  double busy = 0.0;
+  /// Accumulated completion-pickup + queueing wait (Table 1 "Waiting").
+  double wait = 0.0;
+  /// Last instant a completion handler finished (hybrid window anchor).
+  sim::SimTime last_event = -1e18;
+  util::Rng rng;
+};
+
+// ---------------------------------------------------------------------------
+// SimEndpoint
+// ---------------------------------------------------------------------------
+
+class SimFabric::SimEndpoint final : public Endpoint {
+ public:
+  SimEndpoint(SimFabric& fabric, NodeId id, CompletionMode mode)
+      : fabric_(fabric), id_(id), mode_(mode) {}
+
+  NodeId id() const override { return id_; }
+
+  void set_completion_handler(
+      std::function<void(const Completion&)> handler) override {
+    completion_handler_ = std::move(handler);
+  }
+
+  void send_oob(NodeId to, std::vector<std::byte> payload) override {
+    fabric_.deliver_oob(to, id_, std::move(payload));
+  }
+
+  void set_oob_handler(
+      std::function<void(NodeId, std::span<const std::byte>)> handler)
+      override {
+    oob_handler_ = std::move(handler);
+  }
+
+  void set_completion_mode(CompletionMode mode) override { mode_ = mode; }
+  CompletionMode completion_mode() const override { return mode_; }
+
+  void register_window(std::uint32_t window_id, MemoryView region) override {
+    windows_[window_id] = region;
+  }
+  void unregister_window(std::uint32_t window_id) override {
+    windows_.erase(window_id);
+  }
+  MemoryView window(std::uint32_t window_id) const {
+    auto it = windows_.find(window_id);
+    return it == windows_.end() ? MemoryView{} : it->second;
+  }
+
+  SimFabric& fabric_;
+  NodeId id_;
+  CompletionMode mode_;
+  std::map<std::uint32_t, MemoryView> windows_;
+  std::function<void(const Completion&)> completion_handler_;
+  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
+};
+
+// ---------------------------------------------------------------------------
+// Connection / SimQueuePair
+// ---------------------------------------------------------------------------
+
+class SimFabric::SimQueuePair final : public QueuePair {
+ public:
+  SimQueuePair(QpId id, NodeId self, NodeId peer, Connection& conn)
+      : QueuePair(id, peer), self_(self), conn_(conn) {}
+
+  bool post_send(MemoryView buf, std::uint64_t wr_id,
+                 std::uint32_t immediate) override;
+  bool post_recv(MemoryView buf, std::uint64_t wr_id) override;
+  bool post_write_imm(std::uint32_t immediate, std::uint64_t wr_id) override;
+  bool post_window_write(std::uint32_t window_id, std::uint64_t offset,
+                         MemoryView local, std::uint32_t immediate,
+                         std::uint64_t wr_id, bool signaled) override;
+  void close() override;
+
+  NodeId self_;
+  Connection& conn_;
+  bool closed_ = false;
+};
+
+struct SimFabric::Connection {
+  struct PendingSend {
+    MemoryView buf;
+    std::uint64_t wr_id;
+    std::uint32_t immediate;
+    sim::SimTime posted_at;  // virtual time the post takes effect
+    bool is_window_write = false;
+    bool signaled = true;
+    std::uint32_t window_id = 0;
+    std::uint64_t window_offset = 0;
+  };
+  struct PostedRecv {
+    MemoryView buf;
+    std::uint64_t wr_id;
+  };
+  struct Direction {
+    std::deque<PendingSend> sends;
+    std::deque<PostedRecv> recvs;
+    bool in_flight = false;  // RC FIFO: one flow at a time per direction
+    sim::FlowId flow = sim::kInvalidFlow;
+  };
+
+  Connection(SimFabric& fabric, QpId qp_a, QpId qp_b, NodeId a, NodeId b)
+      : fabric(fabric),
+        side_a(qp_a, a, b, *this),
+        side_b(qp_b, b, a, *this) {}
+
+  SimQueuePair* side_for(NodeId node) {
+    return node == side_a.self_ ? &side_a : &side_b;
+  }
+  Direction& direction_from(NodeId node) {
+    return node == side_a.self_ ? a_to_b : b_to_a;
+  }
+
+  /// Start the next flow on `dir` if the head send is posted, a receive is
+  /// available at the target, and nothing is in flight.
+  void maybe_start(NodeId src, Direction& dir);
+  void on_flow_done(NodeId src, sim::SimTime t);
+  void flush(sim::SimTime when_hint);
+
+  SimFabric& fabric;
+  SimQueuePair side_a;
+  SimQueuePair side_b;
+  Direction a_to_b;
+  Direction b_to_a;
+  bool broken = false;
+};
+
+void SimFabric::Connection::maybe_start(NodeId src, Direction& dir) {
+  if (broken || dir.in_flight || dir.sends.empty()) return;
+  // Window writes need no posted receive; two-sided sends do.
+  if (!dir.sends.front().is_window_write && dir.recvs.empty()) return;
+  PendingSend& send = dir.sends.front();
+  dir.in_flight = true;
+  auto& sim = fabric.sim_;
+  const sim::SimTime start = std::max(sim.now(), send.posted_at);
+  const double bytes = static_cast<double>(send.buf.size);
+  sim.at(start, [this, src, &dir, bytes] {
+    if (broken || !dir.in_flight) return;
+    dir.flow = fabric.flows_.start_flow(
+        src, side_for(src)->peer(), bytes,
+        [this, src](sim::SimTime t) { on_flow_done(src, t); });
+  });
+}
+
+void SimFabric::Connection::on_flow_done(NodeId src, sim::SimTime t) {
+  auto& dir = direction_from(src);
+  dir.flow = sim::kInvalidFlow;
+  if (broken) return;
+  assert(dir.in_flight && !dir.sends.empty());
+  SimQueuePair* sqp = side_for(src);
+  SimQueuePair* rqp = side_for(sqp->peer());
+
+  if (rqp->closed_) {
+    // Receiver side destroyed mid-flight: the bytes are discarded.
+    const PendingSend send = std::move(dir.sends.front());
+    dir.sends.pop_front();
+    dir.in_flight = false;
+    if (!send.is_window_write || send.signaled) {
+      fabric.deliver_completion(
+          sqp->self_,
+          Completion{send.wr_id,
+                     send.is_window_write ? WcOpcode::kWindowWrite
+                                          : WcOpcode::kSend,
+                     WcStatus::kSuccess,
+                     static_cast<std::uint32_t>(send.buf.size),
+                     send.immediate, sqp->id(), sqp->peer()},
+          t);
+    }
+    maybe_start(src, dir);
+    return;
+  }
+
+  if (dir.sends.front().is_window_write) {
+    const PendingSend send = std::move(dir.sends.front());
+    dir.sends.pop_front();
+    dir.in_flight = false;
+    const MemoryView window =
+        fabric.endpoints_[rqp->self_]->window(send.window_id);
+    if (window.size == 0 && window.data == nullptr) {
+      // Deregistered mid-flight: dropped, like DMA after deregistration.
+    } else if (window.size < send.buf.size ||
+               send.window_offset > window.size - send.buf.size) {
+      RDMC_LOG_ERROR("simfabric",
+                     "window write out of bounds, breaking QP");
+      flush(t);
+      return;
+    } else if (send.buf.data && window.data && send.buf.size > 0) {
+      std::memcpy(window.data + send.window_offset, send.buf.data,
+                  send.buf.size);
+    }
+    if (send.signaled) {
+      fabric.deliver_completion(
+          sqp->self_,
+          Completion{send.wr_id, WcOpcode::kWindowWrite, WcStatus::kSuccess,
+                     static_cast<std::uint32_t>(send.buf.size),
+                     send.immediate, sqp->id(), sqp->peer()},
+          t);
+    }
+    fabric.deliver_completion(
+        rqp->self_,
+        Completion{send.window_offset, WcOpcode::kRecvWindowWrite,
+                   WcStatus::kSuccess,
+                   static_cast<std::uint32_t>(send.buf.size),
+                   send.immediate, rqp->id(), rqp->peer()},
+        t + fabric.topology_.latency(sqp->self_, rqp->self_));
+    maybe_start(src, dir);
+    return;
+  }
+
+  assert(!dir.recvs.empty());
+  PendingSend send = std::move(dir.sends.front());
+  dir.sends.pop_front();
+  PostedRecv recv = std::move(dir.recvs.front());
+  dir.recvs.pop_front();
+  dir.in_flight = false;
+
+  Completion send_c{send.wr_id, WcOpcode::kSend, WcStatus::kSuccess,
+                    static_cast<std::uint32_t>(send.buf.size),
+                    send.immediate, sqp->id(), sqp->peer()};
+  Completion recv_c{recv.wr_id, WcOpcode::kRecv, WcStatus::kSuccess,
+                    static_cast<std::uint32_t>(send.buf.size),
+                    send.immediate, rqp->id(), rqp->peer()};
+  if (send.buf.size > recv.buf.size) {
+    RDMC_LOG_ERROR("simfabric",
+                   "recv buffer too small (%zu < %zu), breaking QP",
+                   recv.buf.size, send.buf.size);
+    broken = true;
+    send_c.status = recv_c.status = WcStatus::kError;
+  } else if (send.buf.data && recv.buf.data && send.buf.size > 0) {
+    std::memcpy(recv.buf.data, send.buf.data, send.buf.size);
+  }
+  // Sender sees its completion when the last byte leaves; the receiver
+  // after propagation.
+  fabric.deliver_completion(sqp->self_, send_c, t);
+  fabric.deliver_completion(
+      rqp->self_, recv_c,
+      t + fabric.topology_.latency(sqp->self_, rqp->self_));
+  if (broken) {
+    flush(t);
+  } else {
+    maybe_start(src, dir);
+  }
+}
+
+void SimFabric::Connection::flush(sim::SimTime when_hint) {
+  broken = true;
+  side_a.mark_broken();
+  side_b.mark_broken();
+  const sim::SimTime t = std::max(when_hint, fabric.sim_.now());
+  auto flush_dir = [&](Direction& dir, NodeId src) {
+    if (dir.flow != sim::kInvalidFlow) {
+      fabric.flows_.abort_flow(dir.flow);
+      dir.flow = sim::kInvalidFlow;
+    }
+    dir.in_flight = false;
+    SimQueuePair* sqp = side_for(src);
+    SimQueuePair* rqp = side_for(sqp->peer());
+    for (auto& s : dir.sends) {
+      fabric.deliver_completion(
+          sqp->self_,
+          Completion{s.wr_id, WcOpcode::kSend, WcStatus::kFlushed, 0, 0,
+                     sqp->id(), sqp->peer()},
+          t);
+    }
+    dir.sends.clear();
+    for (auto& r : dir.recvs) {
+      fabric.deliver_completion(
+          rqp->self_,
+          Completion{r.wr_id, WcOpcode::kRecv, WcStatus::kFlushed, 0, 0,
+                     rqp->id(), rqp->peer()},
+          t);
+    }
+    dir.recvs.clear();
+  };
+  flush_dir(a_to_b, side_a.self_);
+  flush_dir(b_to_a, side_b.self_);
+  fabric.deliver_completion(
+      side_a.self_,
+      Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0, 0,
+                 side_a.id(), side_a.peer()},
+      t);
+  fabric.deliver_completion(
+      side_b.self_,
+      Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0, 0,
+                 side_b.id(), side_b.peer()},
+      t);
+}
+
+bool SimFabric::SimQueuePair::post_send(MemoryView buf, std::uint64_t wr_id,
+                                        std::uint32_t immediate) {
+  if (conn_.broken || broken()) return false;
+  const sim::SimTime effective =
+      conn_.fabric.charge_software(self_, conn_.fabric.options_.costs.post_send_s);
+  auto& dir = conn_.direction_from(self_);
+  dir.sends.push_back({buf, wr_id, immediate, effective});
+  conn_.maybe_start(self_, dir);
+  return true;
+}
+
+bool SimFabric::SimQueuePair::post_recv(MemoryView buf,
+                                        std::uint64_t wr_id) {
+  if (conn_.broken || broken()) return false;
+  conn_.fabric.charge_software(self_,
+                               conn_.fabric.options_.costs.post_recv_s);
+  auto& dir = conn_.direction_from(peer_);
+  dir.recvs.push_back({buf, wr_id});
+  conn_.maybe_start(peer_, dir);
+  return true;
+}
+
+bool SimFabric::SimQueuePair::post_write_imm(std::uint32_t immediate,
+                                             std::uint64_t wr_id) {
+  if (conn_.broken || broken()) return false;
+  auto& fabric = conn_.fabric;
+  const sim::SimTime effective =
+      fabric.charge_software(self_, fabric.options_.costs.post_send_s);
+  // Tiny control message: propagation + a fixed wire time, no bandwidth
+  // contention (negligible next to block payloads).
+  const sim::SimTime arrive = effective +
+                              fabric.topology_.latency(self_, peer_) +
+                              fabric.options_.write_imm_wire_s;
+  fabric.deliver_completion(self_,
+                            Completion{wr_id, WcOpcode::kWriteImm,
+                                       WcStatus::kSuccess, 0, immediate,
+                                       id_, peer_},
+                            effective);
+  SimQueuePair* other = conn_.side_for(peer_);
+  fabric.deliver_completion(peer_,
+                            Completion{0, WcOpcode::kRecvWriteImm,
+                                       WcStatus::kSuccess, 0, immediate,
+                                       other->id(), other->peer()},
+                            arrive);
+  return true;
+}
+
+void SimFabric::SimQueuePair::close() {
+  closed_ = true;
+  mark_broken();
+  conn_.direction_from(peer_).recvs.clear();
+}
+
+bool SimFabric::SimQueuePair::post_window_write(
+    std::uint32_t window_id, std::uint64_t offset, MemoryView local,
+    std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
+  if (conn_.broken || broken()) return false;
+  const sim::SimTime effective = conn_.fabric.charge_software(
+      self_, conn_.fabric.options_.costs.post_send_s);
+  auto& dir = conn_.direction_from(self_);
+  Connection::PendingSend send;
+  send.buf = local;
+  send.wr_id = wr_id;
+  send.immediate = immediate;
+  send.posted_at = effective;
+  send.is_window_write = true;
+  send.signaled = signaled;
+  send.window_id = window_id;
+  send.window_offset = offset;
+  dir.sends.push_back(send);
+  conn_.maybe_start(self_, dir);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SimFabric
+// ---------------------------------------------------------------------------
+
+SimFabric::SimFabric(sim::Simulator& sim, sim::Topology& topology,
+                     Options options)
+    : sim_(sim),
+      topology_(topology),
+      flows_(sim, topology),
+      options_(options) {
+  endpoints_.reserve(topology.num_nodes());
+  node_state_.resize(topology.num_nodes());
+  util::Rng seeder(options_.seed);
+  for (std::size_t i = 0; i < topology.num_nodes(); ++i) {
+    endpoints_.push_back(std::make_unique<SimEndpoint>(
+        *this, static_cast<NodeId>(i), options_.default_mode));
+    node_state_[i].rng = seeder.split();
+  }
+}
+
+SimFabric::~SimFabric() = default;
+
+SimFabric::Options SimFabric::options_from(const sim::ClusterProfile& p) {
+  Options o;
+  o.costs = p.costs;
+  o.preemption = p.preemption;
+  return o;
+}
+
+Endpoint& SimFabric::endpoint(NodeId node) {
+  assert(node < endpoints_.size());
+  return *endpoints_[node];
+}
+
+QueuePair* SimFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
+  assert(a < num_nodes() && b < num_nodes() && a != b);
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  auto key = std::make_tuple(lo, hi, channel);
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    auto conn = std::make_unique<Connection>(*this, next_qp_id_,
+                                             next_qp_id_ + 1, lo, hi);
+    next_qp_id_ += 2;
+    it = connections_.emplace(key, std::move(conn)).first;
+  }
+  return it->second->side_for(a);
+}
+
+void SimFabric::break_link(NodeId a, NodeId b) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  for (auto& [key, conn] : connections_) {
+    if (std::get<0>(key) == lo && std::get<1>(key) == hi && !conn->broken)
+      conn->flush(sim_.now());
+  }
+}
+
+void SimFabric::crash_node(NodeId node) {
+  crashed_.insert(node);
+  for (auto& [key, conn] : connections_) {
+    if ((std::get<0>(key) == node || std::get<1>(key) == node) &&
+        !conn->broken)
+      conn->flush(sim_.now());
+  }
+}
+
+sim::SimTime SimFabric::charge_software(NodeId node, double cost) {
+  NodeState& st = node_state_[node];
+  if (options_.cross_channel) {
+    // CORE-Direct: the NIC walks the posted dependency graph; no software
+    // involvement per operation.
+    return std::max(sim_.now(), st.cpu_free);
+  }
+  const double preempt = options_.preemption.sample(st.rng);
+  const sim::SimTime start = std::max(sim_.now(), st.cpu_free);
+  const sim::SimTime done = start + cost + preempt;
+  st.busy += cost;  // preemption is stolen time, not useful work
+  st.cpu_free = done;
+  return done;
+}
+
+void SimFabric::deliver_completion(NodeId node, Completion c,
+                                   sim::SimTime ready) {
+  NodeState& st = node_state_[node];
+  const SimEndpoint& ep = *endpoints_[node];
+  double pickup = 0.0;
+  if (!options_.cross_channel) {
+    switch (ep.mode_) {
+      case CompletionMode::kPolling:
+        pickup = 0.0;
+        break;
+      case CompletionMode::kInterrupt:
+        pickup = options_.costs.interrupt_wakeup_s;
+        break;
+      case CompletionMode::kHybrid:
+        pickup = (ready - st.last_event <= options_.hybrid_poll_window_s)
+                     ? 0.0
+                     : options_.costs.interrupt_wakeup_s;
+        break;
+    }
+  }
+  const sim::SimTime earliest = std::max(ready + pickup, sim_.now());
+  sim_.at(earliest,
+          [this, node, c, ready] { attempt_handle(node, c, ready); });
+}
+
+void SimFabric::attempt_handle(NodeId node, const Completion& c,
+                               sim::SimTime ready) {
+  NodeState& st = node_state_[node];
+  if (st.cpu_free > sim_.now()) {
+    // The single completion thread is busy; retry when it frees up.
+    sim_.at(st.cpu_free,
+            [this, node, c, ready] { attempt_handle(node, c, ready); });
+    return;
+  }
+  SimEndpoint& ep = *endpoints_[node];
+  const sim::SimTime start = sim_.now();
+  st.wait += std::max(0.0, start - ready);
+  double cost = 0.0;
+  if (!options_.cross_channel) {
+    cost = options_.costs.handle_completion_s +
+           options_.preemption.sample(st.rng);
+    st.busy += options_.costs.handle_completion_s;
+  }
+  st.cpu_free = start + cost;
+  st.last_event = start + cost;
+  if (ep.completion_handler_) ep.completion_handler_(c);
+}
+
+void SimFabric::deliver_oob(NodeId to, NodeId from,
+                            std::vector<std::byte> payload) {
+  // A crashed node's control mesh is dead along with its RDMA sessions.
+  if (crashed_.contains(from) || crashed_.contains(to)) return;
+  sim_.after(options_.oob_latency_s,
+             [this, to, from, payload = std::move(payload)] {
+               SimEndpoint& ep = *endpoints_[to];
+               if (ep.oob_handler_)
+                 ep.oob_handler_(from, std::span<const std::byte>(payload));
+             });
+}
+
+double SimFabric::cpu_busy_seconds(NodeId node) const {
+  return node_state_[node].busy;
+}
+
+double SimFabric::completion_wait_seconds(NodeId node) const {
+  return node_state_[node].wait;
+}
+
+}  // namespace rdmc::fabric

@@ -1,0 +1,108 @@
+// SimFabric: the fabric API driven by the discrete-event simulator.
+//
+// Identical semantics to MemFabric, but every action takes virtual time:
+//   * block payloads move as max-min-fair flows through the topology
+//     (bandwidth contention, oversubscribed TOR, slow links);
+//   * software actions (posting work, handling completions, the first-block
+//     memcpy) charge a per-node virtual CPU, serialised per node exactly
+//     like the paper's single completion thread (§4.2);
+//   * completion pickup latency depends on the completion mode —
+//     polling / interrupt / 50 ms-window hybrid (Fig 11);
+//   * a per-node preemption process injects OS scheduling delays
+//     (Fig 5's ~100 us anomaly, §4.5 robustness);
+//   * cross-channel mode executes the posted dependency graph with zero
+//     software cost, modelling CORE-Direct offload (§2, Fig 12).
+//
+// Payload buffers may be phantom (null data) so 512-node Fig 8 runs do not
+// allocate hundreds of gigabytes; with real buffers bytes are copied at
+// flow completion, which the integrity tests rely on.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "fabric/fabric.hpp"
+#include "sim/cluster_profiles.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "util/random.hpp"
+
+namespace rdmc::fabric {
+
+class SimFabric final : public Fabric {
+ public:
+  struct Options {
+    sim::SoftwareCosts costs{};
+    sim::PreemptionModel preemption{};
+    CompletionMode default_mode = CompletionMode::kHybrid;
+    /// Hybrid mode: poll window after the last handled event (paper: 50 ms).
+    double hybrid_poll_window_s = 50e-3;
+    /// One-way latency of the out-of-band (TCP mesh) control channel.
+    double oob_latency_s = 15e-6;
+    /// Wire time of a ready-for-block write-with-immediate.
+    double write_imm_wire_s = 0.3e-6;
+    /// CORE-Direct: the NIC executes posted dependency graphs itself; all
+    /// software costs and pickup latencies drop to zero (Fig 12).
+    bool cross_channel = false;
+    std::uint64_t seed = 0x5EEDBA5E;
+  };
+
+  SimFabric(sim::Simulator& sim, sim::Topology& topology, Options options);
+  ~SimFabric() override;
+
+  /// Convenience: build options from a cluster profile's calibrated costs.
+  static Options options_from(const sim::ClusterProfile& profile);
+
+  std::size_t num_nodes() const override { return topology_.num_nodes(); }
+  Endpoint& endpoint(NodeId node) override;
+  QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) override;
+  void break_link(NodeId a, NodeId b) override;
+  void crash_node(NodeId node) override;
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::FlowNetwork& flows() { return flows_; }
+  const Options& options() const { return options_; }
+
+  /// Seconds of virtual CPU consumed by node's software path so far.
+  double cpu_busy_seconds(NodeId node) const;
+
+  /// Sum of software-induced wait (time completions sat ready before their
+  /// handler started) — the "Waiting" row of Table 1.
+  double completion_wait_seconds(NodeId node) const;
+
+ private:
+  class SimEndpoint;
+  struct Connection;
+  class SimQueuePair;
+  struct NodeState;
+
+  /// Schedule `c` for handling on `node`'s virtual CPU; `ready` is the
+  /// instant the NIC raised it.
+  void deliver_completion(NodeId node, Completion c, sim::SimTime ready);
+  /// Run the completion handler once the node's virtual CPU is free.
+  void attempt_handle(NodeId node, const Completion& c, sim::SimTime ready);
+  void deliver_oob(NodeId to, NodeId from, std::vector<std::byte> payload);
+
+  /// Charge one software action on `node`'s CPU; returns the virtual time
+  /// at which the action takes effect. Zero-cost in cross-channel mode.
+  sim::SimTime charge_software(NodeId node, double cost);
+
+  sim::Simulator& sim_;
+  sim::Topology& topology_;
+  sim::FlowNetwork flows_;
+  Options options_;
+  std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
+  std::vector<NodeState> node_state_;
+  std::map<std::tuple<NodeId, NodeId, std::uint32_t>,
+           std::unique_ptr<Connection>>
+      connections_;
+  std::set<NodeId> crashed_;
+  QpId next_qp_id_ = 1;
+};
+
+}  // namespace rdmc::fabric

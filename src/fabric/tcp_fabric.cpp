@@ -1,0 +1,715 @@
+#include "fabric/tcp_fabric.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace rdmc::fabric {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x52444D54;  // "RDMT"
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,        // first frame on a dialed socket; immediate = src node
+  kSend = 1,         // two-sided send (consumes a posted receive)
+  kWriteImm = 2,     // one-sided write-with-immediate (no payload)
+  kWindowWrite = 3,  // one-sided payload write into a registered window
+  kOob = 4,          // out-of-band control mesh
+};
+
+/// Wire header. Single-architecture deployments assumed (host byte order),
+/// as is usual for RDMA-era datacenter protocols; a WAN port would add
+/// explicit endianness.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  FrameType type = FrameType::kSend;
+  std::uint32_t channel = 0;
+  std::uint32_t immediate = 0;
+  std::uint32_t window_id = 0;
+  std::uint64_t offset_or_wrid = 0;
+  std::uint64_t length = 0;  // payload bytes following the header
+};
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::byte*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool discard_exact(int fd, std::size_t len) {
+  std::byte sink[4096];
+  while (len > 0) {
+    const std::size_t chunk = std::min(len, sizeof sink);
+    if (!read_exact(fd, sink, chunk)) return false;
+    len -= chunk;
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+  auto* p = static_cast<const std::byte*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpQueuePair
+// ---------------------------------------------------------------------------
+
+class TcpFabric::TcpQueuePair final : public QueuePair {
+ public:
+  TcpQueuePair(QpId id, TcpEndpoint& owner, NodeId peer,
+               std::uint32_t channel)
+      : QueuePair(id, peer), owner_(owner), channel_(channel) {}
+
+  bool post_send(MemoryView buf, std::uint64_t wr_id,
+                 std::uint32_t immediate) override;
+  bool post_recv(MemoryView buf, std::uint64_t wr_id) override;
+  bool post_write_imm(std::uint32_t immediate, std::uint64_t wr_id) override;
+  bool post_window_write(std::uint32_t window_id, std::uint64_t offset,
+                         MemoryView local, std::uint32_t immediate,
+                         std::uint64_t wr_id, bool signaled) override;
+  void close() override;
+
+  TcpEndpoint& owner_;
+  std::uint32_t channel_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// TcpEndpoint: one locally hosted node.
+// ---------------------------------------------------------------------------
+
+class TcpFabric::TcpEndpoint final : public Endpoint {
+ public:
+  TcpEndpoint(TcpFabric& fabric, NodeId id) : fabric_(fabric), id_(id) {}
+
+  ~TcpEndpoint() override { stop(); }
+
+  void start_listening(const TcpAddress& address);
+  TcpAddress listen_address() const { return listen_address_; }
+
+  NodeId id() const override { return id_; }
+
+  void set_completion_handler(
+      std::function<void(const Completion&)> handler) override {
+    std::lock_guard lock(handler_mutex_);
+    completion_handler_ = std::move(handler);
+  }
+  void set_oob_handler(
+      std::function<void(NodeId, std::span<const std::byte>)> handler)
+      override {
+    std::lock_guard lock(handler_mutex_);
+    oob_handler_ = std::move(handler);
+  }
+  void set_completion_mode(CompletionMode mode) override {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
+  CompletionMode completion_mode() const override {
+    return mode_.load(std::memory_order_relaxed);
+  }
+  void register_window(std::uint32_t window_id, MemoryView region) override {
+    std::lock_guard lock(state_mutex_);
+    windows_[window_id] = region;
+  }
+  void unregister_window(std::uint32_t window_id) override {
+    // state_mutex_ fences in-flight window applications.
+    std::lock_guard lock(state_mutex_);
+    windows_.erase(window_id);
+  }
+
+  void send_oob(NodeId to, std::vector<std::byte> payload) override;
+
+  QueuePair* get_or_create_qp(NodeId peer, std::uint32_t channel);
+  bool send_frame(NodeId peer, const FrameHeader& header,
+                  MemoryView payload);
+  void sever_peer(NodeId peer);
+  void stop();
+
+ private:
+  struct ChannelRx {
+    struct PostedRecv {
+      MemoryView buf;
+      std::uint64_t wr_id;
+    };
+    std::deque<PostedRecv> recvs;
+    /// Early arrivals (sender raced our post_recv): kernel TCP has the
+    /// bytes either way, so we park them here. Bounded.
+    std::deque<std::pair<std::vector<std::byte>, std::uint32_t>> pending;
+  };
+
+  struct OobMsg {
+    NodeId from;
+    std::vector<std::byte> payload;
+  };
+  using NodeEvent = std::variant<Completion, OobMsg>;
+
+  void accept_loop();
+  void reader_loop(int fd);
+  /// Handle one frame from `peer`; false on any protocol/socket error.
+  bool handle_frame(int fd, NodeId peer, const FrameHeader& header);
+  int dial(NodeId peer);
+  void push(NodeEvent event);
+  void completion_loop();
+  void dispatch(const NodeEvent& event);
+
+  TcpFabric& fabric_;
+  NodeId id_;
+  TcpAddress listen_address_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex state_mutex_;
+  /// Outgoing sockets (we dial when we first talk to a peer).
+  std::map<NodeId, int> out_fds_;
+  std::map<NodeId, std::unique_ptr<std::mutex>> out_mutexes_;
+  /// (peer, channel) -> queue pair.
+  std::map<std::pair<NodeId, std::uint32_t>, std::unique_ptr<TcpQueuePair>>
+      qps_;
+  /// (peer, channel) -> receive state.
+  std::map<std::pair<NodeId, std::uint32_t>, ChannelRx> rx_;
+  std::map<std::uint32_t, MemoryView> windows_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<int> in_fds_;
+  std::map<NodeId, bool> severed_;
+
+  std::mutex handler_mutex_;
+  std::function<void(const Completion&)> completion_handler_;
+  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
+  std::atomic<CompletionMode> mode_{CompletionMode::kHybrid};
+
+  std::mutex queue_mutex_;
+  std::condition_variable cv_;
+  std::deque<NodeEvent> queue_;
+  bool stopping_ = false;
+  std::thread completion_thread_;
+
+  friend class TcpFabric;
+  friend class TcpQueuePair;
+};
+
+void TcpFabric::TcpEndpoint::start_listening(const TcpAddress& address) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  assert(listen_fd_ >= 0);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  ::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    RDMC_LOG_ERROR("tcpfabric", "node %u: bind %s:%u failed: %s", id_,
+                   address.host.c_str(), address.port,
+                   std::strerror(errno));
+    assert(false && "bind failed");
+  }
+  ::listen(listen_fd_, 64);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  listen_address_ = {address.host, ntohs(bound.sin_port)};
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  completion_thread_ = std::thread([this] { completion_loop(); });
+}
+
+void TcpFabric::TcpEndpoint::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    set_nodelay(fd);
+    std::lock_guard lock(state_mutex_);
+    in_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpFabric::TcpEndpoint::reader_loop(int fd) {
+  // The dialer introduces itself first.
+  FrameHeader hello;
+  if (!read_exact(fd, &hello, sizeof hello) ||
+      hello.magic != kFrameMagic || hello.type != FrameType::kHello) {
+    ::close(fd);
+    return;
+  }
+  const NodeId peer = hello.immediate;
+  while (true) {
+    FrameHeader header;
+    if (!read_exact(fd, &header, sizeof header) ||
+        header.magic != kFrameMagic) {
+      break;
+    }
+    if (!handle_frame(fd, peer, header)) break;
+  }
+  sever_peer(peer);
+}
+
+bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
+                                          const FrameHeader& header) {
+  switch (header.type) {
+    case FrameType::kSend: {
+      auto* qp = static_cast<TcpQueuePair*>(
+          get_or_create_qp(peer, header.channel));
+      // Drain the payload off the socket first, then match it under the
+      // state lock — the lock fences QueuePair::close(), so a posted
+      // receive's buffer can never be freed mid-copy.
+      std::vector<std::byte> payload(header.length);
+      if (!read_exact(fd, payload.data(), header.length)) return false;
+      std::lock_guard lock(state_mutex_);
+      if (qp->closed_) return true;  // destroyed locally: discard
+      ChannelRx& rx = rx_[{peer, header.channel}];
+      if (!rx.recvs.empty()) {
+        const auto recv = rx.recvs.front();
+        rx.recvs.pop_front();
+        if (header.length > recv.buf.size) {
+          RDMC_LOG_ERROR("tcpfabric", "recv buffer too small (%zu < %llu)",
+                         recv.buf.size,
+                         static_cast<unsigned long long>(header.length));
+          return false;
+        }
+        if (recv.buf.data != nullptr)
+          std::memcpy(recv.buf.data, payload.data(), header.length);
+        push(Completion{recv.wr_id, WcOpcode::kRecv, WcStatus::kSuccess,
+                        static_cast<std::uint32_t>(header.length),
+                        header.immediate, qp->id(), peer});
+      } else {
+        // Early arrival: park the payload until a receive is posted.
+        constexpr std::size_t kMaxPending = 4096;
+        if (rx.pending.size() >= kMaxPending) return false;
+        rx.pending.emplace_back(std::move(payload), header.immediate);
+      }
+      return true;
+    }
+    case FrameType::kWriteImm: {
+      QueuePair* qp = get_or_create_qp(peer, header.channel);
+      push(Completion{header.offset_or_wrid, WcOpcode::kRecvWriteImm,
+                      WcStatus::kSuccess, 0, header.immediate, qp->id(),
+                      peer});
+      return true;
+    }
+    case FrameType::kWindowWrite: {
+      QueuePair* qp = get_or_create_qp(peer, header.channel);
+      // Drain the payload off the socket first, then apply it under the
+      // window lock — the lock fences unregister_window, so the region can
+      // never be freed mid-copy.
+      std::vector<std::byte> payload(header.length);
+      if (!read_exact(fd, payload.data(), header.length)) return false;
+      {
+        std::lock_guard lock(state_mutex_);
+        auto it = windows_.find(header.window_id);
+        if (it == windows_.end()) {
+          // Deregistered mid-flight: drop, like DMA after deregistration.
+          return true;
+        }
+        const MemoryView window = it->second;
+        if (window.size < header.length ||
+            header.offset_or_wrid > window.size - header.length) {
+          RDMC_LOG_ERROR("tcpfabric", "window write out of bounds");
+          return false;
+        }
+        if (window.data != nullptr) {
+          std::memcpy(window.data + header.offset_or_wrid, payload.data(),
+                      header.length);
+        }
+      }
+      push(Completion{header.offset_or_wrid, WcOpcode::kRecvWindowWrite,
+                      WcStatus::kSuccess,
+                      static_cast<std::uint32_t>(header.length),
+                      header.immediate, qp->id(), peer});
+      return true;
+    }
+    case FrameType::kOob: {
+      std::vector<std::byte> payload(header.length);
+      if (!read_exact(fd, payload.data(), header.length)) return false;
+      push(OobMsg{peer, std::move(payload)});
+      return true;
+    }
+    case FrameType::kHello:
+      return true;  // redundant hello: ignore
+  }
+  return false;
+}
+
+int TcpFabric::TcpEndpoint::dial(NodeId peer) {
+  // Caller holds state_mutex_.
+  auto it = out_fds_.find(peer);
+  if (it != out_fds_.end()) return it->second;
+  if (severed_[peer]) return -1;
+  const TcpAddress address = fabric_.addresses_[peer];
+  // Retry for a bootstrap window: peers of a distributed deployment come
+  // up in arbitrary order (the paper's TCP mesh barriers over the same
+  // problem). Connection refused within the window is not a failure.
+  int fd = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(address.port);
+    ::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      break;
+    }
+    const int saved = errno;
+    ::close(fd);
+    fd = -1;
+    if (saved != ECONNREFUSED && saved != ETIMEDOUT) break;
+    ::usleep(50 * 1000);
+  }
+  if (fd < 0) {
+    RDMC_LOG_WARN("tcpfabric", "node %u: dial node %u (%s:%u) failed: %s",
+                  id_, peer, address.host.c_str(), address.port,
+                  std::strerror(errno));
+    return -1;
+  }
+  set_nodelay(fd);
+  FrameHeader hello;
+  hello.type = FrameType::kHello;
+  hello.immediate = id_;
+  if (!write_all(fd, &hello, sizeof hello)) {
+    ::close(fd);
+    return -1;
+  }
+  out_fds_[peer] = fd;
+  out_mutexes_[peer] = std::make_unique<std::mutex>();
+  return fd;
+}
+
+bool TcpFabric::TcpEndpoint::send_frame(NodeId peer,
+                                        const FrameHeader& header,
+                                        MemoryView payload) {
+  int fd;
+  std::mutex* write_mutex;
+  {
+    std::lock_guard lock(state_mutex_);
+    fd = dial(peer);
+    if (fd < 0) return false;
+    write_mutex = out_mutexes_[peer].get();
+  }
+  std::lock_guard lock(*write_mutex);
+  if (!write_all(fd, &header, sizeof header)) {
+    sever_peer(peer);
+    return false;
+  }
+  if (header.length > 0) {
+    if (payload.data != nullptr) {
+      if (!write_all(fd, payload.data, header.length)) {
+        sever_peer(peer);
+        return false;
+      }
+    } else {
+      // Phantom payload: still honour the wire contract.
+      std::byte zeros[4096] = {};
+      std::uint64_t left = header.length;
+      while (left > 0) {
+        const std::size_t chunk =
+            std::min<std::uint64_t>(left, sizeof zeros);
+        if (!write_all(fd, zeros, chunk)) {
+          sever_peer(peer);
+          return false;
+        }
+        left -= chunk;
+      }
+    }
+  }
+  return true;
+}
+
+QueuePair* TcpFabric::TcpEndpoint::get_or_create_qp(NodeId peer,
+                                                    std::uint32_t channel) {
+  std::lock_guard lock(state_mutex_);
+  auto& slot = qps_[{peer, channel}];
+  if (!slot) {
+    slot = std::make_unique<TcpQueuePair>(
+        fabric_.next_qp_id_.fetch_add(1), *this, peer, channel);
+  }
+  return slot.get();
+}
+
+void TcpFabric::TcpEndpoint::sever_peer(NodeId peer) {
+  std::vector<Completion> flushes;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (severed_[peer]) return;
+    severed_[peer] = true;
+    if (auto it = out_fds_.find(peer); it != out_fds_.end()) {
+      ::shutdown(it->second, SHUT_RDWR);
+      ::close(it->second);
+      out_fds_.erase(it);
+    }
+    for (auto& [key, qp] : qps_) {
+      if (key.first != peer) continue;
+      qp->mark_broken();
+      auto rx_it = rx_.find(key);
+      if (rx_it != rx_.end()) {
+        for (const auto& recv : rx_it->second.recvs) {
+          flushes.push_back(Completion{recv.wr_id, WcOpcode::kRecv,
+                                       WcStatus::kFlushed, 0, 0, qp->id(),
+                                       peer});
+        }
+        rx_it->second.recvs.clear();
+      }
+      flushes.push_back(Completion{0, WcOpcode::kDisconnect,
+                                   WcStatus::kError, 0, 0, qp->id(), peer});
+    }
+  }
+  for (auto& c : flushes) push(c);
+}
+
+void TcpFabric::TcpEndpoint::send_oob(NodeId to,
+                                      std::vector<std::byte> payload) {
+  if (to == id_) {
+    push(OobMsg{id_, std::move(payload)});
+    return;
+  }
+  FrameHeader header;
+  header.type = FrameType::kOob;
+  header.length = payload.size();
+  send_frame(to, header, MemoryView{payload.data(), payload.size()});
+}
+
+void TcpFabric::TcpEndpoint::push(NodeEvent event) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(event));
+  }
+  cv_.notify_one();
+}
+
+void TcpFabric::TcpEndpoint::completion_loop() {
+  std::unique_lock lock(queue_mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+    while (!queue_.empty()) {
+      NodeEvent event = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      dispatch(event);
+      lock.lock();
+    }
+  }
+}
+
+void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
+  std::lock_guard lock(handler_mutex_);
+  if (const auto* c = std::get_if<Completion>(&event)) {
+    if (completion_handler_) completion_handler_(*c);
+  } else {
+    const auto& msg = std::get<OobMsg>(event);
+    if (oob_handler_)
+      oob_handler_(msg.from, std::span<const std::byte>(msg.payload));
+  }
+}
+
+void TcpFabric::TcpEndpoint::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& [peer, fd] : out_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    out_fds_.clear();
+    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : reader_threads_)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard lock(state_mutex_);
+    for (int fd : in_fds_) ::close(fd);
+    in_fds_.clear();
+  }
+  if (completion_thread_.joinable()) completion_thread_.join();
+}
+
+// ---------------------------------------------------------------------------
+// TcpQueuePair posts
+// ---------------------------------------------------------------------------
+
+void TcpFabric::TcpQueuePair::close() {
+  // state_mutex_ fences concurrent frame application; afterwards no
+  // transfer touches this QP's posted buffers.
+  std::lock_guard lock(owner_.state_mutex_);
+  closed_ = true;
+  mark_broken();
+  auto it = owner_.rx_.find({peer_, channel_});
+  if (it != owner_.rx_.end()) {
+    it->second.recvs.clear();
+    it->second.pending.clear();
+  }
+}
+
+bool TcpFabric::TcpQueuePair::post_send(MemoryView buf, std::uint64_t wr_id,
+                                        std::uint32_t immediate) {
+  if (broken()) return false;
+  FrameHeader header;
+  header.type = FrameType::kSend;
+  header.channel = channel_;
+  header.immediate = immediate;
+  header.length = buf.size;
+  if (!owner_.send_frame(peer_, header, buf)) return false;
+  // TCP semantics: the kernel accepted the bytes; completion now.
+  owner_.push(Completion{wr_id, WcOpcode::kSend, WcStatus::kSuccess,
+                         static_cast<std::uint32_t>(buf.size), immediate,
+                         id(), peer_});
+  return true;
+}
+
+bool TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
+                                        std::uint64_t wr_id) {
+  if (broken()) return false;
+  std::unique_lock lock(owner_.state_mutex_);
+  auto& rx = owner_.rx_[{peer_, channel_}];
+  if (!rx.pending.empty()) {
+    auto [payload, immediate] = std::move(rx.pending.front());
+    rx.pending.pop_front();
+    lock.unlock();
+    if (payload.size() > buf.size) {
+      RDMC_LOG_ERROR("tcpfabric", "recv buffer too small for early send");
+      owner_.sever_peer(peer_);
+      return false;
+    }
+    if (buf.data != nullptr)
+      std::memcpy(buf.data, payload.data(), payload.size());
+    owner_.push(Completion{wr_id, WcOpcode::kRecv, WcStatus::kSuccess,
+                           static_cast<std::uint32_t>(payload.size()),
+                           immediate, id(), peer_});
+    return true;
+  }
+  rx.recvs.push_back({buf, wr_id});
+  return true;
+}
+
+bool TcpFabric::TcpQueuePair::post_write_imm(std::uint32_t immediate,
+                                             std::uint64_t wr_id) {
+  if (broken()) return false;
+  FrameHeader header;
+  header.type = FrameType::kWriteImm;
+  header.channel = channel_;
+  header.immediate = immediate;
+  if (!owner_.send_frame(peer_, header, MemoryView{})) return false;
+  owner_.push(Completion{wr_id, WcOpcode::kWriteImm, WcStatus::kSuccess, 0,
+                         immediate, id(), peer_});
+  return true;
+}
+
+bool TcpFabric::TcpQueuePair::post_window_write(
+    std::uint32_t window_id, std::uint64_t offset, MemoryView local,
+    std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
+  if (broken()) return false;
+  FrameHeader header;
+  header.type = FrameType::kWindowWrite;
+  header.channel = channel_;
+  header.immediate = immediate;
+  header.window_id = window_id;
+  header.offset_or_wrid = offset;
+  header.length = local.size;
+  if (!owner_.send_frame(peer_, header, local)) return false;
+  if (signaled) {
+    owner_.push(Completion{wr_id, WcOpcode::kWindowWrite,
+                           WcStatus::kSuccess,
+                           static_cast<std::uint32_t>(local.size), immediate,
+                           id(), peer_});
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TcpFabric
+// ---------------------------------------------------------------------------
+
+TcpFabric::TcpFabric(std::vector<TcpAddress> addresses,
+                     std::vector<NodeId> local_nodes)
+    : addresses_(std::move(addresses)) {
+  endpoints_.resize(addresses_.size());
+  for (NodeId node : local_nodes) {
+    assert(node < addresses_.size());
+    endpoints_[node] = std::make_unique<TcpEndpoint>(*this, node);
+    endpoints_[node]->start_listening(addresses_[node]);
+    // Resolve ephemeral ports so local peers can dial each other.
+    addresses_[node] = endpoints_[node]->listen_address();
+  }
+}
+
+TcpFabric::~TcpFabric() { stop(); }
+
+void TcpFabric::stop() {
+  for (auto& ep : endpoints_)
+    if (ep) ep->stop();
+}
+
+TcpFabric::TcpEndpoint* TcpFabric::local(NodeId node) const {
+  assert(node < endpoints_.size() && endpoints_[node] &&
+         "endpoint not hosted by this process");
+  return endpoints_[node].get();
+}
+
+Endpoint& TcpFabric::endpoint(NodeId node) { return *local(node); }
+
+QueuePair* TcpFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
+  return local(a)->get_or_create_qp(b, channel);
+}
+
+void TcpFabric::break_link(NodeId a, NodeId b) {
+  if (a < endpoints_.size() && endpoints_[a]) endpoints_[a]->sever_peer(b);
+  if (b < endpoints_.size() && endpoints_[b]) endpoints_[b]->sever_peer(a);
+}
+
+void TcpFabric::crash_node(NodeId node) {
+  // Close everything the node owns; peers discover via EOF/reset, exactly
+  // like a real process crash.
+  if (node < endpoints_.size() && endpoints_[node])
+    endpoints_[node]->stop();
+}
+
+TcpAddress TcpFabric::local_address(NodeId node) const {
+  return local(node)->listen_address();
+}
+
+}  // namespace rdmc::fabric

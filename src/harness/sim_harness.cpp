@@ -1,0 +1,191 @@
+#include "harness/sim_harness.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdmc::harness {
+
+SimCluster::SimCluster(const sim::ClusterProfile& profile,
+                       fabric::SimFabric::Options options_override,
+                       bool use_profile_costs)
+    : topology_(profile.topology) {
+  fabric::SimFabric::Options options = options_override;
+  if (use_profile_costs) {
+    options.costs = profile.costs;
+    options.preemption = profile.preemption;
+  }
+  fabric_ = std::make_unique<fabric::SimFabric>(sim_, topology_, options);
+  nodes_.reserve(topology_.num_nodes());
+  const Clock clock = [this] { return sim_.now(); };
+  for (std::size_t i = 0; i < topology_.num_nodes(); ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(*fabric_, static_cast<NodeId>(i), clock));
+  }
+}
+
+SimCluster::GroupRecord& SimCluster::create_group(GroupId id,
+                                                  std::vector<NodeId> members,
+                                                  GroupOptions options) {
+  auto rec = std::make_unique<GroupRecord>();
+  rec->id = id;
+  rec->members = members;
+  rec->delivery_times.resize(members.size());
+  GroupRecord* r = rec.get();
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    const NodeId node = members[m];
+    const bool ok = nodes_[node]->create_group(
+        id, members, options,
+        // Phantom receive region: cluster-scale runs move no host memory.
+        [](std::size_t size) { return fabric::MemoryView{nullptr, size}; },
+        [this, r, m](std::byte*, std::size_t) {
+          r->delivery_times[m].push_back(sim_.now());
+        });
+    assert(ok && "create_group failed");
+    (void)ok;
+  }
+  records_.push_back(std::move(rec));
+  return *records_.back();
+}
+
+const SimCluster::GroupRecord& SimCluster::record(GroupId id) const {
+  for (const auto& r : records_)
+    if (r->id == id) return *r;
+  assert(false && "unknown group");
+  return *records_.front();
+}
+
+double SimCluster::run_one(GroupId group, std::uint64_t bytes) {
+  const GroupRecord& r = record(group);
+  const double start = sim_.now();
+  const bool ok = nodes_[r.members.front()]->send(group, nullptr, bytes);
+  assert(ok && "send failed");
+  (void)ok;
+  sim_.run();
+  double last = start;
+  for (const auto& times : r.delivery_times)
+    if (!times.empty()) last = std::max(last, times.back());
+  return last - start;
+}
+
+MulticastResult run_multicast(const MulticastConfig& config) {
+  sim::ClusterProfile profile = config.profile;
+  std::size_t needed = config.group_size;
+  if (config.members)
+    for (NodeId m : *config.members)
+      needed = std::max<std::size_t>(needed, m + 1);
+  profile.topology.num_nodes =
+      std::max<std::size_t>(profile.topology.num_nodes, needed);
+  fabric::SimFabric::Options options;
+  options.costs = profile.costs;
+  options.preemption = profile.preemption;
+  options.default_mode = config.completion_mode;
+  options.cross_channel = config.cross_channel;
+  if (config.ideal_software) {
+    options.costs = sim::SoftwareCosts{0, 0, 0, 0, 1e18, 0};
+    options.preemption = sim::PreemptionModel{0.0, 0.0};
+  }
+  SimCluster cluster(profile, options, /*use_profile_costs=*/false);
+
+  std::vector<NodeId> members;
+  if (config.members) {
+    members = *config.members;
+    assert(members.size() == config.group_size);
+  } else {
+    members.resize(config.group_size);
+    for (std::size_t i = 0; i < config.group_size; ++i)
+      members[i] = static_cast<NodeId>(i);
+  }
+  GroupOptions group_options;
+  group_options.block_size = config.block_size;
+  group_options.algorithm = config.algorithm;
+  group_options.hybrid_racks = config.hybrid_racks;
+  group_options.make_schedule = config.make_schedule;
+  auto& rec = cluster.create_group(1, members, group_options);
+
+  const double start = cluster.sim().now();
+  for (std::size_t m = 0; m < config.messages; ++m) {
+    const bool ok = cluster.node(members.front())
+                        .send(1, nullptr, config.message_bytes);
+    assert(ok);
+    (void)ok;
+  }
+  cluster.sim().run();
+  const double end_time = cluster.sim().now();
+
+  MulticastResult result;
+  double last_delivery = start;
+  double first_last = 1e300, max_last = 0.0;
+  for (std::size_t m = 1; m < rec.members.size(); ++m) {
+    const auto& times = rec.delivery_times[m];
+    assert(times.size() == config.messages && "receiver missed messages");
+    last_delivery = std::max(last_delivery, times.back());
+    first_last = std::min(first_last, times.back());
+    max_last = std::max(max_last, times.back());
+  }
+  result.total_seconds = last_delivery - start;
+  result.latency_seconds =
+      result.total_seconds / static_cast<double>(config.messages);
+  result.bandwidth_gbps =
+      static_cast<double>(config.message_bytes) *
+      static_cast<double>(config.messages) * 8.0 /
+      result.total_seconds / 1e9;
+  result.skew_seconds = max_last - first_last;
+  const double busy = cluster.fabric().cpu_busy_seconds(0);
+  result.root_cpu_fraction = end_time > 0 ? busy / end_time : 0.0;
+  return result;
+}
+
+ConcurrentResult run_concurrent(const ConcurrentConfig& config) {
+  sim::ClusterProfile profile = config.profile;
+  profile.topology.num_nodes =
+      std::max<std::size_t>(profile.topology.num_nodes, config.group_size);
+  fabric::SimFabric::Options options;
+  options.costs = profile.costs;
+  options.preemption = profile.preemption;
+  options.default_mode = config.completion_mode;
+  SimCluster cluster(profile, options, /*use_profile_costs=*/false);
+
+  // `senders` groups over the same `group_size` members, roots rotated
+  // (the Fig 10 overlap pattern).
+  std::vector<SimCluster::GroupRecord*> recs;
+  for (std::size_t g = 0; g < config.senders; ++g) {
+    std::vector<NodeId> members;
+    members.push_back(static_cast<NodeId>(g % config.group_size));
+    for (std::size_t i = 0; i < config.group_size; ++i)
+      if (i != g % config.group_size)
+        members.push_back(static_cast<NodeId>(i));
+    GroupOptions group_options;
+    group_options.block_size = config.block_size;
+    recs.push_back(&cluster.create_group(static_cast<GroupId>(g), members,
+                                         group_options));
+  }
+
+  const double start = cluster.sim().now();
+  for (std::size_t g = 0; g < config.senders; ++g) {
+    for (std::size_t m = 0; m < config.messages; ++m) {
+      const bool ok = cluster.node(g % config.group_size)
+                          .send(static_cast<GroupId>(g), nullptr,
+                                config.message_bytes);
+      assert(ok);
+      (void)ok;
+    }
+  }
+  cluster.sim().run();
+
+  double last = start;
+  for (const auto* rec : recs)
+    for (std::size_t m = 1; m < rec->members.size(); ++m)
+      if (!rec->delivery_times[m].empty())
+        last = std::max(last, rec->delivery_times[m].back());
+
+  ConcurrentResult result;
+  result.makespan_seconds = last - start;
+  result.aggregate_gbps =
+      static_cast<double>(config.message_bytes) *
+      static_cast<double>(config.messages) *
+      static_cast<double>(config.senders) * 8.0 /
+      result.makespan_seconds / 1e9;
+  return result;
+}
+
+}  // namespace rdmc::harness

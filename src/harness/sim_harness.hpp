@@ -1,0 +1,124 @@
+// Experiment harness over the simulated fabric.
+//
+// Every benchmark in bench/ regenerates a paper table or figure by running
+// RDMC (and the baselines) on SimFabric under a cluster profile. This
+// harness owns the boilerplate: build simulator + topology + fabric +
+// rdmc::Node per member, create groups with phantom receive buffers,
+// drive one or many multicasts, and report the same quantities the paper
+// plots (latency, bandwidth, per-receiver delivery times, CPU busy time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/rdmc.hpp"
+#include "fabric/sim_fabric.hpp"
+#include "sim/cluster_profiles.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace rdmc::harness {
+
+/// A simulated cluster with one rdmc::Node per machine.
+class SimCluster {
+ public:
+  explicit SimCluster(const sim::ClusterProfile& profile,
+                      fabric::SimFabric::Options options_override = {},
+                      bool use_profile_costs = true);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Topology& topology() { return topology_; }
+  fabric::SimFabric& fabric() { return *fabric_; }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Per-(group, member) delivery bookkeeping.
+  struct GroupRecord {
+    GroupId id;
+    std::vector<NodeId> members;
+    /// delivery_times[i]: virtual times member i delivered each message
+    /// (senders record local send completion instead).
+    std::vector<std::vector<double>> delivery_times;
+  };
+
+  /// Create `members.front()`-rooted group on every member with phantom
+  /// receive buffers and delivery recording. Returns the record handle.
+  GroupRecord& create_group(GroupId id, std::vector<NodeId> members,
+                            GroupOptions options);
+
+  /// Send and run the simulator to quiescence. Returns virtual makespan
+  /// (send-submit to last delivery across all members).
+  double run_one(GroupId group, std::uint64_t bytes);
+
+  const GroupRecord& record(GroupId id) const;
+
+ private:
+  sim::Simulator sim_;
+  sim::Topology topology_;
+  std::unique_ptr<fabric::SimFabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<GroupRecord>> records_;
+};
+
+/// One-shot multicast experiment (most figures).
+struct MulticastConfig {
+  sim::ClusterProfile profile;
+  std::size_t group_size = 4;
+  std::uint64_t message_bytes = 256ull << 20;
+  std::size_t block_size = 1 << 20;
+  sched::Algorithm algorithm = sched::Algorithm::kBinomialPipeline;
+  std::optional<std::vector<std::uint32_t>> hybrid_racks;
+  std::function<std::unique_ptr<sched::Schedule>(std::size_t, std::size_t)>
+      make_schedule;
+  /// Explicit member list (rank order; front is the root). Defaults to
+  /// nodes 0..group_size-1. A shuffled list models the paper's "overlay
+  /// built from random pairs of nodes" placement (§4.3 Hybrid).
+  std::optional<std::vector<NodeId>> members;
+  /// Back-to-back messages through the same group (steady-state rate).
+  std::size_t messages = 1;
+  fabric::CompletionMode completion_mode = fabric::CompletionMode::kHybrid;
+  bool cross_channel = false;
+  /// Zero out software costs/preemption (pure network behaviour).
+  bool ideal_software = false;
+};
+
+struct MulticastResult {
+  /// Send-submit to last delivery of the last message, seconds.
+  double total_seconds = 0.0;
+  /// Mean per-message latency (total / messages).
+  double latency_seconds = 0.0;
+  /// Paper metric: message bytes x messages / total time, decimal Gb/s.
+  double bandwidth_gbps = 0.0;
+  /// Delivery-time spread of the last message across receivers (skew).
+  double skew_seconds = 0.0;
+  /// Virtual CPU busy fraction at the root over the run.
+  double root_cpu_fraction = 0.0;
+};
+
+MulticastResult run_multicast(const MulticastConfig& config);
+
+/// Fig 10-style concurrent experiment: `senders` groups with identical
+/// membership (rotated roots), every sender transmitting `messages`
+/// messages of `message_bytes` concurrently. Returns aggregate goodput.
+struct ConcurrentConfig {
+  sim::ClusterProfile profile;
+  std::size_t group_size = 8;
+  std::size_t senders = 8;
+  std::uint64_t message_bytes = 100ull << 20;
+  std::size_t block_size = 1 << 20;
+  std::size_t messages = 4;
+  fabric::CompletionMode completion_mode = fabric::CompletionMode::kHybrid;
+};
+
+struct ConcurrentResult {
+  double makespan_seconds = 0.0;
+  double aggregate_gbps = 0.0;  // total bytes sent / makespan
+};
+
+ConcurrentResult run_concurrent(const ConcurrentConfig& config);
+
+}  // namespace rdmc::harness

@@ -1,0 +1,186 @@
+#include "sched/binomial_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <mutex>
+
+#include "util/bitops.hpp"
+
+namespace rdmc::sched {
+
+BinomialPipelineSchedule::BinomialPipelineSchedule(std::size_t num_nodes,
+                                                   std::size_t rank)
+    : Schedule(num_nodes, rank) {
+  assert(num_nodes >= 1 && rank < num_nodes);
+  if (num_nodes > 1) {
+    dim_ = util::ceil_log2(num_nodes);
+    num_vertices_ = 1u << dim_;
+    pow2_ = util::is_pow2(num_nodes);
+  }
+}
+
+std::uint32_t BinomialPipelineSchedule::node_of(std::uint32_t vertex) const {
+  if (vertex < num_nodes_) return vertex;
+  // Absent vertices live in [n, 2^l); their host drops the top bit. Because
+  // n > 2^(l-1), the host index is always a real node below 2^(l-1).
+  return vertex - (num_vertices_ >> 1);
+}
+
+std::vector<std::uint32_t> BinomialPipelineSchedule::my_vertices() const {
+  std::vector<std::uint32_t> vs{static_cast<std::uint32_t>(rank_)};
+  const std::uint32_t shadow =
+      static_cast<std::uint32_t>(rank_) + (num_vertices_ >> 1);
+  if (shadow >= num_nodes_ && shadow < num_vertices_) vs.push_back(shadow);
+  return vs;
+}
+
+std::optional<BinomialPipelineSchedule::VertexSend>
+BinomialPipelineSchedule::vertex_send(std::uint32_t vertex,
+                                      std::size_t num_blocks,
+                                      std::size_t step) const {
+  if (num_blocks == 0 || num_nodes_ <= 1 || step >= num_steps(num_blocks))
+    return std::nullopt;
+  const std::uint32_t d = static_cast<std::uint32_t>(step % dim_);
+  const std::uint32_t partner = vertex ^ (1u << d);
+  const std::uint32_t sigma = util::rotr_bits(vertex, d, dim_);
+  if (sigma == 0) {
+    // The sender: a fresh block each of the first k steps, then the last.
+    return VertexSend{partner, std::min(step, num_blocks - 1)};
+  }
+  if (sigma == 1) return std::nullopt;  // partner is the sender
+  const auto r = static_cast<std::size_t>(util::trailing_zeros(sigma));
+  // Send the highest-numbered block this vertex holds: block j - l + r.
+  if (step + r < dim_) return std::nullopt;  // nothing received yet
+  const std::size_t block = step + r - dim_;
+  return VertexSend{partner, std::min(block, num_blocks - 1)};
+}
+
+// ---------------------------------------------------------------------------
+// Pruned plan for non-power-of-two groups.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::mutex g_plan_mutex;
+std::map<std::pair<std::size_t, std::size_t>,
+         std::shared_ptr<const BinomialPipelineSchedule::Plan>>
+    g_plan_cache;
+}  // namespace
+
+std::shared_ptr<const BinomialPipelineSchedule::Plan>
+BinomialPipelineSchedule::plan_for(std::size_t num_blocks) const {
+  if (cached_plan_ && cached_k_ == num_blocks) return cached_plan_;
+  const auto key = std::make_pair(num_nodes_, num_blocks);
+  {
+    std::lock_guard lock(g_plan_mutex);
+    auto it = g_plan_cache.find(key);
+    if (it != g_plan_cache.end()) {
+      cached_plan_ = it->second;
+      cached_k_ = num_blocks;
+      return cached_plan_;
+    }
+  }
+
+  // Simulate the virtual hypercube once at host granularity, keeping only
+  // the first delivery of each block to each host.
+  auto plan = std::make_shared<Plan>();
+  plan->sends.resize(num_nodes_);
+  plan->recvs.resize(num_nodes_);
+  std::vector<std::vector<bool>> have(
+      num_nodes_, std::vector<bool>(num_blocks, false));
+  have[0].assign(num_blocks, true);
+
+  struct Pending {
+    std::uint32_t src_host, dst_host, block, src_vertex;
+  };
+  const std::size_t steps = num_steps(num_blocks);
+  std::vector<Pending> pending;
+  for (std::size_t j = 0; j < steps; ++j) {
+    pending.clear();
+    for (std::uint32_t v = 0; v < num_vertices_; ++v) {
+      const auto send = vertex_send(v, num_blocks, j);
+      if (!send) continue;
+      const std::uint32_t a = node_of(v);
+      const std::uint32_t b = node_of(send->target_vertex);
+      if (a == b) continue;  // intra-host vertex exchange
+      if (have[b][send->block]) continue;  // host already has it: prune
+      pending.push_back(
+          {a, b, static_cast<std::uint32_t>(send->block), v});
+    }
+    // Same-step duplicates to one host: keep the lowest source vertex.
+    for (const Pending& p : pending) {
+      if (have[p.dst_host][p.block]) continue;
+      have[p.dst_host][p.block] = true;
+      const auto step32 = static_cast<std::uint32_t>(j);
+      plan->sends[p.src_host].push_back({step32, p.dst_host, p.block});
+      plan->recvs[p.dst_host].push_back({step32, p.src_host, p.block});
+    }
+  }
+#ifndef NDEBUG
+  for (std::size_t h = 0; h < num_nodes_; ++h)
+    for (std::size_t b = 0; b < num_blocks; ++b)
+      assert(have[h][b] && "pruned plan left a host incomplete");
+#endif
+
+  std::lock_guard lock(g_plan_mutex);
+  auto [it, inserted] = g_plan_cache.emplace(key, std::move(plan));
+  // Bound the cache: distinct (n, k) pairs are few in practice, but guard
+  // against pathological churn.
+  if (g_plan_cache.size() > 256) g_plan_cache.erase(g_plan_cache.begin());
+  cached_plan_ = it->second;
+  cached_k_ = num_blocks;
+  return cached_plan_;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule interface.
+// ---------------------------------------------------------------------------
+
+std::vector<Transfer> BinomialPipelineSchedule::sends_at(
+    std::size_t num_blocks, std::size_t step) const {
+  std::vector<Transfer> out;
+  if (num_blocks == 0 || num_nodes_ <= 1 || step >= num_steps(num_blocks))
+    return out;
+  if (pow2_) {
+    if (auto send = vertex_send(static_cast<std::uint32_t>(rank_),
+                                num_blocks, step)) {
+      out.push_back(Transfer{node_of(send->target_vertex), send->block});
+    }
+    return out;
+  }
+  const auto plan = plan_for(num_blocks);
+  const auto& entries = plan->sends[rank_];
+  const auto lo = std::lower_bound(
+      entries.begin(), entries.end(), step,
+      [](const Plan::Entry& e, std::size_t s) { return e.step < s; });
+  for (auto it = lo; it != entries.end() && it->step == step; ++it)
+    out.push_back(Transfer{it->peer, it->block});
+  return out;
+}
+
+std::vector<Transfer> BinomialPipelineSchedule::recvs_at(
+    std::size_t num_blocks, std::size_t step) const {
+  std::vector<Transfer> out;
+  if (num_blocks == 0 || num_nodes_ <= 1 || step >= num_steps(num_blocks))
+    return out;
+  if (pow2_) {
+    const std::uint32_t d = static_cast<std::uint32_t>(step % dim_);
+    const auto v = static_cast<std::uint32_t>(rank_);
+    const std::uint32_t partner = v ^ (1u << d);
+    if (auto send = vertex_send(partner, num_blocks, step)) {
+      assert(send->target_vertex == v);
+      out.push_back(Transfer{node_of(partner), send->block});
+    }
+    return out;
+  }
+  const auto plan = plan_for(num_blocks);
+  const auto& entries = plan->recvs[rank_];
+  const auto lo = std::lower_bound(
+      entries.begin(), entries.end(), step,
+      [](const Plan::Entry& e, std::size_t s) { return e.step < s; });
+  for (auto it = lo; it != entries.end() && it->step == step; ++it)
+    out.push_back(Transfer{it->peer, it->block});
+  return out;
+}
+
+}  // namespace rdmc::sched

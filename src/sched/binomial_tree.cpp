@@ -1,0 +1,36 @@
+#include "sched/binomial_tree.hpp"
+
+#include "util/bitops.hpp"
+
+namespace rdmc::sched {
+
+BinomialTreeSchedule::BinomialTreeSchedule(std::size_t num_nodes,
+                                           std::size_t rank)
+    : Schedule(num_nodes, rank),
+      rounds_(num_nodes > 1 ? util::ceil_log2(num_nodes) : 0) {}
+
+std::vector<Transfer> BinomialTreeSchedule::sends_at(
+    std::size_t num_blocks, std::size_t step) const {
+  if (num_blocks == 0 || step >= num_steps(num_blocks)) return {};
+  const std::size_t round = step / num_blocks;
+  const std::size_t block = step % num_blocks;
+  const std::size_t stride = std::size_t{1} << round;
+  if (rank_ >= stride) return {};  // doesn't hold the message yet
+  const std::size_t target = rank_ + stride;
+  if (target >= num_nodes_) return {};
+  return {Transfer{static_cast<std::uint32_t>(target), block}};
+}
+
+std::vector<Transfer> BinomialTreeSchedule::recvs_at(
+    std::size_t num_blocks, std::size_t step) const {
+  if (num_blocks == 0 || rank_ == 0 || step >= num_steps(num_blocks))
+    return {};
+  const std::size_t round = step / num_blocks;
+  const std::size_t block = step % num_blocks;
+  // Node i joins the tree in round floor(log2 i), fed by i - 2^round.
+  if (round != util::floor_log2(rank_)) return {};
+  const std::size_t source = rank_ - (std::size_t{1} << round);
+  return {Transfer{static_cast<std::uint32_t>(source), block}};
+}
+
+}  // namespace rdmc::sched

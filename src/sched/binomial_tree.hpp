@@ -1,0 +1,34 @@
+// Binomial tree multicast (paper §4.3, Fig 3 left): whole-message relays.
+//
+// In round j every node that already holds the message sends it to a node
+// that does not: node i (i < 2^j) sends to i + 2^j. Latency is
+// ceil(log2 n) whole-message transfer times — better than sequential, but
+// inner transfers cannot start until outer ones finish, which is why the
+// paper pipelines blocks instead for large messages.
+//
+// Step numbering: round j occupies global steps j*k .. (j+1)*k-1 (the k
+// blocks of the message sent back-to-back to the same target).
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace rdmc::sched {
+
+class BinomialTreeSchedule final : public Schedule {
+ public:
+  BinomialTreeSchedule(std::size_t num_nodes, std::size_t rank);
+
+  std::vector<Transfer> sends_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::vector<Transfer> recvs_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::size_t num_steps(std::size_t num_blocks) const override {
+    return rounds_ * num_blocks;
+  }
+  std::string_view name() const override { return "binomial_tree"; }
+
+ private:
+  std::size_t rounds_;  // ceil(log2 n)
+};
+
+}  // namespace rdmc::sched

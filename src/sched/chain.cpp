@@ -1,0 +1,25 @@
+#include "sched/chain.hpp"
+
+namespace rdmc::sched {
+
+std::vector<Transfer> ChainSchedule::sends_at(std::size_t num_blocks,
+                                              std::size_t step) const {
+  if (num_blocks == 0 || rank_ + 1 >= num_nodes_) return {};  // tail relays nothing
+  // Node i sends block (step - i) to node i+1 when 0 <= step - i < k.
+  if (step < rank_) return {};
+  const std::size_t block = step - rank_;
+  if (block >= num_blocks) return {};
+  return {Transfer{static_cast<std::uint32_t>(rank_ + 1), block}};
+}
+
+std::vector<Transfer> ChainSchedule::recvs_at(std::size_t num_blocks,
+                                              std::size_t step) const {
+  if (num_blocks == 0 || rank_ == 0) return {};
+  // Node i receives block (step - (i - 1)) from node i-1.
+  if (step + 1 < rank_) return {};
+  const std::size_t block = step + 1 - rank_;
+  if (block >= num_blocks) return {};
+  return {Transfer{static_cast<std::uint32_t>(rank_ - 1), block}};
+}
+
+}  // namespace rdmc::sched

@@ -1,0 +1,31 @@
+// Chain send (paper §4.3): a bucket brigade in the style of chain
+// replication [van Renesse & Schneider, OSDI'04]. Node i relays every block
+// to node i+1 as soon as it arrives. Inner nodes use their full
+// bidirectional bandwidth, but node i sits idle for the first i-1 steps, so
+// worst-case latency is high — the behaviour Fig 4 contrasts with the
+// binomial pipeline.
+//
+// Step numbering: node i receives block b at step b + i - 1 and forwards it
+// at step b + i; total steps = (n - 1) + (k - 1) + ... = n + k - 2.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace rdmc::sched {
+
+class ChainSchedule final : public Schedule {
+ public:
+  ChainSchedule(std::size_t num_nodes, std::size_t rank)
+      : Schedule(num_nodes, rank) {}
+
+  std::vector<Transfer> sends_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::vector<Transfer> recvs_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::size_t num_steps(std::size_t num_blocks) const override {
+    return num_nodes_ + num_blocks - 2;
+  }
+  std::string_view name() const override { return "chain"; }
+};
+
+}  // namespace rdmc::sched

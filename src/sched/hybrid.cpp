@@ -1,0 +1,101 @@
+#include "sched/hybrid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace rdmc::sched {
+
+HybridSchedule::HybridSchedule(std::size_t num_nodes, std::size_t rank,
+                               std::vector<std::uint32_t> rack_of)
+    : Schedule(num_nodes, rank), rack_of_(std::move(rack_of)) {
+  assert(rack_of_.size() == num_nodes);
+
+  // Leader of a rack = its lowest group rank. Order racks so the sender's
+  // rack comes first, then by leader rank: that makes the sender the root
+  // of the inter-rack pipeline.
+  std::map<std::uint32_t, std::uint32_t> leader_of_rack;
+  for (std::uint32_t r = 0; r < num_nodes; ++r) {
+    auto [it, inserted] = leader_of_rack.try_emplace(rack_of_[r], r);
+    if (!inserted) it->second = std::min(it->second, r);
+  }
+  for (const auto& [rack, leader] : leader_of_rack)
+    leaders_.push_back(leader);
+  std::sort(leaders_.begin(), leaders_.end());
+  assert(leaders_.front() == 0 && "sender must lead its own rack");
+
+  const std::uint32_t my_rack = rack_of_[rank];
+  for (std::uint32_t r = 0; r < num_nodes; ++r)
+    if (rack_of_[r] == my_rack) rack_members_.push_back(r);
+  // Leader first (it is the intra-rack root).
+  std::sort(rack_members_.begin(), rack_members_.end());
+
+  const bool leader = rack_members_.front() == rank;
+  if (leader && leaders_.size() > 1) {
+    const auto inter_rank = static_cast<std::size_t>(
+        std::find(leaders_.begin(), leaders_.end(),
+                  static_cast<std::uint32_t>(rank)) -
+        leaders_.begin());
+    inter_ = std::make_unique<BinomialPipelineSchedule>(leaders_.size(),
+                                                        inter_rank);
+  }
+  if (rack_members_.size() > 1) {
+    const auto intra_rank = static_cast<std::size_t>(
+        std::find(rack_members_.begin(), rack_members_.end(),
+                  static_cast<std::uint32_t>(rank)) -
+        rack_members_.begin());
+    intra_ = std::make_unique<BinomialPipelineSchedule>(rack_members_.size(),
+                                                        intra_rank);
+  }
+}
+
+std::vector<Transfer> HybridSchedule::sends_at(std::size_t num_blocks,
+                                               std::size_t step) const {
+  std::vector<Transfer> out;
+  if (inter_) {
+    for (const Transfer& t : inter_->sends_at(num_blocks, step))
+      out.push_back(Transfer{leaders_[t.peer], t.block});
+  }
+  if (intra_ && step >= kIntraOffset) {
+    for (const Transfer& t : intra_->sends_at(num_blocks, step - kIntraOffset))
+      out.push_back(Transfer{rack_members_[t.peer], t.block});
+  }
+  return out;
+}
+
+std::vector<Transfer> HybridSchedule::recvs_at(std::size_t num_blocks,
+                                               std::size_t step) const {
+  std::vector<Transfer> out;
+  if (inter_) {
+    for (const Transfer& t : inter_->recvs_at(num_blocks, step))
+      out.push_back(Transfer{leaders_[t.peer], t.block});
+  }
+  if (intra_ && step >= kIntraOffset) {
+    for (const Transfer& t : intra_->recvs_at(num_blocks, step - kIntraOffset))
+      out.push_back(Transfer{rack_members_[t.peer], t.block});
+  }
+  return out;
+}
+
+std::size_t HybridSchedule::num_steps(std::size_t num_blocks) const {
+  std::size_t steps = 0;
+  // Every node bounds by the global maximum so all members agree.
+  const std::size_t inter_steps =
+      leaders_.size() > 1
+          ? BinomialPipelineSchedule(leaders_.size(), 0).num_steps(num_blocks)
+          : 0;
+  steps = std::max(steps, inter_steps);
+  // Largest rack bounds the intra level.
+  std::map<std::uint32_t, std::size_t> rack_size;
+  for (auto rk : rack_of_) ++rack_size[rk];
+  std::size_t max_rack = 1;
+  for (const auto& [rk, sz] : rack_size) max_rack = std::max(max_rack, sz);
+  if (max_rack > 1) {
+    steps = std::max(
+        steps, kIntraOffset +
+                   BinomialPipelineSchedule(max_rack, 0).num_steps(num_blocks));
+  }
+  return steps;
+}
+
+}  // namespace rdmc::sched

@@ -1,0 +1,55 @@
+// Hybrid two-level binomial pipeline (paper §4.3 "Hybrid Algorithms").
+//
+// For datacenters with full bisection bandwidth inside a rack but an
+// oversubscribed top-of-rack (TOR) uplink, the paper proposes running two
+// binomial pipeline instances: one among rack leaders (crossing the TOR
+// once per block per rack instead of many times), then one inside each rack
+// rooted at its leader. We overlay both levels: the intra-rack schedule is
+// offset by one step, and the engine's has-the-block gating (a send stays
+// pending until its block arrives, §4.3) pipelines the levels naturally.
+//
+// Ranks are group-relative with rank 0 the sender; the sender is by
+// construction the leader of its own rack (leaders are each rack's
+// lowest-ranked member).
+#pragma once
+
+#include <memory>
+
+#include "sched/binomial_pipeline.hpp"
+#include "sched/schedule.hpp"
+
+namespace rdmc::sched {
+
+class HybridSchedule final : public Schedule {
+ public:
+  /// `rack_of[r]` gives the rack index of group rank r. rack_of[0]'s rack
+  /// leader is rank 0 automatically.
+  HybridSchedule(std::size_t num_nodes, std::size_t rank,
+                 std::vector<std::uint32_t> rack_of);
+
+  std::vector<Transfer> sends_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::vector<Transfer> recvs_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::size_t num_steps(std::size_t num_blocks) const override;
+  std::string_view name() const override { return "hybrid"; }
+
+  bool is_leader() const { return inter_ != nullptr; }
+
+ private:
+  /// Intra-rack steps are offset so a leader can start relaying into its
+  /// rack right after its first inter-rack receive.
+  static constexpr std::size_t kIntraOffset = 1;
+
+  std::vector<std::uint32_t> rack_of_;
+  /// Group ranks of the rack leaders, sender's rack first.
+  std::vector<std::uint32_t> leaders_;
+  /// Group ranks of this node's rack members, leader first.
+  std::vector<std::uint32_t> rack_members_;
+  /// Inter-rack pipeline (leaders only; nullptr otherwise).
+  std::unique_ptr<BinomialPipelineSchedule> inter_;
+  /// Intra-rack pipeline (nullptr for single-member racks).
+  std::unique_ptr<BinomialPipelineSchedule> intra_;
+};
+
+}  // namespace rdmc::sched

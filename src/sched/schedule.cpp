@@ -1,0 +1,36 @@
+#include "sched/schedule.hpp"
+
+#include "sched/binomial_pipeline.hpp"
+#include "sched/binomial_tree.hpp"
+#include "sched/chain.hpp"
+#include "sched/sequential.hpp"
+
+namespace rdmc::sched {
+
+std::string_view algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSequential: return "sequential";
+    case Algorithm::kChain: return "chain";
+    case Algorithm::kBinomialTree: return "binomial_tree";
+    case Algorithm::kBinomialPipeline: return "binomial_pipeline";
+  }
+  return "?";
+}
+
+std::unique_ptr<Schedule> make_schedule(Algorithm algorithm,
+                                        std::size_t num_nodes,
+                                        std::size_t rank) {
+  switch (algorithm) {
+    case Algorithm::kSequential:
+      return std::make_unique<SequentialSchedule>(num_nodes, rank);
+    case Algorithm::kChain:
+      return std::make_unique<ChainSchedule>(num_nodes, rank);
+    case Algorithm::kBinomialTree:
+      return std::make_unique<BinomialTreeSchedule>(num_nodes, rank);
+    case Algorithm::kBinomialPipeline:
+      return std::make_unique<BinomialPipelineSchedule>(num_nodes, rank);
+  }
+  return nullptr;
+}
+
+}  // namespace rdmc::sched

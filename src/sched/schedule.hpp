@@ -1,0 +1,85 @@
+// Block-transfer schedules (paper §4.3).
+//
+// A schedule maps a multicast of k blocks among n nodes onto a deterministic
+// sequence of point-to-point block transfers, indexed by *asynchronous step
+// number*. Steps do not imply lock-step execution: the RDMC engine (src/core)
+// only uses them to derive, for every ordered node pair, the FIFO order of
+// block transfers on that pair's queue pair — the decoupled asynchronous
+// execution the paper describes in §4.3 ("Binomial Pipeline") and §4.4.
+//
+// Implemented algorithms, in the paper's order of increasing effectiveness:
+//   * SequentialSchedule   — root unicasts the whole message to each
+//                            receiver in turn (the datacenter status quo);
+//   * ChainSchedule        — bucket brigade, blocks relayed down a line
+//                            (chain replication, van Renesse & Schneider);
+//   * BinomialTreeSchedule — whole-message relays along a binomial tree;
+//   * BinomialPipelineSchedule — Ganesan-Seshadri hypercube block pipeline,
+//                            extended to arbitrary n (see the .cpp);
+//   * HybridSchedule       — two-level binomial pipeline for oversubscribed
+//                            TOR topologies (rack leaders first, §4.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace rdmc::sched {
+
+/// One block movement: for sends_at(), `peer` is the target; for
+/// recvs_at(), `peer` is the source. `block` indexes into the message.
+struct Transfer {
+  std::uint32_t peer = 0;
+  std::size_t block = 0;
+
+  bool operator==(const Transfer&) const = default;
+};
+
+/// A schedule instance is bound to (group size, this node's rank); the
+/// number of blocks varies per message and is passed per query, so one
+/// instance serves every message a group carries (groups are reused, §3).
+/// Rank 0 is always the root/sender.
+class Schedule {
+ public:
+  Schedule(std::size_t num_nodes, std::size_t rank)
+      : num_nodes_(num_nodes), rank_(rank) {}
+  virtual ~Schedule() = default;
+
+  /// Blocks this node sends at `step` (usually 0 or 1 of them; up to 2 for
+  /// aliased vertices in non-power-of-two binomial pipelines).
+  virtual std::vector<Transfer> sends_at(std::size_t num_blocks,
+                                         std::size_t step) const = 0;
+
+  /// Blocks this node receives at `step`.
+  virtual std::vector<Transfer> recvs_at(std::size_t num_blocks,
+                                         std::size_t step) const = 0;
+
+  /// Upper bound on step numbers: all queries with step >= num_steps()
+  /// return empty. For the binomial pipeline this is l + k - 1 (§4.4).
+  virtual std::size_t num_steps(std::size_t num_blocks) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t rank() const { return rank_; }
+
+ protected:
+  std::size_t num_nodes_;
+  std::size_t rank_;
+};
+
+enum class Algorithm {
+  kSequential,
+  kChain,
+  kBinomialTree,
+  kBinomialPipeline,
+};
+
+std::string_view algorithm_name(Algorithm algorithm);
+
+/// Factory for the single-level algorithms.
+std::unique_ptr<Schedule> make_schedule(Algorithm algorithm,
+                                        std::size_t num_nodes,
+                                        std::size_t rank);
+
+}  // namespace rdmc::sched

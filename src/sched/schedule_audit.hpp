@@ -1,0 +1,58 @@
+// Lock-step auditor for block-transfer schedules.
+//
+// Executes a schedule under unit-time steps and checks the invariants the
+// RDMC engine depends on:
+//   * consistency — every send (i -> p, block, step) appears in p's receive
+//     schedule for the same step, and vice versa;
+//   * causality   — no node transmits a block before holding it. Sends that
+//     are scheduled early are *deferred* exactly like the engine defers
+//     them (per-pair FIFO, availability-gated); `deferred_sends` counts
+//     them (0 for the four base algorithms, nonzero only for hybrid);
+//   * completeness — every node holds every block at the end;
+//   * step bound  — transfers stop by num_steps().
+//
+// It also measures the §4.5 quantities: per-node completion step (skew),
+// per-link traversal counts (the 1/l property of item 2), and the average
+// slack of item 3, which test_schedules.cpp compares against the paper's
+// closed form 2(1 - (l-1)/(n-2)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace rdmc::sched {
+
+struct AuditResult {
+  bool consistent = true;    // send/recv schedules agree
+  bool complete = false;     // all nodes got all blocks
+  bool within_bound = true;  // finished by num_steps()
+  std::size_t steps_used = 0;
+  std::size_t total_transfers = 0;
+  std::size_t duplicate_deliveries = 0;
+  std::size_t deferred_sends = 0;
+  /// completion_step[node]: first step after which the node has all blocks
+  /// (0 for the sender).
+  std::vector<std::size_t> completion_step;
+  /// Average over steady steps of mean slack among that step's senders
+  /// (paper §4.5 item 3); NaN if there are no steady steps.
+  double avg_steady_slack = 0.0;
+  /// Maximum number of steps any directed pair was used for (item 2: a
+  /// given link is traversed on ~1/l of the steps).
+  std::size_t max_pair_uses = 0;
+};
+
+using ScheduleFactory =
+    std::function<std::unique_ptr<Schedule>(std::size_t rank)>;
+
+AuditResult audit_schedule(const ScheduleFactory& make,
+                           std::size_t num_nodes, std::size_t num_blocks);
+
+/// Convenience for the built-in algorithms.
+AuditResult audit_algorithm(Algorithm algorithm, std::size_t num_nodes,
+                            std::size_t num_blocks);
+
+}  // namespace rdmc::sched

@@ -1,0 +1,23 @@
+#include "sched/sequential.hpp"
+
+namespace rdmc::sched {
+
+std::vector<Transfer> SequentialSchedule::sends_at(std::size_t num_blocks,
+                                                   std::size_t step) const {
+  if (rank_ != 0 || num_blocks == 0 || step >= num_steps(num_blocks))
+    return {};
+  const std::uint32_t receiver =
+      static_cast<std::uint32_t>(1 + step / num_blocks);
+  return {Transfer{receiver, step % num_blocks}};
+}
+
+std::vector<Transfer> SequentialSchedule::recvs_at(std::size_t num_blocks,
+                                                   std::size_t step) const {
+  if (rank_ == 0 || num_blocks == 0 || step >= num_steps(num_blocks))
+    return {};
+  const std::size_t begin = (rank_ - 1) * num_blocks;
+  if (step < begin || step >= begin + num_blocks) return {};
+  return {Transfer{0, step - begin}};
+}
+
+}  // namespace rdmc::sched

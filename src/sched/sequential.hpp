@@ -1,0 +1,29 @@
+// Sequential send (paper §4.3): the root transmits the entire message to
+// each recipient in turn — the pattern common in today's datacenters and
+// the baseline RDMC is measured against in Figs 4, 8 and 9.
+//
+// Step numbering: receiver r (1-based order) gets blocks at steps
+// (r-1)*k .. r*k-1. The root's NIC carries (n-1)*B bytes total while every
+// receiver only downloads B — the hot spot the paper calls out.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace rdmc::sched {
+
+class SequentialSchedule final : public Schedule {
+ public:
+  SequentialSchedule(std::size_t num_nodes, std::size_t rank)
+      : Schedule(num_nodes, rank) {}
+
+  std::vector<Transfer> sends_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::vector<Transfer> recvs_at(std::size_t num_blocks,
+                                 std::size_t step) const override;
+  std::size_t num_steps(std::size_t num_blocks) const override {
+    return (num_nodes_ - 1) * num_blocks;
+  }
+  std::string_view name() const override { return "sequential"; }
+};
+
+}  // namespace rdmc::sched

@@ -1,0 +1,42 @@
+// Presets describing the four clusters in the paper's evaluation (§5.1).
+//
+//   Fractus    16 nodes, 100 Gb/s Mellanox, full bisection, one hop.
+//   Sierra     1,944 nodes, 4x QDR QLogic at 40 Gb/s, fat tree
+//              (modelled full-bisection; the paper reports limited
+//              degradation with scale, which our delay injection covers).
+//   Stampede-1 6,400 nodes, FDR 56 Gb/s NICs with ~40 Gb/s measured unicast
+//              (we use the measured rate, as the paper's Table 1 does).
+//   Apt        192 nodes, FDR 56 Gb/s NICs, *oversubscribed* TOR that
+//              degrades to ~16 Gb/s per link when loaded (Fig 10b).
+#pragma once
+
+#include <string>
+
+#include "sim/delay_model.hpp"
+#include "sim/topology.hpp"
+
+namespace rdmc::sim {
+
+struct ClusterProfile {
+  std::string name;
+  TopologyConfig topology;
+  SoftwareCosts costs;
+  /// Background preemption process active in all experiments on this
+  /// cluster (batch-scheduled machines show more jitter).
+  PreemptionModel preemption;
+};
+
+/// 16-node, 100 Gb/s, full-bisection cluster (most figures).
+ClusterProfile fractus_profile(std::size_t num_nodes = 16);
+
+/// Large batch cluster, 40 Gb/s line rate (Fig 8 scalability).
+ClusterProfile sierra_profile(std::size_t num_nodes = 512);
+
+/// 40 Gb/s effective unicast (Table 1 / Fig 5 breakdowns).
+ClusterProfile stampede_profile(std::size_t num_nodes = 16);
+
+/// Oversubscribed TOR: 16 nodes/rack at 56 Gb/s NICs with a shared uplink
+/// that limits sustained inter-rack traffic to ~16 Gb/s per link (Fig 10b).
+ClusterProfile apt_profile(std::size_t num_nodes = 64);
+
+}  // namespace rdmc::sim

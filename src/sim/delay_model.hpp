@@ -1,0 +1,52 @@
+// Software-side delay modelling: per-operation CPU overheads plus injected
+// scheduling delays (OS preemptions).
+//
+// The paper attributes RDMC's residual overhead (~1%, Table 1) to software
+// posting/relay costs, and shows (Fig 5) an ~100 us anomaly caused by an OS
+// preemption on a relayer. DelayModel reproduces both: deterministic
+// per-operation costs from the cluster profile, and a random preemption
+// process (probability per op, exponential duration) for robustness
+// experiments (§4.5 item 1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace rdmc::sim {
+
+/// Deterministic per-operation software costs (seconds). Values are
+/// calibrated per cluster profile; zeros model full NIC offload
+/// (CORE-Direct, §2 / Fig 12).
+struct SoftwareCosts {
+  /// CPU time to post one send work request.
+  double post_send_s = 0.7e-6;
+  /// CPU time to post one receive work request.
+  double post_recv_s = 0.5e-6;
+  /// CPU time to handle one completion (schedule lookup + bookkeeping).
+  double handle_completion_s = 0.8e-6;
+  /// Extra latency from completion generation to handler when the
+  /// completion thread is in interrupt mode rather than polling.
+  double interrupt_wakeup_s = 6.0e-6;
+  /// memcpy rate for the first-block copy (§4.2), bytes/sec.
+  double copy_rate_Bps = 12e9;
+  /// malloc + callback cost for allocating the receive area on the
+  /// critical path (§4.6 Memory management).
+  double alloc_message_s = 15e-6;
+};
+
+/// Random OS scheduling-delay injection (per node).
+struct PreemptionModel {
+  /// Probability that any given software action suffers a preemption.
+  double probability = 0.0;
+  /// Mean preemption duration (exponential), seconds.
+  double mean_duration_s = 100e-6;
+
+  /// Sample the delay contributed by one software action.
+  double sample(util::Rng& rng) const {
+    if (probability <= 0.0 || !rng.bernoulli(probability)) return 0.0;
+    return rng.exponential(mean_duration_s);
+  }
+};
+
+}  // namespace rdmc::sim

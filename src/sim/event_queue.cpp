@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace rdmc::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    auto c = cancelled_.find(heap_.top().id);
+    if (c == cancelled_.end()) return;
+    cancelled_.erase(c);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  return live_count_ == 0;
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Fired fired{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace rdmc::sim

@@ -1,0 +1,71 @@
+// Virtual-time event queue for the discrete-event engine.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// run in a deterministic order and every simulation is exactly reproducible.
+// Cancellation is supported via EventId tombstones (lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rdmc::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `when`. Returns a handle usable with
+  /// cancel(). `when` must be >= the time of the last popped event.
+  EventId schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime next_time() const;
+
+  /// Pop and return the earliest event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Heap entries carry an index into callbacks_ rather than the closure
+    // itself so that cancellation can release the closure immediately.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace rdmc::sim

@@ -1,0 +1,263 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <limits>
+
+namespace rdmc::sim {
+
+namespace {
+/// Flows whose residue drops below this many bytes are considered done
+/// (guards against floating-point drift in long simulations).
+constexpr double kByteEpsilon = 1e-3;
+}  // namespace
+
+FlowNetwork::FlowNetwork(Simulator& sim, Topology& topology)
+    : sim_(sim), topology_(topology) {
+  const std::size_t n = topology.num_nodes();
+  tx_.resize(n);
+  rx_.resize(n);
+  rack_up_.resize(topology.num_racks());
+  rack_down_.resize(topology.num_racks());
+}
+
+FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes,
+                               std::function<void(SimTime)> on_complete) {
+  assert(src < topology_.num_nodes() && dst < topology_.num_nodes());
+  assert(src != dst);
+  advance_to_now();
+  const FlowId id = next_id_++;
+  const double size = std::max(bytes, 1.0);
+  flows_.emplace(id, Flow{src, dst, size, size, 0.0, std::move(on_complete)});
+  mark_dirty();
+  return id;
+}
+
+void FlowNetwork::abort_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_to_now();
+  flows_.erase(it);
+  mark_dirty();
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  const_cast<FlowNetwork*>(this)->flush_dirty();
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::advance_to_now() {
+  const SimTime now = sim_.now();
+  const double elapsed = now - last_advance_;
+  last_advance_ = now;
+  if (elapsed <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining -= flow.rate * elapsed;
+    if (flow.remaining < 0.0) flow.remaining = 0.0;
+  }
+}
+
+void FlowNetwork::mark_dirty() {
+  if (dirty_) return;
+  dirty_ = true;
+  // Coalesce: many flows start/finish at one virtual instant (lock-step
+  // schedule boundaries); one rate recomputation covers them all.
+  dirty_event_ = sim_.at(sim_.now(), [this] {
+    dirty_ = false;
+    dirty_event_ = kInvalidEvent;
+    reallocate();
+  });
+}
+
+void FlowNetwork::flush_dirty() {
+  if (!dirty_) return;
+  dirty_ = false;
+  if (dirty_event_ != kInvalidEvent) {
+    sim_.cancel(dirty_event_);
+    dirty_event_ = kInvalidEvent;
+  }
+  reallocate();
+}
+
+void FlowNetwork::reallocate() {
+  // --- Max-min fairness by lazy-heap water filling. The global fill level
+  // lambda rises; a resource r exhausts at lambda_r = lambda + rem/live.
+  // A min-heap orders resources by estimated exhaust level; stale entries
+  // (whose live count dropped since insertion) are re-pushed on pop. Every
+  // flow crossing an exhausting resource freezes at rate lambda. This is
+  // O(F log F) per reallocation versus the naive O(F^2) scan rounds.
+  ++epoch_;
+  const std::size_t n = topology_.num_nodes();
+  const bool multi_rack =
+      topology_.num_racks() > 1 && topology_.rack_uplink_Bps() > 0.0;
+  const bool pair_caps = topology_.has_pair_caps();
+
+  active_.clear();
+  touched_.clear();
+  auto touch = [&](Resource& r, double capacity, std::uint32_t id,
+                   std::uint32_t flow_index) {
+    if (r.epoch != epoch_) {
+      r.epoch = epoch_;
+      r.cap = capacity;
+      r.rem = capacity;
+      r.last_lambda = 0.0;
+      r.live = 0;
+      r.id = id;
+      r.flow_idx.clear();
+      touched_.push_back(&r);
+    }
+    ++r.live;
+    r.flow_idx.push_back(flow_index);
+  };
+
+  pair_res_.clear();
+  for (auto& [id, flow] : flows_) {
+    const auto fi = static_cast<std::uint32_t>(active_.size());
+    ActiveFlow af;
+    af.flow = &flow;
+    touch(tx_[flow.src], topology_.node_tx_Bps(flow.src), flow.src, fi);
+    af.resources[af.count++] = &tx_[flow.src];
+    touch(rx_[flow.dst], topology_.node_rx_Bps(flow.dst),
+          static_cast<std::uint32_t>(n) + flow.dst, fi);
+    af.resources[af.count++] = &rx_[flow.dst];
+    if (multi_rack && !topology_.same_rack(flow.src, flow.dst)) {
+      const auto up = static_cast<std::uint32_t>(
+          topology_.rack_of(flow.src));
+      const auto down = static_cast<std::uint32_t>(
+          topology_.rack_of(flow.dst));
+      touch(rack_up_[up], topology_.rack_uplink_Bps(),
+            static_cast<std::uint32_t>(2 * n) + up, fi);
+      af.resources[af.count++] = &rack_up_[up];
+      touch(rack_down_[down], topology_.rack_uplink_Bps(),
+            static_cast<std::uint32_t>(2 * n) +
+                static_cast<std::uint32_t>(topology_.num_racks()) + down,
+            fi);
+      af.resources[af.count++] = &rack_down_[down];
+    }
+    if (pair_caps) {
+      if (auto cap = topology_.pair_cap_Bps(flow.src, flow.dst)) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(flow.src) << 32) | flow.dst;
+        auto [it, inserted] = pair_res_.try_emplace(key);
+        Resource& r = it->second;
+        if (inserted) r.epoch = 0;  // force re-init in touch
+        touch(r, *cap,
+              static_cast<std::uint32_t>(3 * n) +
+                  static_cast<std::uint32_t>(pair_res_.size()),
+              fi);
+        af.resources[af.count++] = &r;
+      }
+    }
+    flow.rate = 0.0;
+    af.frozen = false;
+    active_.push_back(af);
+  }
+  if (active_.empty()) {
+    schedule_next_completion();
+    return;
+  }
+  ++reallocations_;
+
+  // Heap of (estimated exhaust level, stable id, resource).
+  struct HeapEntry {
+    double lambda_est;
+    std::uint32_t id;
+    Resource* resource;
+    bool operator>(const HeapEntry& o) const {
+      if (lambda_est != o.lambda_est) return lambda_est > o.lambda_est;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (Resource* r : touched_)
+    heap.push({r->rem / r->live, r->id, r});
+
+  double lambda = 0.0;
+  auto refresh = [&lambda](Resource* r) {
+    r->rem -= (lambda - r->last_lambda) * r->live;
+    if (r->rem < 0.0) r->rem = 0.0;
+    r->last_lambda = lambda;
+  };
+
+  std::size_t unfrozen = active_.size();
+  while (unfrozen > 0 && !heap.empty()) {
+    ++filling_rounds_;
+    const HeapEntry top = heap.top();
+    heap.pop();
+    Resource* r = top.resource;
+    if (r->live == 0) continue;  // fully drained by earlier freezes
+    refresh(r);
+    const double exhaust = lambda + r->rem / r->live;
+    if (exhaust > top.lambda_est * (1.0 + 1e-9)) {
+      heap.push({exhaust, r->id, r});  // stale: live dropped since push
+      continue;
+    }
+    lambda = exhaust;
+    r->rem = 0.0;
+    r->last_lambda = lambda;
+    // Freeze every remaining flow crossing this resource at rate lambda.
+    for (std::uint32_t fi : r->flow_idx) {
+      ActiveFlow& af = active_[fi];
+      if (af.frozen) continue;
+      af.frozen = true;
+      af.flow->rate = lambda;
+      --unfrozen;
+      for (std::uint32_t i = 0; i < af.count; ++i) {
+        Resource* r2 = af.resources[i];
+        refresh(r2);
+        assert(r2->live > 0);
+        --r2->live;
+        if (r2 != r && r2->live > 0)
+          heap.push({lambda + r2->rem / r2->live, r2->id, r2});
+      }
+    }
+    assert(r->live == 0);
+  }
+  assert(unfrozen == 0 && "every flow crosses a finite resource");
+  schedule_next_completion();
+}
+
+void FlowNetwork::schedule_next_completion() {
+  if (pending_event_ != kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+  double horizon = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    horizon = std::min(horizon, flow.remaining / flow.rate);
+  }
+  assert(std::isfinite(horizon) && "active flow with no allocated rate");
+  pending_event_ =
+      sim_.after(std::max(horizon, 0.0), [this] { on_next_completion(); });
+}
+
+void FlowNetwork::on_next_completion() {
+  pending_event_ = kInvalidEvent;
+  advance_to_now();
+  // Collect every flow that finished at this instant (common in symmetric
+  // schedules where all pairs complete simultaneously).
+  std::vector<std::pair<FlowId, std::function<void(SimTime)>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kByteEpsilon) {
+      bytes_completed_ += it->second.total;
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  mark_dirty();
+  const SimTime now = sim_.now();
+  for (auto& [id, cb] : done) {
+    if (cb) cb(now);
+  }
+}
+
+}  // namespace rdmc::sim

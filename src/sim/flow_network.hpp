@@ -1,0 +1,121 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Each in-flight unicast transfer is a fluid flow. Whenever the set of
+// active flows changes, rates are re-allocated by progressive filling
+// (water-filling): all flows grow at the same rate until a resource
+// saturates, the flows crossing it freeze at their fair share, and the rest
+// keep growing. This is the standard fluid approximation of the fair
+// sharing that RDMA hardware (and DCQCN/TIMELY) provides — the property the
+// paper leans on in §3 item 5 and exercises in Figs 9-10.
+//
+// Resources: per-node NIC tx and rx ports, per-rack uplink/downlink, and
+// optional per-directed-pair caps (slow links, §4.5 item 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace rdmc::sim {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+class FlowNetwork {
+ public:
+  FlowNetwork(Simulator& sim, Topology& topology);
+
+  /// Begin transferring `bytes` from src to dst. `on_complete` fires (in
+  /// virtual time) when the last byte leaves the source; the caller adds
+  /// propagation latency for receive-side events. Zero-byte flows are
+  /// treated as one byte so every flow takes non-zero time.
+  FlowId start_flow(NodeId src, NodeId dst, double bytes,
+                    std::function<void(SimTime)> on_complete);
+
+  /// Abort an in-flight flow (failure injection); its callback never fires.
+  /// No-op for unknown/finished ids.
+  void abort_flow(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current fair-share rate of a flow in bytes/sec (0 if unknown).
+  double flow_rate(FlowId id) const;
+
+  /// Total payload bytes fully delivered since construction.
+  double bytes_completed() const { return bytes_completed_; }
+
+  /// Profiling counters: rate recomputations and progressive-filling
+  /// rounds executed so far.
+  std::uint64_t reallocations() const { return reallocations_; }
+  std::uint64_t filling_rounds() const { return filling_rounds_; }
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double total;
+    double remaining;
+    double rate = 0.0;
+    std::function<void(SimTime)> on_complete;
+  };
+
+  /// One capacity constraint (NIC port direction, rack uplink direction,
+  /// or pair cap). Epoch-stamped so reallocation needs no clearing pass.
+  /// `rem`/`last_lambda` implement lazy water-level accounting: the
+  /// capacity remaining at global fill level lambda is
+  /// rem - (lambda - last_lambda) * live.
+  struct Resource {
+    double cap = 0.0;        // configured capacity
+    double rem = 0.0;        // remaining capacity at last_lambda
+    double last_lambda = 0.0;
+    std::uint32_t live = 0;  // unfrozen flows crossing this resource
+    std::uint32_t id = 0;    // stable tie-break for the heap
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> flow_idx;  // active-flow indices crossing it
+  };
+  struct ActiveFlow {
+    Flow* flow = nullptr;
+    Resource* resources[5] = {};
+    std::uint32_t count = 0;
+    bool frozen = false;
+  };
+
+  /// Charge elapsed virtual time against every flow's remaining bytes.
+  void advance_to_now();
+  /// Flow-set changes within one virtual instant are coalesced into a
+  /// single rate recomputation via a same-time event.
+  void mark_dirty();
+  void flush_dirty();
+  /// Recompute all rates (progressive filling) and reschedule the next
+  /// completion event.
+  void reallocate();
+  void schedule_next_completion();
+  void on_next_completion();
+
+  Simulator& sim_;
+  Topology& topology_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  SimTime last_advance_ = 0.0;
+  EventId pending_event_ = kInvalidEvent;
+  double bytes_completed_ = 0.0;
+
+  std::uint64_t reallocations_ = 0;
+  std::uint64_t filling_rounds_ = 0;
+  bool dirty_ = false;
+  EventId dirty_event_ = kInvalidEvent;
+  std::uint64_t epoch_ = 0;
+  std::vector<Resource> tx_, rx_, rack_up_, rack_down_;
+  std::unordered_map<std::uint64_t, Resource> pair_res_;
+  std::vector<Resource*> touched_;
+  std::vector<ActiveFlow> active_;
+};
+
+}  // namespace rdmc::sim

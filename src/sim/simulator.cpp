@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace rdmc::sim {
+
+EventId Simulator::at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  ++processed_;
+  fired.fn();
+  return true;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return !queue_.empty();
+}
+
+}  // namespace rdmc::sim

@@ -1,0 +1,53 @@
+#include "sim/topology.hpp"
+
+#include <cassert>
+
+namespace rdmc::sim {
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  assert(config_.num_nodes > 0);
+  if (config_.nodes_per_rack == 0) {
+    num_racks_ = 1;
+  } else {
+    num_racks_ =
+        (config_.num_nodes + config_.nodes_per_rack - 1) /
+        config_.nodes_per_rack;
+  }
+}
+
+std::size_t Topology::rack_of(NodeId node) const {
+  assert(node < config_.num_nodes);
+  if (config_.nodes_per_rack == 0) return 0;
+  return node / config_.nodes_per_rack;
+}
+
+double Topology::latency(NodeId src, NodeId dst) const {
+  double lat = config_.base_latency_s;
+  if (!same_rack(src, dst)) lat += config_.inter_rack_extra_latency_s;
+  return lat;
+}
+
+void Topology::set_pair_cap(NodeId src, NodeId dst, double gbps) {
+  pair_caps_Bps_[pair_key(src, dst)] = gbps * 1e9 / 8.0;
+}
+
+std::optional<double> Topology::pair_cap_Bps(NodeId src, NodeId dst) const {
+  auto it = pair_caps_Bps_.find(pair_key(src, dst));
+  if (it == pair_caps_Bps_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Topology::set_node_nic(NodeId node, double gbps) {
+  node_nic_Bps_[node] = gbps * 1e9 / 8.0;
+}
+
+double Topology::node_tx_Bps(NodeId node) const {
+  auto it = node_nic_Bps_.find(node);
+  return it == node_nic_Bps_.end() ? nic_Bps() : it->second;
+}
+
+double Topology::node_rx_Bps(NodeId node) const {
+  return node_tx_Bps(node);
+}
+
+}  // namespace rdmc::sim

@@ -1,0 +1,85 @@
+// Cluster topology: NIC line rates, rack structure, link overrides.
+//
+// The simulator models a two-level datacenter network, which covers all four
+// clusters the paper evaluates on:
+//   * full-bisection fabrics (Fractus, Sierra, Stampede) — a single "rack"
+//     whose uplink never constrains anything;
+//   * an oversubscribed top-of-rack fabric (Apt) — per-rack uplink capacity
+//     far below the sum of member NIC rates, so concurrent inter-rack flows
+//     degrade exactly as Fig 10b shows (~16 Gb/s per link under load).
+//
+// A unicast flow from s to d is constrained by: s's NIC tx port, d's NIC rx
+// port, an optional per-directed-pair cap (used to inject the slow links of
+// §4.5(2)), and — when s and d sit in different racks — the source rack's
+// uplink and the destination rack's downlink.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace rdmc::sim {
+
+using NodeId = std::uint32_t;
+
+struct TopologyConfig {
+  std::size_t num_nodes = 0;
+  /// Per-direction NIC port rate, decimal Gb/s (a 100 Gb/s NIC can send and
+  /// receive 100 Gb/s concurrently — paper §4.3 "Sequential Send").
+  double nic_gbps = 100.0;
+  /// Nodes per rack; 0 means one flat rack (full bisection bandwidth).
+  std::size_t nodes_per_rack = 0;
+  /// Per-rack uplink/downlink rate for inter-rack traffic, decimal Gb/s.
+  double rack_uplink_gbps = 0.0;
+  /// One-way propagation latency within a rack, seconds.
+  double base_latency_s = 1.5e-6;
+  /// Extra one-way latency for inter-rack hops, seconds.
+  double inter_rack_extra_latency_s = 1.0e-6;
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  std::size_t num_nodes() const { return config_.num_nodes; }
+  const TopologyConfig& config() const { return config_; }
+
+  std::size_t rack_of(NodeId node) const;
+  std::size_t num_racks() const { return num_racks_; }
+  bool same_rack(NodeId a, NodeId b) const {
+    return rack_of(a) == rack_of(b);
+  }
+
+  /// NIC port capacity in bytes/second.
+  double nic_Bps() const { return config_.nic_gbps * 1e9 / 8.0; }
+  double rack_uplink_Bps() const {
+    return config_.rack_uplink_gbps * 1e9 / 8.0;
+  }
+
+  /// One-way propagation latency between two nodes, seconds.
+  double latency(NodeId src, NodeId dst) const;
+
+  /// Cap the directed (src, dst) path at `gbps` — injects the slow links of
+  /// the robustness analysis (§4.5 item 2).
+  void set_pair_cap(NodeId src, NodeId dst, double gbps);
+  std::optional<double> pair_cap_Bps(NodeId src, NodeId dst) const;
+  bool has_pair_caps() const { return !pair_caps_Bps_.empty(); }
+
+  /// Scale one node's NIC ports (both directions) to `gbps` — a "slow node".
+  void set_node_nic(NodeId node, double gbps);
+  double node_tx_Bps(NodeId node) const;
+  double node_rx_Bps(NodeId node) const;
+
+ private:
+  static std::uint64_t pair_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  TopologyConfig config_;
+  std::size_t num_racks_ = 1;
+  std::unordered_map<std::uint64_t, double> pair_caps_Bps_;
+  std::unordered_map<NodeId, double> node_nic_Bps_;
+};
+
+}  // namespace rdmc::sim

@@ -1,0 +1,59 @@
+// Bit-manipulation helpers used throughout the schedule math (paper §4.4).
+//
+// The binomial pipeline's closed-form send rule is phrased in terms of
+// l-bit node ids: right circular shifts (sigma), trailing-zero counts
+// (tr_ze) and bitwise XOR neighbourhoods on a hypercube. These helpers
+// implement that arithmetic for arbitrary word widths l <= 32.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace rdmc::util {
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1. ceil_log2(1) == 0.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return x == 1 ? 0u : floor_log2(x - 1) + 1u;
+}
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Number of trailing zeros in the binary representation of m (m > 0).
+/// This is `tr_ze(m)` from paper §4.4.
+constexpr std::uint32_t trailing_zeros(std::uint64_t m) {
+  assert(m != 0);
+  return static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+/// Right circular shift of the l-bit value v by r positions.
+/// This is `sigma(v, r)` from paper §4.4 (there written for node ids).
+/// Both v and the result are interpreted as l-bit numbers; r may exceed l.
+constexpr std::uint32_t rotr_bits(std::uint32_t v, std::uint32_t r,
+                                  std::uint32_t l) {
+  assert(l >= 1 && l <= 32);
+  assert(v < (l == 32 ? 0xFFFFFFFFu : (1u << l)) || l == 32);
+  r %= l;
+  if (r == 0) return v;
+  const std::uint32_t mask = (l == 32) ? 0xFFFFFFFFu : ((1u << l) - 1u);
+  return ((v >> r) | (v << (l - r))) & mask;
+}
+
+/// Left circular shift of the l-bit value v by r positions (inverse of
+/// rotr_bits for the same l).
+constexpr std::uint32_t rotl_bits(std::uint32_t v, std::uint32_t r,
+                                  std::uint32_t l) {
+  assert(l >= 1 && l <= 32);
+  r %= l;
+  return rotr_bits(v, l - r == l ? 0 : l - r, l);
+}
+
+}  // namespace rdmc::util

@@ -1,0 +1,95 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace rdmc::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%llu GB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.1f GB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%llu MB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%llu KB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+double to_gbps(double bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return bytes * 8.0 / seconds / 1e9;
+}
+
+std::string format_gbps(double bytes, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f Gb/s", to_gbps(bytes, seconds));
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_size(std::string_view text) {
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  if (i == text.size() ||
+      !std::isdigit(static_cast<unsigned char>(text[i])))
+    return std::nullopt;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  if (i == text.size()) return value;
+  const char unit = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(text[i])));
+  std::uint64_t mult = 1;
+  switch (unit) {
+    case 'k': mult = kKiB; break;
+    case 'm': mult = kMiB; break;
+    case 'g': mult = kGiB; break;
+    case 'b': mult = 1; break;
+    default: return std::nullopt;
+  }
+  ++i;
+  // Allow a trailing "b"/"ib" after k/m/g, e.g. "16KB", "1MiB".
+  while (i < text.size()) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+    if (c != 'i' && c != 'b' && !std::isspace(static_cast<unsigned char>(c)))
+      return std::nullopt;
+    ++i;
+  }
+  return value * mult;
+}
+
+}  // namespace rdmc::util

@@ -1,0 +1,31 @@
+// Byte-size and rate formatting/parsing used by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rdmc::util {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// "256 MB" style human-readable size (binary units, 1 decimal place).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "93.4 Gb/s" style rate from bytes and seconds (decimal bits/sec as the
+/// paper reports).
+std::string format_gbps(double bytes, double seconds);
+
+/// Bandwidth in Gb/s (decimal, as the paper's figures are labelled).
+double to_gbps(double bytes, double seconds);
+
+/// "61.2 ms" / "402 us" style duration from seconds.
+std::string format_duration(double seconds);
+
+/// Parse "16KB", "1 MB", "256m", "3g", plain byte counts. Binary units.
+std::optional<std::uint64_t> parse_size(std::string_view text);
+
+}  // namespace rdmc::util

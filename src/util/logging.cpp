@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace rdmc::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+void log(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, body);
+}
+
+}  // namespace rdmc::util

@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (Warn); tests and examples can raise the
+// level. Thread-safe: each log line is formatted into a local buffer and
+// written with a single mutex-protected emit.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace rdmc::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. `tag` names the subsystem (e.g. "core", "sim").
+void log(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+const char* level_name(LogLevel level);
+
+#define RDMC_LOG_TRACE(tag, ...) \
+  ::rdmc::util::log(::rdmc::util::LogLevel::Trace, tag, __VA_ARGS__)
+#define RDMC_LOG_DEBUG(tag, ...) \
+  ::rdmc::util::log(::rdmc::util::LogLevel::Debug, tag, __VA_ARGS__)
+#define RDMC_LOG_INFO(tag, ...) \
+  ::rdmc::util::log(::rdmc::util::LogLevel::Info, tag, __VA_ARGS__)
+#define RDMC_LOG_WARN(tag, ...) \
+  ::rdmc::util::log(::rdmc::util::LogLevel::Warn, tag, __VA_ARGS__)
+#define RDMC_LOG_ERROR(tag, ...) \
+  ::rdmc::util::log(::rdmc::util::LogLevel::Error, tag, __VA_ARGS__)
+
+}  // namespace rdmc::util

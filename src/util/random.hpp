@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generation for workloads and fault injection.
+//
+// Benchmarks and tests must be reproducible run-to-run, so everything random
+// in this repository flows through Rng, a splitmix64-seeded xoshiro256**
+// generator. Rng satisfies std::uniform_random_bit_generator and therefore
+// composes with <random> distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rdmc::util {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Log-normally distributed double with the given underlying mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rdmc::util

@@ -1,0 +1,81 @@
+// Streaming statistics and fixed-sample percentile summaries.
+//
+// Benchmarks accumulate per-transfer latencies into Sample objects and then
+// report the same aggregates the paper reports (means, medians, CDF points
+// for Fig 9, min/max skew for the scalability discussion).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rdmc::util {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A buffered sample supporting exact percentiles and CDF extraction.
+class Sample {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Exact percentile by linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// (fraction, value) pairs suitable for plotting a CDF with `points`
+  /// equally spaced fractions in (0, 1].
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width bucket histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count_at(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+  double bucket_low(std::size_t i) const;
+  double bucket_high(std::size_t i) const;
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace rdmc::util

@@ -1,0 +1,33 @@
+// Aligned text tables for benchmark output.
+//
+// Every bench binary prints the same rows/series the paper's tables and
+// figures report; TextTable handles column alignment so the output is
+// directly readable (and greppable by EXPERIMENTS.md tooling).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rdmc::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdmc::util

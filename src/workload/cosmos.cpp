@@ -1,0 +1,104 @@
+#include "workload/cosmos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdmc::workload {
+
+namespace {
+std::uint64_t choose3(std::uint64_t n) {
+  return n * (n - 1) * (n - 2) / 6;
+}
+}  // namespace
+
+CosmosTraceGenerator::CosmosTraceGenerator(CosmosConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.num_hosts >= 3);
+  assert(config_.mean_bytes > config_.median_bytes);
+  mu_ = std::log(static_cast<double>(config_.median_bytes));
+  // mean = median * exp(sigma^2 / 2)  =>  sigma = sqrt(2 ln(mean/median)).
+  sigma_ = std::sqrt(2.0 * std::log(static_cast<double>(config_.mean_bytes) /
+                                    static_cast<double>(config_.median_bytes)));
+}
+
+std::uint32_t CosmosTraceGenerator::num_groups() const {
+  return static_cast<std::uint32_t>(choose3(config_.num_hosts));
+}
+
+std::array<std::uint32_t, 3> CosmosTraceGenerator::group_members(
+    std::uint32_t group_index) const {
+  // Unrank the combination in lexicographic order.
+  std::array<std::uint32_t, 3> combo{};
+  std::uint32_t remaining = group_index;
+  std::uint32_t next = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    for (std::uint32_t v = next;; ++v) {
+      // Combinations starting with v at this slot.
+      const std::uint32_t tail = 2 - slot;
+      const std::uint32_t rest = config_.num_hosts - v - 1;
+      std::uint64_t count = 1;
+      if (tail == 2) count = static_cast<std::uint64_t>(rest) * (rest - 1) / 2;
+      else if (tail == 1) count = rest;
+      if (remaining < count) {
+        combo[slot] = v;
+        next = v + 1;
+        break;
+      }
+      remaining -= static_cast<std::uint32_t>(count);
+    }
+  }
+  return combo;
+}
+
+std::uint32_t CosmosTraceGenerator::index_of(
+    const std::array<std::uint32_t, 3>& combo) const {
+  // Rank the sorted combination lexicographically.
+  std::uint32_t rank = 0;
+  std::uint32_t prev = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    for (std::uint32_t v = prev; v < combo[slot]; ++v) {
+      const std::uint32_t tail = 2 - slot;
+      const std::uint32_t rest = config_.num_hosts - v - 1;
+      std::uint64_t count = 1;
+      if (tail == 2) count = static_cast<std::uint64_t>(rest) * (rest - 1) / 2;
+      else if (tail == 1) count = rest;
+      rank += static_cast<std::uint32_t>(count);
+    }
+    prev = combo[slot] + 1;
+  }
+  return rank;
+}
+
+CosmosWrite CosmosTraceGenerator::next() {
+  CosmosWrite write;
+  const double raw = rng_.lognormal(mu_, sigma_);
+  write.bytes = static_cast<std::uint64_t>(
+      std::clamp(raw, static_cast<double>(config_.min_bytes),
+                 static_cast<double>(config_.max_bytes)));
+
+  // Draw 3 distinct hosts via partial Fisher-Yates over [0, num_hosts).
+  std::array<std::uint32_t, 3> replicas{};
+  std::uint32_t chosen = 0;
+  while (chosen < 3) {
+    const auto candidate = static_cast<std::uint32_t>(
+        rng_.uniform(0, config_.num_hosts - 1));
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < chosen; ++i)
+      duplicate |= replicas[i] == candidate;
+    if (!duplicate) replicas[chosen++] = candidate;
+  }
+  std::sort(replicas.begin(), replicas.end());
+  write.replicas = replicas;
+  write.group_index = index_of(replicas);
+  return write;
+}
+
+std::vector<CosmosWrite> CosmosTraceGenerator::generate(std::size_t count) {
+  std::vector<CosmosWrite> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) trace.push_back(next());
+  return trace;
+}
+
+}  // namespace rdmc::workload

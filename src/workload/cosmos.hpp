@@ -1,0 +1,63 @@
+// Synthetic stand-in for the Microsoft Cosmos replication-layer trace
+// (paper §5.2.2, Fig 9).
+//
+// The real trace is proprietary; the paper discloses its aggregate shape:
+// several million 3-node writes with random target nodes, object sizes from
+// hundreds of bytes to hundreds of MB, median 12 MB, mean 29 MB. A
+// log-normal with mu = ln(median) and sigma = sqrt(2 ln(mean/median))
+// reproduces exactly those statistics; sizes are clamped to the stated
+// range. Replica groups are drawn uniformly from the C(15,3) = 455
+// combinations of the 15 replica hosts — the 455 pre-created RDMC groups
+// the paper mentions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace rdmc::workload {
+
+struct CosmosWrite {
+  std::uint64_t bytes = 0;
+  /// Replica host indices in [0, num_hosts), sorted ascending.
+  std::array<std::uint32_t, 3> replicas{};
+  /// Index of the (sorted) replica combination in [0, C(num_hosts, 3)) —
+  /// identifies which pre-created group serves this write.
+  std::uint32_t group_index = 0;
+};
+
+struct CosmosConfig {
+  std::uint32_t num_hosts = 15;
+  std::uint64_t median_bytes = 12'000'000;
+  std::uint64_t mean_bytes = 29'000'000;
+  std::uint64_t min_bytes = 200;           // "hundreds of bytes"
+  std::uint64_t max_bytes = 256'000'000;   // "hundreds of MB"
+  std::uint64_t seed = 0xC05305;
+};
+
+class CosmosTraceGenerator {
+ public:
+  explicit CosmosTraceGenerator(CosmosConfig config = {});
+
+  CosmosWrite next();
+  std::vector<CosmosWrite> generate(std::size_t count);
+
+  /// Number of distinct 3-replica groups: C(num_hosts, 3).
+  std::uint32_t num_groups() const;
+
+  /// Enumerate the sorted 3-subsets in group_index order.
+  std::array<std::uint32_t, 3> group_members(std::uint32_t group_index) const;
+
+  const CosmosConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t index_of(const std::array<std::uint32_t, 3>& combo) const;
+
+  CosmosConfig config_;
+  util::Rng rng_;
+  double mu_, sigma_;
+};
+
+}  // namespace rdmc::workload

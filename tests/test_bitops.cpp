@@ -1,0 +1,81 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rdmc::util {
+namespace {
+
+TEST(Bitops, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Bitops, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(512), 9u);
+  EXPECT_EQ(ceil_log2(513), 10u);
+}
+
+TEST(Bitops, CeilFloorRelation) {
+  for (std::uint64_t x = 1; x < 10000; ++x) {
+    EXPECT_LE(floor_log2(x), ceil_log2(x));
+    EXPECT_LE(ceil_log2(x) - floor_log2(x), 1u);
+    EXPECT_EQ(floor_log2(x) == ceil_log2(x), is_pow2(x));
+  }
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Bitops, TrailingZeros) {
+  EXPECT_EQ(trailing_zeros(1), 0u);
+  EXPECT_EQ(trailing_zeros(2), 1u);
+  EXPECT_EQ(trailing_zeros(12), 2u);
+  EXPECT_EQ(trailing_zeros(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(Bitops, RotrBasic) {
+  // rotr of 001 by 1 within 3 bits -> 100 (the paper's sigma(1,1) = 4).
+  EXPECT_EQ(rotr_bits(0b001, 1, 3), 0b100u);
+  EXPECT_EQ(rotr_bits(0b011, 2, 3), 0b110u);
+  EXPECT_EQ(rotr_bits(0b010, 1, 3), 0b001u);
+  EXPECT_EQ(rotr_bits(0b110, 0, 3), 0b110u);
+  // Full rotation is identity.
+  EXPECT_EQ(rotr_bits(0b101, 3, 3), 0b101u);
+}
+
+TEST(Bitops, RotlInvertsRotr) {
+  for (std::uint32_t l = 1; l <= 12; ++l) {
+    const std::uint32_t mask = (1u << l) - 1;
+    for (std::uint32_t v = 0; v <= mask; v += 3) {
+      for (std::uint32_t r = 0; r <= 2 * l; ++r) {
+        EXPECT_EQ(rotl_bits(rotr_bits(v, r, l), r, l), v)
+            << "l=" << l << " v=" << v << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(Bitops, RotrPreservesPopcount) {
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(std::popcount(rotr_bits(v, 4, 6)), std::popcount(v));
+  }
+}
+
+}  // namespace
+}  // namespace rdmc::util

@@ -1,0 +1,102 @@
+// The synthetic Cosmos trace must reproduce the statistics the paper
+// discloses (§5.2.2): 3-node writes over 15 hosts, sizes from hundreds of
+// bytes to hundreds of MB, median 12 MB, mean 29 MB, 455 distinct groups.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/cosmos.hpp"
+
+namespace rdmc::workload {
+namespace {
+
+TEST(Cosmos, GroupCountIs455) {
+  CosmosTraceGenerator gen;
+  EXPECT_EQ(gen.num_groups(), 455u);  // C(15,3)
+}
+
+TEST(Cosmos, GroupUnrankingRoundTrips) {
+  CosmosTraceGenerator gen;
+  std::set<std::array<std::uint32_t, 3>> seen;
+  for (std::uint32_t g = 0; g < gen.num_groups(); ++g) {
+    const auto combo = gen.group_members(g);
+    EXPECT_LT(combo[0], combo[1]);
+    EXPECT_LT(combo[1], combo[2]);
+    EXPECT_LT(combo[2], 15u);
+    EXPECT_TRUE(seen.insert(combo).second) << "duplicate combination";
+  }
+  EXPECT_EQ(seen.size(), 455u);
+}
+
+TEST(Cosmos, WritesReferenceValidGroups) {
+  CosmosTraceGenerator gen;
+  for (int i = 0; i < 2000; ++i) {
+    const CosmosWrite w = gen.next();
+    ASSERT_LT(w.group_index, gen.num_groups());
+    EXPECT_EQ(gen.group_members(w.group_index), w.replicas);
+  }
+}
+
+TEST(Cosmos, SizeDistributionMatchesPaper) {
+  CosmosTraceGenerator gen;
+  const auto trace = gen.generate(60000);
+  std::vector<double> sizes;
+  double sum = 0;
+  for (const auto& w : trace) {
+    sizes.push_back(static_cast<double>(w.bytes));
+    sum += static_cast<double>(w.bytes);
+    ASSERT_GE(w.bytes, gen.config().min_bytes);
+    ASSERT_LE(w.bytes, gen.config().max_bytes);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  const double mean = sum / static_cast<double>(sizes.size());
+  // Paper: median 12 MB, mean 29 MB. The max clamp pulls the mean down a
+  // few percent; accept +-15%.
+  EXPECT_NEAR(median, 12e6, 12e6 * 0.1);
+  EXPECT_NEAR(mean, 29e6, 29e6 * 0.15);
+  // "object sizes varying from hundreds of bytes to hundreds of MB".
+  EXPECT_LT(sizes.front(), 1e5);
+  EXPECT_GT(sizes.back(), 2e8);
+}
+
+TEST(Cosmos, ReplicasAreDistinctAndUniform) {
+  CosmosTraceGenerator gen;
+  std::vector<int> host_hits(15, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const CosmosWrite w = gen.next();
+    EXPECT_NE(w.replicas[0], w.replicas[1]);
+    EXPECT_NE(w.replicas[1], w.replicas[2]);
+    for (auto r : w.replicas) ++host_hits[r];
+  }
+  // Each host appears in ~3/15 of writes.
+  const double expect = 3.0 * n / 15.0;
+  for (int h = 0; h < 15; ++h)
+    EXPECT_NEAR(host_hits[h], expect, expect * 0.1) << "host " << h;
+}
+
+TEST(Cosmos, Deterministic) {
+  CosmosTraceGenerator a, b;
+  for (int i = 0; i < 100; ++i) {
+    const auto wa = a.next(), wb = b.next();
+    EXPECT_EQ(wa.bytes, wb.bytes);
+    EXPECT_EQ(wa.replicas, wb.replicas);
+  }
+}
+
+TEST(Cosmos, CustomHostCount) {
+  CosmosConfig cfg;
+  cfg.num_hosts = 6;
+  CosmosTraceGenerator gen(cfg);
+  EXPECT_EQ(gen.num_groups(), 20u);  // C(6,3)
+  for (int i = 0; i < 200; ++i) {
+    const auto w = gen.next();
+    EXPECT_LT(w.replicas[2], 6u);
+    EXPECT_LT(w.group_index, 20u);
+  }
+}
+
+}  // namespace
+}  // namespace rdmc::workload

@@ -1,0 +1,179 @@
+// Tests for the max-min fair flow model — the property the whole
+// evaluation leans on (fair sharing, duplex NICs, TOR saturation).
+#include <gtest/gtest.h>
+
+#include "sim/flow_network.hpp"
+
+namespace rdmc::sim {
+namespace {
+
+constexpr double kGbps = 1e9 / 8.0;  // bytes/sec per Gb/s
+
+struct Fixture {
+  explicit Fixture(TopologyConfig cfg) : topo(cfg), net(sim, topo) {}
+  Simulator sim;
+  Topology topo;
+  FlowNetwork net;
+};
+
+TEST(FlowNetwork, SingleFlowAtLineRate) {
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  double done_at = -1;
+  f.net.start_flow(0, 1, 100.0 * kGbps, [&](SimTime t) { done_at = t; });
+  f.sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);  // 100 Gb moved at 100 Gb/s
+}
+
+TEST(FlowNetwork, TwoFlowsShareTxPort) {
+  // Two flows out of node 0: the tx port halves each.
+  Fixture f(TopologyConfig{.num_nodes = 3, .nic_gbps = 100.0});
+  double t1 = -1, t2 = -1;
+  f.net.start_flow(0, 1, 50.0 * kGbps, [&](SimTime t) { t1 = t; });
+  f.net.start_flow(0, 2, 50.0 * kGbps, [&](SimTime t) { t2 = t; });
+  f.sim.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, FullDuplexNoInterference) {
+  // A->B and B->A use opposite port directions: both at line rate.
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  double t1 = -1, t2 = -1;
+  f.net.start_flow(0, 1, 100.0 * kGbps, [&](SimTime t) { t1 = t; });
+  f.net.start_flow(1, 0, 100.0 * kGbps, [&](SimTime t) { t2 = t; });
+  f.sim.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, RxPortBottleneck) {
+  // Two senders into one receiver: rx port is the bottleneck.
+  Fixture f(TopologyConfig{.num_nodes = 3, .nic_gbps = 100.0});
+  double t1 = -1, t2 = -1;
+  f.net.start_flow(0, 2, 50.0 * kGbps, [&](SimTime t) { t1 = t; });
+  f.net.start_flow(1, 2, 50.0 * kGbps, [&](SimTime t) { t2 = t; });
+  f.sim.run();
+  EXPECT_NEAR(t1, 1.0, 1e-9);
+  EXPECT_NEAR(t2, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, RateRecomputedOnDeparture) {
+  // A short and a long flow share a port; after the short one finishes the
+  // long one speeds up to line rate.
+  Fixture f(TopologyConfig{.num_nodes = 3, .nic_gbps = 100.0});
+  double t_short = -1, t_long = -1;
+  f.net.start_flow(0, 1, 25.0 * kGbps, [&](SimTime t) { t_short = t; });
+  f.net.start_flow(0, 2, 75.0 * kGbps, [&](SimTime t) { t_long = t; });
+  f.sim.run();
+  // Short: 25 Gb at 50 Gb/s = 0.5 s. Long: 25 Gb at 50 Gb/s then 50 Gb at
+  // 100 Gb/s = 0.5 + 0.5 = 1.0 s.
+  EXPECT_NEAR(t_short, 0.5, 1e-9);
+  EXPECT_NEAR(t_long, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, PairCapSlowLink) {
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  f.topo.set_pair_cap(0, 1, 50.0);
+  double done = -1;
+  f.net.start_flow(0, 1, 50.0 * kGbps, [&](SimTime t) { done = t; });
+  f.sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);  // capped at 50 Gb/s
+}
+
+TEST(FlowNetwork, OversubscribedTorSaturates) {
+  // Two racks of 4, uplink 100 Gb/s, NICs 100 Gb/s. Four inter-rack flows
+  // from distinct sources share the uplink: 25 Gb/s each.
+  TopologyConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nic_gbps = 100.0;
+  cfg.nodes_per_rack = 4;
+  cfg.rack_uplink_gbps = 100.0;
+  Fixture f(cfg);
+  std::vector<double> done(4, -1);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    f.net.start_flow(i, 4 + i, 25.0 * kGbps,
+                     [&, i](SimTime t) { done[i] = t; });
+  }
+  f.sim.run();
+  for (double t : done) EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, IntraRackUnaffectedByTor) {
+  TopologyConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nic_gbps = 100.0;
+  cfg.nodes_per_rack = 4;
+  cfg.rack_uplink_gbps = 10.0;  // tiny uplink
+  Fixture f(cfg);
+  double t_intra = -1;
+  f.net.start_flow(0, 1, 100.0 * kGbps, [&](SimTime t) { t_intra = t; });
+  f.sim.run();
+  EXPECT_NEAR(t_intra, 1.0, 1e-9);  // full rate inside the rack
+}
+
+TEST(FlowNetwork, MaxMinNotEqualSplit) {
+  // Flows: A: 0->1, B: 0->2, C: 3->2. Port 0 tx and port 2 rx both have
+  // capacity 100 with two flows each. Max-min: all flows get 50.
+  Fixture f(TopologyConfig{.num_nodes = 4, .nic_gbps = 100.0});
+  f.net.start_flow(0, 1, 50.0 * kGbps, [](SimTime) {});
+  const FlowId b = f.net.start_flow(0, 2, 50.0 * kGbps, [](SimTime) {});
+  const FlowId c = f.net.start_flow(3, 2, 50.0 * kGbps, [](SimTime) {});
+  EXPECT_NEAR(f.net.flow_rate(b), 50.0 * kGbps, 1.0);
+  EXPECT_NEAR(f.net.flow_rate(c), 50.0 * kGbps, 1.0);
+  f.sim.run();
+}
+
+TEST(FlowNetwork, BottleneckedFlowFreesCapacity) {
+  // A slow pair cap on one flow lets a competing flow use the remainder —
+  // the essence of max-min (not proportional) fairness.
+  Fixture f(TopologyConfig{.num_nodes = 3, .nic_gbps = 100.0});
+  f.topo.set_pair_cap(0, 1, 20.0);
+  const FlowId slow = f.net.start_flow(0, 1, 1e9, [](SimTime) {});
+  const FlowId fast = f.net.start_flow(0, 2, 1e9, [](SimTime) {});
+  EXPECT_NEAR(f.net.flow_rate(slow), 20.0 * kGbps, 1.0);
+  EXPECT_NEAR(f.net.flow_rate(fast), 80.0 * kGbps, 1.0);
+  f.net.abort_flow(slow);
+  f.net.abort_flow(fast);
+  f.sim.run();
+}
+
+TEST(FlowNetwork, AbortStopsCallback) {
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  bool fired = false;
+  const FlowId id =
+      f.net.start_flow(0, 1, 1e12, [&](SimTime) { fired = true; });
+  f.sim.after(0.001, [&] { f.net.abort_flow(id); });
+  f.sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(f.net.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, BytesCompletedAccumulates) {
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  f.net.start_flow(0, 1, 1000.0, [](SimTime) {});
+  f.net.start_flow(0, 1, 500.0, [](SimTime) {});
+  f.sim.run();
+  EXPECT_NEAR(f.net.bytes_completed(), 1500.0, 1e-6);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletes) {
+  Fixture f(TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  bool fired = false;
+  f.net.start_flow(0, 1, 0.0, [&](SimTime) { fired = true; });
+  f.sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(FlowNetwork, ManySimultaneousCompletions) {
+  // 8 identical flows from distinct sources to distinct sinks finish at
+  // the same instant; all callbacks must fire.
+  Fixture f(TopologyConfig{.num_nodes = 16, .nic_gbps = 100.0});
+  int fired = 0;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    f.net.start_flow(i, 8 + i, 1e9, [&](SimTime) { ++fired; });
+  f.sim.run();
+  EXPECT_EQ(fired, 8);
+}
+
+}  // namespace
+}  // namespace rdmc::sim

@@ -1,0 +1,154 @@
+// Property-based validation of the max-min fair allocator: for randomized
+// flow sets over randomized topologies, the computed rates must satisfy
+// the defining conditions of the (unique) max-min fair allocation:
+//   (feasibility)  no resource is over its capacity;
+//   (bottleneck)   every flow crosses at least one saturated resource on
+//                  which its rate is maximal among the resource's flows.
+// These two conditions characterise max-min fairness exactly, so passing
+// them across the sweep proves the lazy-heap water filling correct.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/flow_network.hpp"
+#include "util/random.hpp"
+
+namespace rdmc::sim {
+namespace {
+
+struct FlowSpec {
+  NodeId src, dst;
+  double rate = 0.0;
+};
+
+struct Scenario {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t flows;
+  bool racks;
+  bool pair_caps;
+};
+
+class MaxMinProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(MaxMinProperty, AllocationIsMaxMinFair) {
+  const Scenario sc = GetParam();
+  util::Rng rng(sc.seed);
+
+  TopologyConfig cfg;
+  cfg.num_nodes = sc.nodes;
+  cfg.nic_gbps = 100.0;
+  if (sc.racks) {
+    cfg.nodes_per_rack = std::max<std::size_t>(2, sc.nodes / 3);
+    cfg.rack_uplink_gbps = 120.0;
+  }
+  Simulator sim;
+  Topology topo(cfg);
+  FlowNetwork net(sim, topo);
+
+  // Random distinct-endpoint flows (duplicates of (src,dst) allowed: two
+  // QPs between one pair).
+  std::vector<FlowSpec> specs;
+  std::vector<FlowId> ids;
+  for (std::size_t i = 0; i < sc.flows; ++i) {
+    NodeId src = static_cast<NodeId>(rng.uniform(0, sc.nodes - 1));
+    NodeId dst = static_cast<NodeId>(rng.uniform(0, sc.nodes - 1));
+    if (src == dst) dst = (dst + 1) % sc.nodes;
+    specs.push_back({src, dst});
+    ids.push_back(net.start_flow(src, dst, 1e15, [](SimTime) {}));
+  }
+  if (sc.pair_caps) {
+    // Cap a few random pairs used by flows.
+    for (std::size_t i = 0; i < specs.size(); i += 3) {
+      topo.set_pair_cap(specs[i].src, specs[i].dst,
+                        5.0 + 40.0 * rng.uniform01());
+    }
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    specs[i].rate = net.flow_rate(ids[i]);
+
+  // Rebuild the resource usage table independently of the allocator.
+  struct Usage {
+    double cap = 0.0;
+    double used = 0.0;
+    std::vector<std::size_t> flows;
+  };
+  std::map<std::string, Usage> usage;
+  auto touch = [&](const std::string& key, double cap, std::size_t flow) {
+    auto& u = usage[key];
+    u.cap = cap;
+    u.used += specs[flow].rate;
+    u.flows.push_back(flow);
+  };
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& f = specs[i];
+    touch("tx" + std::to_string(f.src), topo.node_tx_Bps(f.src), i);
+    touch("rx" + std::to_string(f.dst), topo.node_rx_Bps(f.dst), i);
+    if (topo.num_racks() > 1 && !topo.same_rack(f.src, f.dst)) {
+      touch("up" + std::to_string(topo.rack_of(f.src)),
+            topo.rack_uplink_Bps(), i);
+      touch("down" + std::to_string(topo.rack_of(f.dst)),
+            topo.rack_uplink_Bps(), i);
+    }
+    if (auto cap = topo.pair_cap_Bps(f.src, f.dst)) {
+      touch("pair" + std::to_string(f.src) + "_" + std::to_string(f.dst),
+            *cap, i);
+    }
+  }
+
+  const double tol = 1e-4 * topo.nic_Bps();
+  // Feasibility.
+  for (const auto& [key, u] : usage)
+    EXPECT_LE(u.used, u.cap + tol) << "resource " << key << " overloaded";
+  // Positivity.
+  for (const auto& f : specs) EXPECT_GT(f.rate, 0.0);
+  // Bottleneck condition.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    bool has_bottleneck = false;
+    for (const auto& [key, u] : usage) {
+      if (std::find(u.flows.begin(), u.flows.end(), i) == u.flows.end())
+        continue;
+      if (u.used < u.cap - tol) continue;  // not saturated
+      double max_rate = 0.0;
+      for (std::size_t j : u.flows)
+        max_rate = std::max(max_rate, specs[j].rate);
+      if (specs[i].rate >= max_rate - tol) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck)
+        << "flow " << i << " (" << specs[i].src << "->" << specs[i].dst
+        << ", rate " << specs[i].rate << ") has no bottleneck";
+  }
+
+  for (FlowId id : ids) net.abort_flow(id);
+  sim.run();
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  std::uint64_t seed = 1000;
+  for (std::size_t nodes : {3, 6, 12, 24}) {
+    for (std::size_t flows : {2, 7, 20, 60}) {
+      for (bool racks : {false, true}) {
+        for (bool caps : {false, true}) {
+          out.push_back({seed++, nodes, flows, racks, caps});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaxMinProperty, ::testing::ValuesIn(scenarios()),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      const Scenario& s = info.param;
+      return "n" + std::to_string(s.nodes) + "_f" +
+             std::to_string(s.flows) + (s.racks ? "_racks" : "_flat") +
+             (s.pair_caps ? "_caps" : "_nocaps");
+    });
+
+}  // namespace
+}  // namespace rdmc::sim

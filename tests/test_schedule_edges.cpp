@@ -1,0 +1,157 @@
+// Edge cases and structural invariants across all schedules that the main
+// property sweep doesn't pin down explicitly.
+#include <gtest/gtest.h>
+
+#include "baselines/mpi_bcast.hpp"
+#include "sched/binomial_pipeline.hpp"
+#include "sched/hybrid.hpp"
+#include "sched/schedule_audit.hpp"
+#include "util/bitops.hpp"
+
+namespace rdmc::sched {
+namespace {
+
+TEST(ScheduleEdges, TwoNodeGroupIsDirectTransfer) {
+  // n=2 degenerates to a plain unicast of k blocks for every algorithm.
+  for (Algorithm a :
+       {Algorithm::kSequential, Algorithm::kChain, Algorithm::kBinomialTree,
+        Algorithm::kBinomialPipeline}) {
+    const AuditResult r = audit_algorithm(a, 2, 7);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.total_transfers, 7u);
+    EXPECT_EQ(r.steps_used, 7u) << algorithm_name(a);
+  }
+}
+
+TEST(ScheduleEdges, SingleBlockMessages) {
+  // k=1: the pipeline collapses to a binomial-spread (l steps); chain to a
+  // line (n-1 steps).
+  const AuditResult pipe =
+      audit_algorithm(Algorithm::kBinomialPipeline, 16, 1);
+  EXPECT_EQ(pipe.steps_used, 4u);
+  const AuditResult chain = audit_algorithm(Algorithm::kChain, 16, 1);
+  EXPECT_EQ(chain.steps_used, 15u);
+}
+
+TEST(ScheduleEdges, StepsMonotoneInBlocks) {
+  for (Algorithm a :
+       {Algorithm::kSequential, Algorithm::kChain, Algorithm::kBinomialTree,
+        Algorithm::kBinomialPipeline}) {
+    auto s = make_schedule(a, 12, 3);
+    std::size_t prev = 0;
+    for (std::size_t k = 1; k <= 40; ++k) {
+      const std::size_t steps = s->num_steps(k);
+      EXPECT_GE(steps, prev) << algorithm_name(a) << " k=" << k;
+      prev = steps;
+    }
+  }
+}
+
+TEST(ScheduleEdges, QueriesBeyondBoundAreEmpty) {
+  for (Algorithm a :
+       {Algorithm::kSequential, Algorithm::kChain, Algorithm::kBinomialTree,
+        Algorithm::kBinomialPipeline}) {
+    for (std::size_t rank : {0, 3, 7}) {
+      auto s = make_schedule(a, 8, rank);
+      const std::size_t bound = s->num_steps(5);
+      for (std::size_t j = bound; j < bound + 4; ++j) {
+        EXPECT_TRUE(s->sends_at(5, j).empty()) << algorithm_name(a);
+        EXPECT_TRUE(s->recvs_at(5, j).empty()) << algorithm_name(a);
+      }
+    }
+  }
+}
+
+TEST(ScheduleEdges, NoSelfTransfers) {
+  for (Algorithm a :
+       {Algorithm::kSequential, Algorithm::kChain, Algorithm::kBinomialTree,
+        Algorithm::kBinomialPipeline}) {
+    for (std::size_t n : {5, 8, 13}) {
+      for (std::size_t rank = 0; rank < n; ++rank) {
+        auto s = make_schedule(a, n, rank);
+        for (std::size_t j = 0; j < s->num_steps(9); ++j) {
+          for (const auto& t : s->sends_at(9, j))
+            EXPECT_NE(t.peer, rank) << algorithm_name(a);
+          for (const auto& t : s->recvs_at(9, j))
+            EXPECT_NE(t.peer, rank) << algorithm_name(a);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleEdges, RootNeverReceivesInNativeAlgorithms) {
+  for (Algorithm a :
+       {Algorithm::kSequential, Algorithm::kChain, Algorithm::kBinomialTree,
+        Algorithm::kBinomialPipeline}) {
+    auto s = make_schedule(a, 16, 0);
+    for (std::size_t j = 0; j < s->num_steps(12); ++j)
+      EXPECT_TRUE(s->recvs_at(12, j).empty()) << algorithm_name(a);
+  }
+}
+
+TEST(ScheduleEdges, HybridWithSingleRackEqualsFlatPipeline) {
+  // One rack means no inter level: the hybrid must behave exactly like
+  // the flat binomial pipeline.
+  const std::size_t n = 8, k = 6;
+  std::vector<std::uint32_t> racks(n, 0);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    HybridSchedule hybrid(n, rank, racks);
+    BinomialPipelineSchedule flat(n, rank);
+    for (std::size_t j = 0; j < flat.num_steps(k) + 2; ++j) {
+      // Hybrid offsets intra steps by 1.
+      const auto hs = hybrid.sends_at(k, j + 1);
+      const auto fs = flat.sends_at(k, j);
+      EXPECT_EQ(hs, fs) << "rank " << rank << " step " << j;
+    }
+  }
+}
+
+TEST(ScheduleEdges, HybridPerNodeRacksOk) {
+  // Degenerate: every node its own rack => pure inter-level pipeline.
+  const std::size_t n = 6;
+  std::vector<std::uint32_t> racks(n);
+  for (std::size_t i = 0; i < n; ++i) racks[i] = static_cast<std::uint32_t>(i);
+  const AuditResult r = audit_schedule(
+      [&](std::size_t rank) {
+        return std::make_unique<HybridSchedule>(n, rank, racks);
+      },
+      n, 5);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(ScheduleEdges, PipelinePlanCacheSharesAcrossRanks) {
+  // Two instances for the same (n, k) must agree (shared pruned plan) and
+  // repeated queries must be stable.
+  BinomialPipelineSchedule a(11, 4), b(11, 4);
+  for (std::size_t j = 0; j < a.num_steps(9); ++j) {
+    EXPECT_EQ(a.sends_at(9, j), b.sends_at(9, j));
+    EXPECT_EQ(a.sends_at(9, j), a.sends_at(9, j));
+  }
+}
+
+TEST(ScheduleEdges, MpiFallbackBoundary) {
+  // k = n-1 uses the tree; k = n uses scatter+allgather; both complete.
+  const std::size_t n = 8;
+  for (std::size_t k : {n - 1, n, n + 1}) {
+    const AuditResult r = audit_schedule(
+        [&](std::size_t rank) {
+          return std::make_unique<baseline::MpiBcastSchedule>(n, rank);
+        },
+        n, k);
+    EXPECT_TRUE(r.complete) << "k=" << k;
+    EXPECT_TRUE(r.consistent) << "k=" << k;
+  }
+}
+
+TEST(ScheduleEdges, LargeOddGroupAudit) {
+  const AuditResult r = audit_algorithm(Algorithm::kBinomialPipeline, 321, 17);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.duplicate_deliveries, 0u);
+  EXPECT_EQ(r.total_transfers, 320u * 17u);
+}
+
+}  // namespace
+}  // namespace rdmc::sched

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_profiles.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace rdmc::sim {
+namespace {
+
+// ----------------------------------------------------------- event queue --
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, [&, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, Cancel) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));  // double-cancel is a no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelHead) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+// ------------------------------------------------------------- simulator --
+
+TEST(Simulator, ClockAdvances) {
+  Simulator sim;
+  double seen = -1;
+  sim.after(1.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.after(1.0, [&] {
+    times.push_back(sim.now());
+    sim.after(2.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, RunUntil) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(1.0, [&] { ++fired; });
+  sim.after(5.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(sim.run_until(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsProcessedCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.after(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// -------------------------------------------------------------- topology --
+
+TEST(Topology, FlatRack) {
+  Topology topo(TopologyConfig{.num_nodes = 16, .nic_gbps = 100.0});
+  EXPECT_EQ(topo.num_racks(), 1u);
+  EXPECT_TRUE(topo.same_rack(0, 15));
+  EXPECT_DOUBLE_EQ(topo.nic_Bps(), 100e9 / 8.0);
+}
+
+TEST(Topology, Racks) {
+  TopologyConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.nodes_per_rack = 16;
+  cfg.rack_uplink_gbps = 100.0;
+  Topology topo(cfg);
+  EXPECT_EQ(topo.num_racks(), 3u);
+  EXPECT_EQ(topo.rack_of(0), 0u);
+  EXPECT_EQ(topo.rack_of(15), 0u);
+  EXPECT_EQ(topo.rack_of(16), 1u);
+  EXPECT_EQ(topo.rack_of(39), 2u);
+  EXPECT_TRUE(topo.same_rack(0, 15));
+  EXPECT_FALSE(topo.same_rack(15, 16));
+}
+
+TEST(Topology, InterRackLatency) {
+  TopologyConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.nodes_per_rack = 16;
+  cfg.base_latency_s = 1e-6;
+  cfg.inter_rack_extra_latency_s = 2e-6;
+  Topology topo(cfg);
+  EXPECT_DOUBLE_EQ(topo.latency(0, 1), 1e-6);
+  EXPECT_DOUBLE_EQ(topo.latency(0, 31), 3e-6);
+}
+
+TEST(Topology, PairCapOverride) {
+  Topology topo(TopologyConfig{.num_nodes = 4, .nic_gbps = 100.0});
+  EXPECT_FALSE(topo.pair_cap_Bps(0, 1).has_value());
+  topo.set_pair_cap(0, 1, 50.0);
+  ASSERT_TRUE(topo.pair_cap_Bps(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*topo.pair_cap_Bps(0, 1), 50e9 / 8.0);
+  EXPECT_FALSE(topo.pair_cap_Bps(1, 0).has_value());  // directional
+}
+
+TEST(Topology, SlowNode) {
+  Topology topo(TopologyConfig{.num_nodes = 4, .nic_gbps = 100.0});
+  topo.set_node_nic(2, 40.0);
+  EXPECT_DOUBLE_EQ(topo.node_tx_Bps(2), 40e9 / 8.0);
+  EXPECT_DOUBLE_EQ(topo.node_tx_Bps(1), 100e9 / 8.0);
+}
+
+// ------------------------------------------------------- cluster profiles --
+
+TEST(ClusterProfiles, Presets) {
+  const auto fractus = fractus_profile();
+  EXPECT_EQ(fractus.topology.num_nodes, 16u);
+  EXPECT_DOUBLE_EQ(fractus.topology.nic_gbps, 100.0);
+  EXPECT_EQ(fractus.topology.nodes_per_rack, 0u);
+
+  const auto sierra = sierra_profile(512);
+  EXPECT_EQ(sierra.topology.num_nodes, 512u);
+  EXPECT_DOUBLE_EQ(sierra.topology.nic_gbps, 40.0);
+
+  const auto apt = apt_profile(64);
+  EXPECT_EQ(apt.topology.nodes_per_rack, 16u);
+  EXPECT_GT(apt.topology.rack_uplink_gbps, 0.0);
+  // The TOR is oversubscribed: uplink < sum of member NIC rates.
+  EXPECT_LT(apt.topology.rack_uplink_gbps,
+            apt.topology.nic_gbps * 16);
+}
+
+}  // namespace
+}  // namespace rdmc::sim

@@ -1,0 +1,344 @@
+// One-sided window writes and the §4.6 small-message protocol.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "core/small_group.hpp"
+#include "fabric/mem_fabric.hpp"
+#include "fabric/sim_fabric.hpp"
+#include "util/random.hpp"
+
+namespace rdmc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------- fabric window writes --
+
+TEST(WindowWrite, MemFabricPlacesBytes) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<fabric::Completion> at_target;
+  std::vector<std::byte> window(256, std::byte{0});
+  fabric::MemFabric fabric(2);
+  fabric.endpoint(1).set_completion_handler(
+      [&](const fabric::Completion& c) {
+        std::lock_guard lock(m);
+        at_target.push_back(c);
+        cv.notify_all();
+      });
+  fabric.endpoint(0).set_completion_handler([](const fabric::Completion&) {});
+
+  fabric.endpoint(1).register_window(
+      9, fabric::MemoryView{window.data(), window.size()});
+  fabric::QueuePair* qp = fabric.connect(0, 1, 9);
+
+  std::vector<std::byte> payload(32, std::byte{0xAB});
+  ASSERT_TRUE(qp->post_window_write(
+      9, 64, fabric::MemoryView{payload.data(), payload.size()}, 777, 5));
+  {
+    std::unique_lock lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return !at_target.empty(); }));
+  }
+  EXPECT_EQ(at_target[0].opcode, fabric::WcOpcode::kRecvWindowWrite);
+  EXPECT_EQ(at_target[0].immediate, 777u);
+  EXPECT_EQ(at_target[0].byte_len, 32u);
+  EXPECT_EQ(at_target[0].wr_id, 64u);  // offset carried to the target
+  EXPECT_EQ(window[64], std::byte{0xAB});
+  EXPECT_EQ(window[95], std::byte{0xAB});
+  EXPECT_EQ(window[63], std::byte{0});
+  EXPECT_EQ(window[96], std::byte{0});
+}
+
+TEST(WindowWrite, OutOfBoundsBreaksQp) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool disconnected = false;
+  std::vector<std::byte> window(64);
+  fabric::MemFabric fabric(2);
+  fabric.endpoint(0).set_completion_handler(
+      [&](const fabric::Completion& c) {
+        if (c.opcode == fabric::WcOpcode::kDisconnect) {
+          std::lock_guard lock(m);
+          disconnected = true;
+          cv.notify_all();
+        }
+      });
+  fabric.endpoint(1).set_completion_handler([](const fabric::Completion&) {});
+  fabric.endpoint(1).register_window(
+      1, fabric::MemoryView{window.data(), window.size()});
+  fabric::QueuePair* qp = fabric.connect(0, 1, 1);
+  std::vector<std::byte> payload(32);
+  ASSERT_TRUE(qp->post_window_write(
+      1, 48, fabric::MemoryView{payload.data(), payload.size()}, 0, 1));
+  std::unique_lock lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return disconnected; }));
+  EXPECT_TRUE(qp->broken());
+}
+
+TEST(WindowWrite, FifoWithTwoSidedSends) {
+  // A window write posted after a send must not overtake it.
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<fabric::WcOpcode> order;
+  std::vector<std::byte> window(64);
+  fabric::MemFabric fabric(2);
+  fabric.endpoint(1).set_completion_handler(
+      [&](const fabric::Completion& c) {
+        std::lock_guard lock(m);
+        order.push_back(c.opcode);
+        cv.notify_all();
+      });
+  fabric.endpoint(0).set_completion_handler([](const fabric::Completion&) {});
+  fabric.endpoint(1).register_window(
+      2, fabric::MemoryView{window.data(), window.size()});
+  fabric::QueuePair* qp0 = fabric.connect(0, 1, 2);
+  fabric::QueuePair* qp1 = fabric.connect(1, 0, 2);
+
+  std::vector<std::byte> data(16);
+  // Send first (blocked: no recv posted), then a window write behind it.
+  ASSERT_TRUE(qp0->post_send(fabric::MemoryView{data.data(), 16}, 1, 0));
+  ASSERT_TRUE(qp0->post_window_write(
+      2, 0, fabric::MemoryView{data.data(), 16}, 0, 2));
+  std::this_thread::sleep_for(20ms);
+  {
+    std::lock_guard lock(m);
+    EXPECT_TRUE(order.empty()) << "window write overtook a blocked send";
+  }
+  std::vector<std::byte> rbuf(16);
+  ASSERT_TRUE(qp1->post_recv(fabric::MemoryView{rbuf.data(), 16}, 3));
+  std::unique_lock lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() >= 2; }));
+  EXPECT_EQ(order[0], fabric::WcOpcode::kRecv);
+  EXPECT_EQ(order[1], fabric::WcOpcode::kRecvWindowWrite);
+}
+
+TEST(WindowWrite, SimFabricPlacesBytesInVirtualTime) {
+  sim::Simulator simulator;
+  sim::Topology topo(sim::TopologyConfig{.num_nodes = 2, .nic_gbps = 100.0});
+  fabric::SimFabric fabric(simulator, topo, {});
+  std::vector<fabric::Completion> at_target;
+  fabric.endpoint(1).set_completion_handler(
+      [&](const fabric::Completion& c) { at_target.push_back(c); });
+  fabric.endpoint(0).set_completion_handler([](const fabric::Completion&) {});
+  std::vector<std::byte> window(128, std::byte{0});
+  fabric.endpoint(1).register_window(
+      3, fabric::MemoryView{window.data(), window.size()});
+  fabric::QueuePair* qp = fabric.connect(0, 1, 3);
+  std::vector<std::byte> payload(64, std::byte{7});
+  ASSERT_TRUE(qp->post_window_write(
+      3, 32, fabric::MemoryView{payload.data(), payload.size()}, 42, 1));
+  simulator.run();
+  ASSERT_EQ(at_target.size(), 1u);
+  EXPECT_EQ(at_target[0].opcode, fabric::WcOpcode::kRecvWindowWrite);
+  EXPECT_EQ(window[32], std::byte{7});
+  EXPECT_GT(simulator.now(), 0.0);  // took wire time
+}
+
+// ------------------------------------------------- small-message protocol --
+
+class SmallCluster {
+ public:
+  explicit SmallCluster(std::size_t n) : fabric_(n), received_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      nodes_.push_back(
+          std::make_unique<Node>(fabric_, static_cast<NodeId>(i)));
+  }
+  ~SmallCluster() {
+    nodes_.clear();
+    fabric_.stop();
+  }
+
+  void create_everywhere(GroupId id, std::vector<NodeId> members,
+                         SmallGroupOptions options) {
+    for (NodeId m : members) {
+      ASSERT_TRUE(nodes_[m]->create_small_group(
+          id, members, options,
+          [this, m](const std::byte* data, std::size_t size) {
+            std::lock_guard lock(mutex_);
+            received_[m].emplace_back(data, data + size);
+            cv_.notify_all();
+          },
+          [this](std::size_t seq) {
+            std::lock_guard lock(mutex_);
+            acked_ = std::max(acked_, seq + 1);
+            cv_.notify_all();
+          },
+          [this](GroupId, NodeId) {
+            std::lock_guard lock(mutex_);
+            ++failures_;
+            cv_.notify_all();
+          }));
+    }
+  }
+
+  bool wait_received(NodeId m, std::size_t count) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, 20s,
+                        [&] { return received_[m].size() >= count; });
+  }
+  bool wait_acked(std::size_t count) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, 20s, [&] { return acked_ >= count; });
+  }
+  bool wait_failures(std::size_t count) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, 20s, [&] { return failures_ >= count; });
+  }
+  std::vector<std::byte> received(NodeId m, std::size_t i) {
+    std::lock_guard lock(mutex_);
+    return received_[m][i];
+  }
+
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  fabric::MemFabric& fabric() { return fabric_; }
+
+ private:
+  fabric::MemFabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::vector<std::vector<std::byte>>> received_;
+  std::size_t acked_ = 0;
+  std::size_t failures_ = 0;
+};
+
+std::vector<std::byte> pattern(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::byte> v(size);
+  for (auto& b : v) b = static_cast<std::byte>(rng());
+  return v;
+}
+
+TEST(SmallMessages, DeliversInOrderToAllMembers) {
+  SmallCluster cluster(4);
+  SmallGroupOptions options;
+  options.slot_size = 4096;
+  options.ring_depth = 8;
+  cluster.create_everywhere(1, {0, 1, 2, 3}, options);
+
+  // More messages than the ring depth: exercises wraparound and credits.
+  constexpr std::size_t kCount = 50;
+  std::vector<std::vector<std::byte>> payloads;
+  for (std::size_t i = 0; i < kCount; ++i)
+    payloads.push_back(pattern(100 + i * 7, i));
+  std::size_t sent = 0;
+  while (sent < kCount) {
+    if (cluster.node(0).send_small(1, payloads[sent].data(),
+                                   payloads[sent].size())) {
+      ++sent;
+    } else {
+      std::this_thread::sleep_for(1ms);  // backpressure: ring full
+    }
+  }
+  ASSERT_TRUE(cluster.wait_acked(kCount));
+  for (NodeId m = 1; m < 4; ++m) {
+    ASSERT_TRUE(cluster.wait_received(m, kCount));
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(cluster.received(m, i), payloads[i])
+          << "member " << m << " message " << i;
+  }
+}
+
+TEST(SmallMessages, RejectsOversizeAndNonRoot) {
+  SmallCluster cluster(3);
+  SmallGroupOptions options;
+  options.slot_size = 256;
+  cluster.create_everywhere(1, {0, 1, 2}, options);
+  std::vector<std::byte> big(257);
+  std::vector<std::byte> ok(10);
+  EXPECT_FALSE(cluster.node(0).send_small(1, big.data(), big.size()));
+  EXPECT_FALSE(cluster.node(1).send_small(1, ok.data(), ok.size()));
+  EXPECT_FALSE(cluster.node(0).send_small(99, ok.data(), ok.size()));
+}
+
+TEST(SmallMessages, BackpressureWhenRingFull) {
+  SmallCluster cluster(2);
+  SmallGroupOptions options;
+  options.slot_size = 64;
+  options.ring_depth = 4;
+  cluster.create_everywhere(1, {0, 1}, options);
+  std::vector<std::byte> msg(16);
+  // Wait out the ring-registration handshake: the first accepted send
+  // proves the receiver's window is ready.
+  while (!cluster.node(0).send_small(1, msg.data(), msg.size())) {
+    std::this_thread::sleep_for(1ms);
+  }
+  // Ring depth bounds the number of unacknowledged messages; since the
+  // receiver acks quickly this can't be asserted deterministically, but at
+  // least ring_depth-1 more sends must be accepted from a fresh ring.
+  std::size_t accepted = 1;
+  for (int burst = 0; burst < 200; ++burst) {
+    if (cluster.node(0).send_small(1, msg.data(), msg.size())) ++accepted;
+  }
+  EXPECT_GE(accepted, options.ring_depth);
+  ASSERT_TRUE(cluster.wait_received(1, accepted));
+}
+
+TEST(SmallMessages, FailurePropagates) {
+  SmallCluster cluster(3);
+  cluster.create_everywhere(1, {0, 1, 2}, SmallGroupOptions{});
+  cluster.fabric().crash_node(2);
+  ASSERT_TRUE(cluster.wait_failures(3));
+  std::vector<std::byte> msg(8);
+  EXPECT_FALSE(cluster.node(0).send_small(1, msg.data(), msg.size()));
+  EXPECT_FALSE(cluster.node(0).destroy_small_group(1));  // unclean
+}
+
+TEST(SmallMessages, CoexistsWithRdmcGroup) {
+  // The paper's deployments run both: RDMC for bulk, SMC for control.
+  SmallCluster cluster(3);
+  cluster.create_everywhere(1, {0, 1, 2}, SmallGroupOptions{});
+
+  std::mutex m;
+  std::condition_variable cv;
+  int bulk_delivered = 0;
+  std::vector<std::vector<std::byte>> bufs(3);
+  for (NodeId node = 0; node < 3; ++node) {
+    ASSERT_TRUE(cluster.node(node).create_group(
+        2, {0, 1, 2}, GroupOptions{.block_size = 4096},
+        [&bufs, node](std::size_t size) {
+          bufs[node].resize(size);
+          return fabric::MemoryView{bufs[node].data(), size};
+        },
+        [&, node](std::byte*, std::size_t) {
+          if (node == 0) return;
+          std::lock_guard lock(m);
+          ++bulk_delivered;
+          cv.notify_all();
+        }));
+  }
+  auto bulk = pattern(100000, 1);
+  auto small = pattern(200, 2);
+  ASSERT_TRUE(cluster.node(0).send(2, bulk.data(), bulk.size()));
+  while (!cluster.node(0).send_small(1, small.data(), small.size())) {
+    std::this_thread::sleep_for(1ms);
+  }
+  {
+    std::unique_lock lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, 20s, [&] { return bulk_delivered == 2; }));
+  }
+  ASSERT_TRUE(cluster.wait_received(1, 1));
+  ASSERT_TRUE(cluster.wait_received(2, 1));
+  EXPECT_EQ(cluster.received(1, 0), small);
+  EXPECT_EQ(bufs[1], bulk);
+}
+
+TEST(SmallMessages, DestroyCleanAfterSuccess) {
+  SmallCluster cluster(2);
+  cluster.create_everywhere(1, {0, 1}, SmallGroupOptions{});
+  std::vector<std::byte> msg(32, std::byte{1});
+  while (!cluster.node(0).send_small(1, msg.data(), msg.size())) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(cluster.wait_received(1, 1));
+  ASSERT_TRUE(cluster.wait_acked(1));
+  EXPECT_TRUE(cluster.node(0).destroy_small_group(1));
+  EXPECT_FALSE(cluster.node(0).destroy_small_group(1));
+}
+
+}  // namespace
+}  // namespace rdmc

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rdmc::util {
+namespace {
+
+// ---------------------------------------------------------------- random --
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.uniform(0, 7)];
+  for (int c : seen) EXPECT_GT(c, 800);  // ~1000 expected per bucket
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianAndMean) {
+  Rng rng(17);
+  const double mu = std::log(12.0), sigma = 1.3;
+  std::vector<double> xs;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(rng.lognormal(mu, sigma));
+    sum += xs.back();
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[n / 2], 12.0, 0.5);  // median = e^mu
+  const double expected_mean = 12.0 * std::exp(sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / n, expected_mean, expected_mean * 0.05);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent() == child());
+  EXPECT_LT(same, 3);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(RunningStat, MeanVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Sample, Percentiles) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Sample, CdfMonotone) {
+  Sample s;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform01());
+  auto cdf = s.cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(Sample, SingleValue) {
+  Sample s;
+  s.add(42.0);
+  EXPECT_EQ(s.percentile(0), 42.0);
+  EXPECT_EQ(s.percentile(100), 42.0);
+  EXPECT_EQ(s.median(), 42.0);
+}
+
+TEST(Histogram, Buckets) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.6, 9.9, -1.0, 10.0, 25.0}) h.add(x);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(1), 2u);
+  EXPECT_EQ(h.count_at(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(3), 4.0);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+// ----------------------------------------------------------------- bytes --
+
+TEST(Bytes, Format) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2 KB");
+  EXPECT_EQ(format_bytes(256 * kMiB), "256 MB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3 GB");
+}
+
+TEST(Bytes, ParseSize) {
+  EXPECT_EQ(parse_size("1024"), 1024u);
+  EXPECT_EQ(parse_size("16KB"), 16 * kKiB);
+  EXPECT_EQ(parse_size("1 MB"), kMiB);
+  EXPECT_EQ(parse_size("2g"), 2 * kGiB);
+  EXPECT_EQ(parse_size("8MiB"), 8 * kMiB);
+  EXPECT_FALSE(parse_size("garbage").has_value());
+  EXPECT_FALSE(parse_size("12q").has_value());
+  EXPECT_FALSE(parse_size("").has_value());
+}
+
+TEST(Bytes, Gbps) {
+  // 1.25 GB in one second = 10 Gb/s (decimal).
+  EXPECT_NEAR(to_gbps(1.25e9, 1.0), 10.0, 1e-9);
+  EXPECT_EQ(to_gbps(100, 0.0), 0.0);
+}
+
+TEST(Bytes, FormatDuration) {
+  EXPECT_EQ(format_duration(2.5), "2.500 s");
+  EXPECT_EQ(format_duration(0.0615), "61.50 ms");
+  EXPECT_EQ(format_duration(450e-6), "450.0 us");
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TextTable, Render) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumFormat) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace rdmc::util
