@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_small_messages.dir/ablation_small_messages.cpp.o"
+  "CMakeFiles/ablation_small_messages.dir/ablation_small_messages.cpp.o.d"
+  "ablation_small_messages"
+  "ablation_small_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_small_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_completion_modes.dir/fig11_completion_modes.cpp.o"
+  "CMakeFiles/fig11_completion_modes.dir/fig11_completion_modes.cpp.o.d"
+  "fig11_completion_modes"
+  "fig11_completion_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_completion_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_completion_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_core_direct.dir/fig12_core_direct.cpp.o"
+  "CMakeFiles/fig12_core_direct.dir/fig12_core_direct.cpp.o.d"
+  "fig12_core_direct"
+  "fig12_core_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_core_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_algorithms.dir/fig4_algorithms.cpp.o"
+  "CMakeFiles/fig4_algorithms.dir/fig4_algorithms.cpp.o.d"
+  "fig4_algorithms"
+  "fig4_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tiny_messages.dir/fig7_tiny_messages.cpp.o"
+  "CMakeFiles/fig7_tiny_messages.dir/fig7_tiny_messages.cpp.o.d"
+  "fig7_tiny_messages"
+  "fig7_tiny_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tiny_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

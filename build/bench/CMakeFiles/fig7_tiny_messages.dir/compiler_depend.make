@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_tiny_messages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cosmos.dir/fig9_cosmos.cpp.o"
+  "CMakeFiles/fig9_cosmos.dir/fig9_cosmos.cpp.o.d"
+  "fig9_cosmos"
+  "fig9_cosmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cosmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

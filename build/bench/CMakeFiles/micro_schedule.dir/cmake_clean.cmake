@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_schedule.dir/micro_schedule.cpp.o"
+  "CMakeFiles/micro_schedule.dir/micro_schedule.cpp.o.d"
+  "micro_schedule"
+  "micro_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_multicast.dir/atomic_multicast.cpp.o"
+  "CMakeFiles/atomic_multicast.dir/atomic_multicast.cpp.o.d"
+  "atomic_multicast"
+  "atomic_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_replicator.dir/file_replicator.cpp.o"
+  "CMakeFiles/file_replicator.dir/file_replicator.cpp.o.d"
+  "file_replicator"
+  "file_replicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_replicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for file_replicator.
+# This may be replaced when dependencies are built.

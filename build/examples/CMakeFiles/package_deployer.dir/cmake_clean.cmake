@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_deployer.dir/package_deployer.cpp.o"
+  "CMakeFiles/package_deployer.dir/package_deployer.cpp.o.d"
+  "package_deployer"
+  "package_deployer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_deployer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

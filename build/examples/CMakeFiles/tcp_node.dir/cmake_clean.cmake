@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_node.dir/tcp_node.cpp.o"
+  "CMakeFiles/tcp_node.dir/tcp_node.cpp.o.d"
+  "tcp_node"
+  "tcp_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_analysis.dir/model.cpp.o"
+  "CMakeFiles/rdmc_analysis.dir/model.cpp.o.d"
+  "librdmc_analysis.a"
+  "librdmc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_baselines.dir/mpi_bcast.cpp.o"
+  "CMakeFiles/rdmc_baselines.dir/mpi_bcast.cpp.o.d"
+  "librdmc_baselines.a"
+  "librdmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/group.cpp" "src/core/CMakeFiles/rdmc_core.dir/group.cpp.o" "gcc" "src/core/CMakeFiles/rdmc_core.dir/group.cpp.o.d"
+  "/root/repo/src/core/rdmc.cpp" "src/core/CMakeFiles/rdmc_core.dir/rdmc.cpp.o" "gcc" "src/core/CMakeFiles/rdmc_core.dir/rdmc.cpp.o.d"
+  "/root/repo/src/core/small_group.cpp" "src/core/CMakeFiles/rdmc_core.dir/small_group.cpp.o" "gcc" "src/core/CMakeFiles/rdmc_core.dir/small_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdmc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rdmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rdmc_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_core.dir/group.cpp.o"
+  "CMakeFiles/rdmc_core.dir/group.cpp.o.d"
+  "CMakeFiles/rdmc_core.dir/rdmc.cpp.o"
+  "CMakeFiles/rdmc_core.dir/rdmc.cpp.o.d"
+  "CMakeFiles/rdmc_core.dir/small_group.cpp.o"
+  "CMakeFiles/rdmc_core.dir/small_group.cpp.o.d"
+  "librdmc_core.a"
+  "librdmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

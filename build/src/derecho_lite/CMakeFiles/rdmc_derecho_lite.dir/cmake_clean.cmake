@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_derecho_lite.dir/atomic_group.cpp.o"
+  "CMakeFiles/rdmc_derecho_lite.dir/atomic_group.cpp.o.d"
+  "librdmc_derecho_lite.a"
+  "librdmc_derecho_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_derecho_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

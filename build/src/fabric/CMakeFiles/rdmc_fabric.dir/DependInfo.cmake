@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/mem_fabric.cpp" "src/fabric/CMakeFiles/rdmc_fabric.dir/mem_fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/rdmc_fabric.dir/mem_fabric.cpp.o.d"
+  "/root/repo/src/fabric/sim_fabric.cpp" "src/fabric/CMakeFiles/rdmc_fabric.dir/sim_fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/rdmc_fabric.dir/sim_fabric.cpp.o.d"
+  "/root/repo/src/fabric/tcp_fabric.cpp" "src/fabric/CMakeFiles/rdmc_fabric.dir/tcp_fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/rdmc_fabric.dir/tcp_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdmc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_fabric.dir/mem_fabric.cpp.o"
+  "CMakeFiles/rdmc_fabric.dir/mem_fabric.cpp.o.d"
+  "CMakeFiles/rdmc_fabric.dir/sim_fabric.cpp.o"
+  "CMakeFiles/rdmc_fabric.dir/sim_fabric.cpp.o.d"
+  "CMakeFiles/rdmc_fabric.dir/tcp_fabric.cpp.o"
+  "CMakeFiles/rdmc_fabric.dir/tcp_fabric.cpp.o.d"
+  "librdmc_fabric.a"
+  "librdmc_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdmc_fabric.a"
+)

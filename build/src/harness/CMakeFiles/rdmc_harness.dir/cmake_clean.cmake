@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_harness.dir/sim_harness.cpp.o"
+  "CMakeFiles/rdmc_harness.dir/sim_harness.cpp.o.d"
+  "librdmc_harness.a"
+  "librdmc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

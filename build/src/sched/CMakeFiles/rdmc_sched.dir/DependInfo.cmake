@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/binomial_pipeline.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/binomial_pipeline.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/binomial_pipeline.cpp.o.d"
+  "/root/repo/src/sched/binomial_tree.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/binomial_tree.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/binomial_tree.cpp.o.d"
+  "/root/repo/src/sched/chain.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/chain.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/chain.cpp.o.d"
+  "/root/repo/src/sched/hybrid.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/hybrid.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_audit.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/schedule_audit.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/schedule_audit.cpp.o.d"
+  "/root/repo/src/sched/sequential.cpp" "src/sched/CMakeFiles/rdmc_sched.dir/sequential.cpp.o" "gcc" "src/sched/CMakeFiles/rdmc_sched.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_sched.dir/binomial_pipeline.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/binomial_pipeline.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/binomial_tree.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/binomial_tree.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/chain.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/chain.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/hybrid.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/schedule.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/schedule_audit.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/schedule_audit.cpp.o.d"
+  "CMakeFiles/rdmc_sched.dir/sequential.cpp.o"
+  "CMakeFiles/rdmc_sched.dir/sequential.cpp.o.d"
+  "librdmc_sched.a"
+  "librdmc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

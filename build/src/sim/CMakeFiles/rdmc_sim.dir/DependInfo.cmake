@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_profiles.cpp" "src/sim/CMakeFiles/rdmc_sim.dir/cluster_profiles.cpp.o" "gcc" "src/sim/CMakeFiles/rdmc_sim.dir/cluster_profiles.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/rdmc_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/rdmc_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flow_network.cpp" "src/sim/CMakeFiles/rdmc_sim.dir/flow_network.cpp.o" "gcc" "src/sim/CMakeFiles/rdmc_sim.dir/flow_network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/rdmc_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/rdmc_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/rdmc_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/rdmc_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

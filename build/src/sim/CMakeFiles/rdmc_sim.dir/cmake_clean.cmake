@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_sim.dir/cluster_profiles.cpp.o"
+  "CMakeFiles/rdmc_sim.dir/cluster_profiles.cpp.o.d"
+  "CMakeFiles/rdmc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rdmc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rdmc_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/rdmc_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/rdmc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rdmc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rdmc_sim.dir/topology.cpp.o"
+  "CMakeFiles/rdmc_sim.dir/topology.cpp.o.d"
+  "librdmc_sim.a"
+  "librdmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_util.dir/bytes.cpp.o"
+  "CMakeFiles/rdmc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/rdmc_util.dir/logging.cpp.o"
+  "CMakeFiles/rdmc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rdmc_util.dir/random.cpp.o"
+  "CMakeFiles/rdmc_util.dir/random.cpp.o.d"
+  "CMakeFiles/rdmc_util.dir/stats.cpp.o"
+  "CMakeFiles/rdmc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rdmc_util.dir/table.cpp.o"
+  "CMakeFiles/rdmc_util.dir/table.cpp.o.d"
+  "librdmc_util.a"
+  "librdmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

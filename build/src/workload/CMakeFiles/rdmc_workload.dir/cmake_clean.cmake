@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmc_workload.dir/cosmos.cpp.o"
+  "CMakeFiles/rdmc_workload.dir/cosmos.cpp.o.d"
+  "librdmc_workload.a"
+  "librdmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

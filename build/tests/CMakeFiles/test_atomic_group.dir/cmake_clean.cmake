@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_group.dir/test_atomic_group.cpp.o"
+  "CMakeFiles/test_atomic_group.dir/test_atomic_group.cpp.o.d"
+  "test_atomic_group"
+  "test_atomic_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmos.dir/test_cosmos.cpp.o"
+  "CMakeFiles/test_cosmos.dir/test_cosmos.cpp.o.d"
+  "test_cosmos"
+  "test_cosmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_fabric.dir/test_mem_fabric.cpp.o"
+  "CMakeFiles/test_mem_fabric.dir/test_mem_fabric.cpp.o.d"
+  "test_mem_fabric"
+  "test_mem_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

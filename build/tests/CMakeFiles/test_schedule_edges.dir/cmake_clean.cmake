@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_edges.dir/test_schedule_edges.cpp.o"
+  "CMakeFiles/test_schedule_edges.dir/test_schedule_edges.cpp.o.d"
+  "test_schedule_edges"
+  "test_schedule_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

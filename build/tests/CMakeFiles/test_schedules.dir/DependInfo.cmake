@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_schedules.cpp" "tests/CMakeFiles/test_schedules.dir/test_schedules.cpp.o" "gcc" "tests/CMakeFiles/test_schedules.dir/test_schedules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/derecho_lite/CMakeFiles/rdmc_derecho_lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rdmc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rdmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rdmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rdmc_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rdmc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rdmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rdmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fabric.dir/test_sim_fabric.cpp.o"
+  "CMakeFiles/test_sim_fabric.dir/test_sim_fabric.cpp.o.d"
+  "test_sim_fabric"
+  "test_sim_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

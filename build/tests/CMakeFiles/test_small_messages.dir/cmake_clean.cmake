@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_messages.dir/test_small_messages.cpp.o"
+  "CMakeFiles/test_small_messages.dir/test_small_messages.cpp.o.d"
+  "test_small_messages"
+  "test_small_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

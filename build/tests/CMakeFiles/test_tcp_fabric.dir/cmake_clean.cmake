@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_fabric.dir/test_tcp_fabric.cpp.o"
+  "CMakeFiles/test_tcp_fabric.dir/test_tcp_fabric.cpp.o.d"
+  "test_tcp_fabric"
+  "test_tcp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
