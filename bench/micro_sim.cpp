@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the discrete-event simulator core:
+// EventQueue schedule/pop/cancel and FlowNetwork start/finish churn. These
+// are the per-event costs every cluster-scale figure run multiplies by
+// hundreds of thousands.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace rdmc::sim;
+
+// Steady-state schedule/pop mix: a window of pending events is kept full,
+// the queue never drains. Exercises the slab free-list reuse path.
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  EventQueue queue;
+  double t = 0.0;
+  for (std::size_t i = 0; i < window; ++i)
+    queue.schedule(t + static_cast<double>(i), [] {});
+  for (auto _ : state) {
+    auto [when, fn] = queue.pop();
+    benchmark::DoNotOptimize(when);
+    t = when;
+    queue.schedule(t + static_cast<double>(window), [] {});
+  }
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(16)->Arg(4096);
+
+// Schedule + immediately cancel against a full window: the generation
+// check must reject stale heap entries without touching the slab.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  EventQueue queue;
+  double t = 0.0;
+  std::vector<EventId> pending;
+  for (std::size_t i = 0; i < window; ++i)
+    pending.push_back(queue.schedule(static_cast<double>(i + 1), [] {}));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    queue.cancel(pending[next]);
+    pending[next] = queue.schedule(t + static_cast<double>(window), [] {});
+    next = (next + 1) % window;
+  }
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(16)->Arg(4096);
+
+// Disjoint pairs: every flow-set change touches a two-resource component,
+// the best case for incremental reallocation.
+void BM_FlowNetworkDisjointChurn(benchmark::State& state) {
+  const auto pairs = static_cast<std::size_t>(state.range(0));
+  TopologyConfig config;
+  config.num_nodes = 2 * pairs;
+  Topology topology(config);
+  Simulator sim;
+  FlowNetwork net(sim, topology);
+  net.set_cross_check(false);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    net.start_flow(static_cast<NodeId>(2 * p),
+                   static_cast<NodeId>(2 * p + 1), 1e12, nullptr);
+  }
+  std::size_t p = 0;
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    const FlowId id =
+        net.start_flow(static_cast<NodeId>(2 * p),
+                       static_cast<NodeId>(2 * p + 1), 1e12, nullptr);
+    benchmark::DoNotOptimize(net.flow_rate(id));  // forces the reallocation
+    net.abort_flow(id);
+    p = (p + ++salt) % pairs;
+  }
+}
+BENCHMARK(BM_FlowNetworkDisjointChurn)->Arg(8)->Arg(512);
+
+// Shared fan-in: every sender targets one receiver, so all flows share the
+// rx port and a start/abort must touch every one of them — the worst case
+// the boundary-expansion pass has to handle.
+void BM_FlowNetworkSharedFanIn(benchmark::State& state) {
+  const auto senders = static_cast<std::size_t>(state.range(0));
+  TopologyConfig config;
+  config.num_nodes = senders + 1;
+  Topology topology(config);
+  Simulator sim;
+  FlowNetwork net(sim, topology);
+  net.set_cross_check(false);
+  const NodeId sink = static_cast<NodeId>(senders);
+  for (std::size_t s = 0; s < senders; ++s)
+    net.start_flow(static_cast<NodeId>(s), sink, 1e12, nullptr);
+  std::size_t s = 0;
+  for (auto _ : state) {
+    const FlowId id = net.start_flow(static_cast<NodeId>(s), sink, 1e12,
+                                     nullptr);
+    benchmark::DoNotOptimize(net.flow_rate(id));
+    net.abort_flow(id);
+    s = (s + 1) % senders;
+  }
+}
+BENCHMARK(BM_FlowNetworkSharedFanIn)->Arg(8)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace rdmc::harness {
 
@@ -47,6 +48,29 @@ SimCluster::GroupRecord& SimCluster::create_group(GroupId id,
   return *records_.back();
 }
 
+void SimCluster::run_to_quiescence() {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim_.run();
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+}
+
+PerfStats SimCluster::perf_stats() const {
+  const auto& c = fabric_->flows().counters();
+  PerfStats s;
+  s.wall_seconds = wall_seconds_;
+  s.events_processed = sim_.events_processed();
+  s.reallocations = c.reallocations;
+  s.filling_rounds = c.filling_rounds;
+  s.flows_touched = c.flows_touched;
+  s.max_component = c.max_component;
+  s.expand_rounds = c.expand_rounds;
+  s.full_recomputes = c.full_recomputes;
+  s.flow_starts = c.flow_starts;
+  return s;
+}
+
 const SimCluster::GroupRecord& SimCluster::record(GroupId id) const {
   for (const auto& r : records_)
     if (r->id == id) return *r;
@@ -60,7 +84,7 @@ double SimCluster::run_one(GroupId group, std::uint64_t bytes) {
   const bool ok = nodes_[r.members.front()]->send(group, nullptr, bytes);
   assert(ok && "send failed");
   (void)ok;
-  sim_.run();
+  run_to_quiescence();
   double last = start;
   for (const auto& times : r.delivery_times)
     if (!times.empty()) last = std::max(last, times.back());
@@ -109,7 +133,7 @@ MulticastResult run_multicast(const MulticastConfig& config) {
     assert(ok);
     (void)ok;
   }
-  cluster.sim().run();
+  cluster.run_to_quiescence();
   const double end_time = cluster.sim().now();
 
   MulticastResult result;
@@ -132,6 +156,7 @@ MulticastResult run_multicast(const MulticastConfig& config) {
   result.skew_seconds = max_last - first_last;
   const double busy = cluster.fabric().cpu_busy_seconds(0);
   result.root_cpu_fraction = end_time > 0 ? busy / end_time : 0.0;
+  result.perf = cluster.perf_stats();
   return result;
 }
 
@@ -170,7 +195,7 @@ ConcurrentResult run_concurrent(const ConcurrentConfig& config) {
       (void)ok;
     }
   }
-  cluster.sim().run();
+  cluster.run_to_quiescence();
 
   double last = start;
   for (const auto* rec : recs)
@@ -180,6 +205,7 @@ ConcurrentResult run_concurrent(const ConcurrentConfig& config) {
 
   ConcurrentResult result;
   result.makespan_seconds = last - start;
+  result.perf = cluster.perf_stats();
   result.aggregate_gbps =
       static_cast<double>(config.message_bytes) *
       static_cast<double>(config.messages) *

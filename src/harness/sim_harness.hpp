@@ -23,6 +23,22 @@
 
 namespace rdmc::harness {
 
+/// Simulator-core performance observability, reported by every experiment
+/// (and dumped into BENCH_core.json by bench/perf_core). `wall_seconds` is
+/// host time spent inside Simulator::run; the rest are FlowNetwork /
+/// Simulator counters over the experiment.
+struct PerfStats {
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t filling_rounds = 0;
+  std::uint64_t flows_touched = 0;
+  std::uint64_t max_component = 0;
+  std::uint64_t expand_rounds = 0;
+  std::uint64_t full_recomputes = 0;
+  std::uint64_t flow_starts = 0;
+};
+
 /// A simulated cluster with one rdmc::Node per machine.
 class SimCluster {
  public:
@@ -54,6 +70,14 @@ class SimCluster {
   /// (send-submit to last delivery across all members).
   double run_one(GroupId group, std::uint64_t bytes);
 
+  /// Counter snapshot (cumulative since construction); wall_seconds covers
+  /// the Simulator::run calls made through this cluster.
+  PerfStats perf_stats() const;
+
+  /// sim().run() wrapped with host-clock accounting into the wall_seconds
+  /// reported by perf_stats().
+  void run_to_quiescence();
+
   const GroupRecord& record(GroupId id) const;
 
  private:
@@ -62,6 +86,7 @@ class SimCluster {
   std::unique_ptr<fabric::SimFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<GroupRecord>> records_;
+  double wall_seconds_ = 0.0;
 };
 
 /// One-shot multicast experiment (most figures).
@@ -97,6 +122,7 @@ struct MulticastResult {
   double skew_seconds = 0.0;
   /// Virtual CPU busy fraction at the root over the run.
   double root_cpu_fraction = 0.0;
+  PerfStats perf;
 };
 
 MulticastResult run_multicast(const MulticastConfig& config);
@@ -117,6 +143,7 @@ struct ConcurrentConfig {
 struct ConcurrentResult {
   double makespan_seconds = 0.0;
   double aggregate_gbps = 0.0;  // total bytes sent / makespan
+  PerfStats perf;
 };
 
 ConcurrentResult run_concurrent(const ConcurrentConfig& config);

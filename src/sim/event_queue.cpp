@@ -5,50 +5,63 @@
 namespace rdmc::sim {
 
 EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  const EventId id = make_id(slot, s.generation);
   heap_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
   ++live_count_;
   return id;
 }
 
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // free the closure immediately
+  s.live = false;
+  ++s.generation;  // invalidate the id (and any stale heap entry)
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation_of(id)) return false;
+  release_slot(slot);
   --live_count_;
   return true;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    auto c = cancelled_.find(heap_.top().id);
-    if (c == cancelled_.end()) return;
-    cancelled_.erase(c);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const {
-  return live_count_ == 0;
+void EventQueue::drop_stale() {
+  // Heap entries for cancelled events are abandoned in place; their slot
+  // generation no longer matches, so they are skimmed off here.
+  while (!heap_.empty() && !entry_live(heap_.top())) heap_.pop();
 }
 
 SimTime EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->drop_cancelled();
+  const_cast<EventQueue*>(this)->drop_stale();
   assert(!heap_.empty());
   return heap_.top().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_stale();
   assert(!heap_.empty());
   const Entry top = heap_.top();
   heap_.pop();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Fired fired{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  const std::uint32_t slot = slot_of(top.id);
+  Fired fired{top.time, std::move(slots_[slot].fn)};
+  release_slot(slot);
   --live_count_;
   return fired;
 }

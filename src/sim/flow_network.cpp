@@ -3,62 +3,216 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 namespace rdmc::sim {
 
-namespace {
-/// Flows whose residue drops below this many bytes are considered done
-/// (guards against floating-point drift in long simulations).
-constexpr double kByteEpsilon = 1e-3;
-}  // namespace
-
 FlowNetwork::FlowNetwork(Simulator& sim, Topology& topology)
-    : sim_(sim), topology_(topology) {
-  const std::size_t n = topology.num_nodes();
+    : sim_(sim), topology_(topology), topo_version_(topology.version()) {
+  const auto n = static_cast<std::uint32_t>(topology.num_nodes());
+  const auto racks = static_cast<std::uint32_t>(topology.num_racks());
   tx_.resize(n);
   rx_.resize(n);
-  rack_up_.resize(topology.num_racks());
-  rack_down_.resize(topology.num_racks());
+  rack_up_.resize(racks);
+  rack_down_.resize(racks);
+  // Disjoint tie-break id ranges per resource class, so simultaneous-freeze
+  // ordering can never depend on an accidental cross-class collision.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tx_[i].kind = Resource::Kind::kTx;
+    tx_[i].index = i;
+    tx_[i].id = i;
+    tx_[i].cap = topology.node_tx_Bps(i);
+    rx_[i].kind = Resource::Kind::kRx;
+    rx_[i].index = i;
+    rx_[i].id = n + i;
+    rx_[i].cap = topology.node_rx_Bps(i);
+  }
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    rack_up_[r].kind = Resource::Kind::kRackUp;
+    rack_up_[r].index = r;
+    rack_up_[r].id = 2 * n + r;
+    rack_up_[r].cap = topology.rack_uplink_Bps();
+    rack_down_[r].kind = Resource::Kind::kRackDown;
+    rack_down_[r].index = r;
+    rack_down_[r].id = 2 * n + racks + r;
+    rack_down_[r].cap = topology.rack_uplink_Bps();
+  }
+  pair_id_base_ = 2 * n + 2 * racks;
 }
+
+// ------------------------------------------------------------- flow slab --
+
+std::uint32_t FlowNetwork::alloc_slot() {
+  if (free_head_ != kNone) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void FlowNetwork::free_slot(std::uint32_t slot) {
+  Flow& f = slab_[slot];
+  f.id = kInvalidFlow;
+  f.on_complete = nullptr;
+  f.placed = false;
+  f.res_count = 0;
+  f.rate = 0.0;
+  f.bottleneck = nullptr;
+  f.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void FlowNetwork::remove_flow(std::uint32_t slot) {
+  Flow& f = slab_[slot];
+  if (f.placed) {
+    for (std::uint32_t i = 0; i < f.res_count; ++i) {
+      Resource* r = f.res[i];
+      dirty_seeds_.push_back(r);
+      // Swap-remove from the member list, fixing the moved flow's position.
+      const std::uint32_t p = f.pos_in_res[i];
+      assert(r->members[p] == slot);
+      r->members[p] = r->members.back();
+      r->members.pop_back();
+      if (p < static_cast<std::uint32_t>(r->members.size())) {
+        Flow& moved = slab_[r->members[p]];
+        for (std::uint32_t j = 0; j < moved.res_count; ++j) {
+          if (moved.res[j] == r) {
+            moved.pos_in_res[j] = p;
+            break;
+          }
+        }
+      }
+    }
+  } else {
+    // Started and removed within one instant: never wired into resources.
+    pending_new_.erase(
+        std::find(pending_new_.begin(), pending_new_.end(), slot));
+  }
+  if (f.heap_pos != kNone) heap_remove(slot);
+  id_to_slot_.erase(f.id);
+  free_slot(slot);
+}
+
+// ------------------------------------------------ membership & components --
+
+void FlowNetwork::build_membership(std::uint32_t slot) {
+  Flow& f = slab_[slot];
+  assert(!f.placed);
+  auto touch = [&](Resource& r) {
+    f.res[f.res_count] = &r;
+    f.pos_in_res[f.res_count] = static_cast<std::uint32_t>(r.members.size());
+    ++f.res_count;
+    r.members.push_back(slot);
+    dirty_seeds_.push_back(&r);
+  };
+  touch(tx_[f.src]);
+  touch(rx_[f.dst]);
+  if (topology_.num_racks() > 1 && topology_.rack_uplink_Bps() > 0.0 &&
+      !topology_.same_rack(f.src, f.dst)) {
+    touch(rack_up_[topology_.rack_of(f.src)]);
+    touch(rack_down_[topology_.rack_of(f.dst)]);
+  }
+  if (topology_.has_pair_caps()) {
+    if (topology_.pair_cap_Bps(f.src, f.dst)) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(f.src) << 32) | f.dst;
+      auto [it, inserted] = pair_res_.try_emplace(key);
+      Resource& r = it->second;
+      if (inserted) {
+        r.kind = Resource::Kind::kPair;
+        r.index = pair_seq_;
+        r.id = pair_id_base_ + pair_seq_;
+        r.pair_key = key;
+        r.cap = resource_capacity(r);
+        ++pair_seq_;
+      }
+      touch(r);
+    }
+  }
+  f.placed = true;
+  f.last_update = sim_.now();
+}
+
+void FlowNetwork::rebuild_all_membership() {
+  // Topology capacities changed under us (set_pair_cap / set_node_nic after
+  // flows were established): the cached membership may now be wrong — e.g. a
+  // pair cap appeared on a path an existing flow uses. Rewire everything and
+  // recompute all rates once; this is the cold path.
+  auto reset = [&](Resource& r) {
+    r.members.clear();
+    r.cap = resource_capacity(r);
+  };
+  for (auto& r : tx_) reset(r);
+  for (auto& r : rx_) reset(r);
+  for (auto& r : rack_up_) reset(r);
+  for (auto& r : rack_down_) reset(r);
+  for (auto& [key, r] : pair_res_) reset(r);
+  for (std::uint32_t slot = 0; slot < slab_.size(); ++slot) {
+    Flow& f = slab_[slot];
+    if (f.id == kInvalidFlow || !f.placed) continue;
+    // Charge progress at the old rate first: build_membership stamps
+    // last_update = now, which would otherwise swallow the elapsed window.
+    settle(f);
+    f.placed = false;
+    f.res_count = 0;
+    build_membership(slot);
+  }
+  recompute_all_ = true;
+}
+
+void FlowNetwork::settle(Flow& flow) {
+  const SimTime now = sim_.now();
+  if (now <= flow.last_update) return;
+  flow.remaining -= flow.rate * (now - flow.last_update);
+  if (flow.remaining < 0.0) flow.remaining = 0.0;
+  flow.last_update = now;
+}
+
+// ------------------------------------------------------------- public API --
 
 FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes,
                                std::function<void(SimTime)> on_complete) {
   assert(src < topology_.num_nodes() && dst < topology_.num_nodes());
   assert(src != dst);
-  advance_to_now();
   const FlowId id = next_id_++;
   const double size = std::max(bytes, 1.0);
-  flows_.emplace(id, Flow{src, dst, size, size, 0.0, std::move(on_complete)});
+  const std::uint32_t slot = alloc_slot();
+  Flow& f = slab_[slot];
+  f.src = src;
+  f.dst = dst;
+  f.total = size;
+  f.remaining = size;
+  f.rate = 0.0;
+  f.last_update = sim_.now();
+  f.id = id;
+  f.on_complete = std::move(on_complete);
+  assert(f.heap_pos == kNone && f.res_count == 0 && !f.placed);
+  id_to_slot_.emplace(id, slot);
+  pending_new_.push_back(slot);
+  ++counters_.flow_starts;
   mark_dirty();
   return id;
 }
 
 void FlowNetwork::abort_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  advance_to_now();
-  flows_.erase(it);
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return;
+  ++counters_.flow_aborts;
+  remove_flow(it->second);
   mark_dirty();
 }
 
 double FlowNetwork::flow_rate(FlowId id) const {
   const_cast<FlowNetwork*>(this)->flush_dirty();
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? 0.0 : slab_[it->second].rate;
 }
 
-void FlowNetwork::advance_to_now() {
-  const SimTime now = sim_.now();
-  const double elapsed = now - last_advance_;
-  last_advance_ = now;
-  if (elapsed <= 0.0) return;
-  for (auto& [id, flow] : flows_) {
-    flow.remaining -= flow.rate * elapsed;
-    if (flow.remaining < 0.0) flow.remaining = 0.0;
-  }
-}
+// ------------------------------------------------------------ reallocation --
 
 void FlowNetwork::mark_dirty() {
   if (dirty_) return;
@@ -68,7 +222,7 @@ void FlowNetwork::mark_dirty() {
   dirty_event_ = sim_.at(sim_.now(), [this] {
     dirty_ = false;
     dirty_event_ = kInvalidEvent;
-    reallocate();
+    reallocate_dirty();
   });
 }
 
@@ -79,183 +233,457 @@ void FlowNetwork::flush_dirty() {
     sim_.cancel(dirty_event_);
     dirty_event_ = kInvalidEvent;
   }
-  reallocate();
+  reallocate_dirty();
 }
 
-void FlowNetwork::reallocate() {
-  // --- Max-min fairness by lazy-heap water filling. The global fill level
-  // lambda rises; a resource r exhausts at lambda_r = lambda + rem/live.
-  // A min-heap orders resources by estimated exhaust level; stale entries
-  // (whose live count dropped since insertion) are re-pushed on pop. Every
-  // flow crossing an exhausting resource freezes at rate lambda. This is
-  // O(F log F) per reallocation versus the naive O(F^2) scan rounds.
-  ++epoch_;
-  const std::size_t n = topology_.num_nodes();
-  const bool multi_rack =
-      topology_.num_racks() > 1 && topology_.rack_uplink_Bps() > 0.0;
-  const bool pair_caps = topology_.has_pair_caps();
-
-  active_.clear();
-  touched_.clear();
-  auto touch = [&](Resource& r, double capacity, std::uint32_t id,
-                   std::uint32_t flow_index) {
-    if (r.epoch != epoch_) {
-      r.epoch = epoch_;
-      r.cap = capacity;
-      r.rem = capacity;
-      r.last_lambda = 0.0;
-      r.live = 0;
-      r.id = id;
-      r.flow_idx.clear();
-      touched_.push_back(&r);
+double FlowNetwork::resource_capacity(const Resource& r) const {
+  switch (r.kind) {
+    case Resource::Kind::kTx:
+      return topology_.node_tx_Bps(r.index);
+    case Resource::Kind::kRx:
+      return topology_.node_rx_Bps(r.index);
+    case Resource::Kind::kRackUp:
+    case Resource::Kind::kRackDown:
+      return topology_.rack_uplink_Bps();
+    case Resource::Kind::kPair: {
+      const auto cap = topology_.pair_cap_Bps(
+          static_cast<NodeId>(r.pair_key >> 32),
+          static_cast<NodeId>(r.pair_key & 0xFFFFFFFFu));
+      assert(cap.has_value());
+      return *cap;
     }
-    ++r.live;
-    r.flow_idx.push_back(flow_index);
+  }
+  return 0.0;
+}
+
+void FlowNetwork::gather_all_active(std::vector<std::uint32_t>& flows,
+                                    std::vector<Resource*>& resources) {
+  for (std::uint32_t slot = 0; slot < slab_.size(); ++slot)
+    if (slab_[slot].id != kInvalidFlow) flows.push_back(slot);
+  auto add = [&](Resource& r) {
+    if (!r.members.empty()) resources.push_back(&r);
   };
+  for (auto& r : tx_) add(r);
+  for (auto& r : rx_) add(r);
+  for (auto& r : rack_up_) add(r);
+  for (auto& r : rack_down_) add(r);
+  for (auto& [key, r] : pair_res_) add(r);
+}
 
-  pair_res_.clear();
-  for (auto& [id, flow] : flows_) {
-    const auto fi = static_cast<std::uint32_t>(active_.size());
-    ActiveFlow af;
-    af.flow = &flow;
-    touch(tx_[flow.src], topology_.node_tx_Bps(flow.src), flow.src, fi);
-    af.resources[af.count++] = &tx_[flow.src];
-    touch(rx_[flow.dst], topology_.node_rx_Bps(flow.dst),
-          static_cast<std::uint32_t>(n) + flow.dst, fi);
-    af.resources[af.count++] = &rx_[flow.dst];
-    if (multi_rack && !topology_.same_rack(flow.src, flow.dst)) {
-      const auto up = static_cast<std::uint32_t>(
-          topology_.rack_of(flow.src));
-      const auto down = static_cast<std::uint32_t>(
-          topology_.rack_of(flow.dst));
-      touch(rack_up_[up], topology_.rack_uplink_Bps(),
-            static_cast<std::uint32_t>(2 * n) + up, fi);
-      af.resources[af.count++] = &rack_up_[up];
-      touch(rack_down_[down], topology_.rack_uplink_Bps(),
-            static_cast<std::uint32_t>(2 * n) +
-                static_cast<std::uint32_t>(topology_.num_racks()) + down,
-            fi);
-      af.resources[af.count++] = &rack_down_[down];
+void FlowNetwork::apply_rates(const std::vector<std::uint32_t>& flows) {
+  for (const std::uint32_t slot : flows) {
+    Flow& f = slab_[slot];
+    const double new_rate = rates_scratch_[slot];
+    f.bottleneck = bottleneck_scratch_[slot];
+    if (f.heap_pos != kNone && new_rate == f.rate) {
+      // Rate unchanged: (last_update, remaining, rate) stays consistent and
+      // the projected completion is bit-identical — skip the heap traffic.
+      continue;
     }
-    if (pair_caps) {
-      if (auto cap = topology_.pair_cap_Bps(flow.src, flow.dst)) {
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(flow.src) << 32) | flow.dst;
-        auto [it, inserted] = pair_res_.try_emplace(key);
-        Resource& r = it->second;
-        if (inserted) r.epoch = 0;  // force re-init in touch
-        touch(r, *cap,
-              static_cast<std::uint32_t>(3 * n) +
-                  static_cast<std::uint32_t>(pair_res_.size()),
-              fi);
-        af.resources[af.count++] = &r;
+    settle(f);
+    f.rate = new_rate;
+    assert(f.rate > 0.0 && "every flow crosses a finite resource");
+    f.proj_done = f.last_update + f.remaining / f.rate;
+    if (f.heap_pos == kNone)
+      heap_push(slot);
+    else
+      heap_update(slot);
+  }
+}
+
+void FlowNetwork::validate_boundary(std::uint64_t mark) {
+  // The combined allocation (fresh rates for local flows, old rates for
+  // everyone else) is THE max-min allocation iff it is feasible and every
+  // flow has a bottleneck: a saturated resource where its rate is maximal.
+  // Local flows got theirs from the fill; flows whose resources were all
+  // untouched kept theirs. That leaves the boundary flows sharing a
+  // resource with the local set — exactly the members of comp_resources_.
+  // A boundary flow h on resource r must join the local set when:
+  //   * some local flow froze at r at level lambda but h.rate > lambda — h
+  //     is hogging a resource the local flow is entitled to grow into;
+  //   * h's own stored bottleneck is r, but r is no longer saturated (h
+  //     could grow) or h is no longer maximal there (h lost its bottleneck).
+  // A boundary flow whose bottleneck lies outside comp_resources_ is
+  // untouched by construction, and its bottleneck is checked when that
+  // resource's turn comes if it is inside.
+  for (Resource* r : comp_resources_) {
+    double usage = 0.0;
+    double max_rate = 0.0;
+    double lambda_local = -1.0;
+    for (const std::uint32_t slot : r->members) {
+      const Flow& h = slab_[slot];
+      const bool local = h.visit_epoch == mark;
+      const double rate = local ? rates_scratch_[slot] : h.rate;
+      usage += rate;
+      if (rate > max_rate) max_rate = rate;
+      if (local && bottleneck_scratch_[slot] == r && rate > lambda_local)
+        lambda_local = rate;
+    }
+    const bool saturated = usage >= r->cap * (1.0 - kExpandTol);
+    for (const std::uint32_t slot : r->members) {
+      Flow& h = slab_[slot];
+      if (h.visit_epoch == mark) continue;
+      bool expand = false;
+      if (lambda_local >= 0.0 && h.rate > lambda_local + kExpandTol * h.rate) {
+        expand = true;
+      } else if (h.bottleneck == r &&
+                 (!saturated || h.rate < max_rate * (1.0 - kExpandTol))) {
+        expand = true;
+      }
+      if (expand) {
+        h.visit_epoch = mark;
+        comp_flows_.push_back(slot);
       }
     }
-    flow.rate = 0.0;
-    af.frozen = false;
-    active_.push_back(af);
   }
-  if (active_.empty()) {
-    schedule_next_completion();
-    return;
-  }
-  ++reallocations_;
+}
 
-  // Heap of (estimated exhaust level, stable id, resource).
-  struct HeapEntry {
-    double lambda_est;
-    std::uint32_t id;
-    Resource* resource;
-    bool operator>(const HeapEntry& o) const {
-      if (lambda_est != o.lambda_est) return lambda_est > o.lambda_est;
-      return id > o.id;
+void FlowNetwork::reallocate_dirty() {
+  if (topology_.version() != topo_version_) {
+    topo_version_ = topology_.version();
+    rebuild_all_membership();
+  }
+  for (const std::uint32_t slot : pending_new_) build_membership(slot);
+  pending_new_.clear();
+
+  comp_flows_.clear();
+  comp_resources_.clear();
+
+  if (recompute_all_) {
+    // Topology capacities changed: every cached rate and bottleneck may be
+    // stale. Refill everything from scratch (the cold path).
+    recompute_all_ = false;
+    dirty_seeds_.clear();
+    gather_all_active(comp_flows_, comp_resources_);
+    if (!comp_flows_.empty()) {
+      ++counters_.reallocations;
+      ++counters_.full_recomputes;
+      counters_.flows_touched += comp_flows_.size();
+      counters_.max_component =
+          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
+      water_fill(comp_flows_, comp_resources_, /*count=*/true);
+      apply_rates(comp_flows_);
     }
+  } else {
+    // Local set: the flows actually on a changed resource. Everyone else
+    // starts out as a fixed-rate boundary.
+    const std::uint64_t mark = ++epoch_;
+    for (Resource* seed : dirty_seeds_) {
+      for (const std::uint32_t slot : seed->members) {
+        Flow& f = slab_[slot];
+        if (f.visit_epoch == mark) continue;
+        f.visit_epoch = mark;
+        comp_flows_.push_back(slot);
+      }
+    }
+    dirty_seeds_.clear();
+    if (comp_flows_.empty()) {
+      schedule_next_completion();
+      return;
+    }
+
+    bool converged = false;
+    std::size_t wired = 0;
+    for (int iter = 0; iter < kMaxExpandRounds; ++iter) {
+      // Pull the resources of newly added local flows into the fill set.
+      for (; wired < comp_flows_.size(); ++wired) {
+        Flow& f = slab_[comp_flows_[wired]];
+        for (std::uint32_t j = 0; j < f.res_count; ++j) {
+          Resource* r = f.res[j];
+          if (r->visit_epoch == mark) continue;
+          r->visit_epoch = mark;
+          comp_resources_.push_back(r);
+        }
+      }
+      water_fill(comp_flows_, comp_resources_, /*count=*/true, mark);
+      const std::size_t before = comp_flows_.size();
+      validate_boundary(mark);
+      if (comp_flows_.size() == before) {
+        converged = true;
+        break;
+      }
+      ++counters_.expand_rounds;
+    }
+
+    if (converged) {
+      ++counters_.reallocations;
+      counters_.flows_touched += comp_flows_.size();
+      counters_.max_component =
+          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
+      apply_rates(comp_flows_);
+    } else {
+      // Expansion kept growing: give up on locality and recompute the whole
+      // affected connected component (worklist BFS over the bipartite
+      // flow/resource graph; components not reached keep their rates —
+      // max-min allocations are independent across components).
+      const std::uint64_t visit = ++epoch_;
+      for (Resource* r : comp_resources_) r->visit_epoch = visit;
+      comp_flows_.clear();
+      for (std::size_t i = 0; i < comp_resources_.size(); ++i) {
+        Resource* r = comp_resources_[i];
+        for (const std::uint32_t slot : r->members) {
+          Flow& f = slab_[slot];
+          if (f.visit_epoch == visit) continue;
+          f.visit_epoch = visit;
+          comp_flows_.push_back(slot);
+          for (std::uint32_t j = 0; j < f.res_count; ++j) {
+            Resource* r2 = f.res[j];
+            if (r2->visit_epoch == visit) continue;
+            r2->visit_epoch = visit;
+            comp_resources_.push_back(r2);
+          }
+        }
+      }
+      ++counters_.reallocations;
+      counters_.flows_touched += comp_flows_.size();
+      counters_.max_component =
+          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
+      water_fill(comp_flows_, comp_resources_, /*count=*/true);
+      apply_rates(comp_flows_);
+    }
+  }
+
+  if (cross_check_) {
+    ++counters_.cross_checks;
+    if (!rates_match_full_recompute(1e-9)) {
+      std::fprintf(stderr,
+                   "FlowNetwork: incremental reallocation diverged from "
+                   "full water-filling (t=%.9f, %zu active flows)\n",
+                   sim_.now(), active_flows());
+      std::abort();
+    }
+  }
+  schedule_next_completion();
+}
+
+void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
+                             const std::vector<Resource*>& comp_resources,
+                             bool count, std::uint64_t local_mark) {
+  // --- Max-min fairness by lazy-heap water filling. The fill level lambda
+  // rises; a resource r exhausts at lambda_r = lambda + rem/live. A
+  // min-heap orders resources by estimated exhaust level; stale entries
+  // (whose live count dropped since insertion) are re-pushed on pop. Every
+  // flow crossing an exhausting resource freezes at rate lambda. Rates
+  // land in rates_scratch_ and the freeze resource (the flow's max-min
+  // bottleneck) in bottleneck_scratch_, both indexed by flow slot; the
+  // caller applies them.
+  //
+  // With a nonzero local_mark, only flows stamped with it are filled; the
+  // other members of each resource are boundary flows held at their
+  // current rates, which are subtracted from the resource's capacity up
+  // front.
+  if (rates_scratch_.size() < slab_.size()) {
+    rates_scratch_.resize(slab_.size());
+    bottleneck_scratch_.resize(slab_.size());
+  }
+  const std::uint64_t fill = ++epoch_;
+
+  const auto entry_later = [](const FillEntry& a, const FillEntry& b) {
+    if (a.lambda_est != b.lambda_est) return a.lambda_est > b.lambda_est;
+    return a.id > b.id;
   };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap;
-  for (Resource* r : touched_)
-    heap.push({r->rem / r->live, r->id, r});
+  fill_heap_.clear();
+  for (Resource* r : comp_resources) {
+    assert(!r->members.empty());
+    double rem = r->cap;
+    std::uint32_t live;
+    if (local_mark != 0) {
+      live = 0;
+      for (const std::uint32_t slot : r->members) {
+        const Flow& h = slab_[slot];
+        if (h.visit_epoch == local_mark)
+          ++live;
+        else
+          rem -= h.rate;
+      }
+      if (rem < 0.0) rem = 0.0;
+      assert(live > 0 && "every local resource carries a local flow");
+    } else {
+      live = static_cast<std::uint32_t>(r->members.size());
+    }
+    r->rem = rem;
+    r->last_lambda = 0.0;
+    r->live = live;
+    r->fill_epoch = fill;
+    fill_heap_.push_back({rem / live, r->id, r});
+  }
+  std::make_heap(fill_heap_.begin(), fill_heap_.end(), entry_later);
 
   double lambda = 0.0;
-  auto refresh = [&lambda](Resource* r) {
+  const auto refresh = [&lambda](Resource* r) {
     r->rem -= (lambda - r->last_lambda) * r->live;
     if (r->rem < 0.0) r->rem = 0.0;
     r->last_lambda = lambda;
   };
 
-  std::size_t unfrozen = active_.size();
-  while (unfrozen > 0 && !heap.empty()) {
-    ++filling_rounds_;
-    const HeapEntry top = heap.top();
-    heap.pop();
+  std::size_t unfrozen = comp_flows.size();
+  while (unfrozen > 0 && !fill_heap_.empty()) {
+    if (count) ++counters_.filling_rounds;
+    std::pop_heap(fill_heap_.begin(), fill_heap_.end(), entry_later);
+    const FillEntry top = fill_heap_.back();
+    fill_heap_.pop_back();
     Resource* r = top.resource;
     if (r->live == 0) continue;  // fully drained by earlier freezes
     refresh(r);
     const double exhaust = lambda + r->rem / r->live;
     if (exhaust > top.lambda_est * (1.0 + 1e-9)) {
-      heap.push({exhaust, r->id, r});  // stale: live dropped since push
+      // Stale: live dropped since this entry was pushed.
+      fill_heap_.push_back({exhaust, r->id, r});
+      std::push_heap(fill_heap_.begin(), fill_heap_.end(), entry_later);
       continue;
     }
     lambda = exhaust;
     r->rem = 0.0;
     r->last_lambda = lambda;
-    // Freeze every remaining flow crossing this resource at rate lambda.
-    for (std::uint32_t fi : r->flow_idx) {
-      ActiveFlow& af = active_[fi];
-      if (af.frozen) continue;
-      af.frozen = true;
-      af.flow->rate = lambda;
+    // Freeze every remaining participating flow crossing this resource.
+    for (const std::uint32_t slot : r->members) {
+      Flow& af = slab_[slot];
+      if (local_mark != 0 && af.visit_epoch != local_mark) continue;
+      if (af.freeze_epoch == fill) continue;
+      af.freeze_epoch = fill;
+      rates_scratch_[slot] = lambda;
+      bottleneck_scratch_[slot] = r;
       --unfrozen;
-      for (std::uint32_t i = 0; i < af.count; ++i) {
-        Resource* r2 = af.resources[i];
+      for (std::uint32_t i = 0; i < af.res_count; ++i) {
+        Resource* r2 = af.res[i];
+        assert(r2->fill_epoch == fill);
         refresh(r2);
         assert(r2->live > 0);
         --r2->live;
-        if (r2 != r && r2->live > 0)
-          heap.push({lambda + r2->rem / r2->live, r2->id, r2});
+        if (r2 != r && r2->live > 0) {
+          fill_heap_.push_back({lambda + r2->rem / r2->live, r2->id, r2});
+          std::push_heap(fill_heap_.begin(), fill_heap_.end(), entry_later);
+        }
       }
     }
     assert(r->live == 0);
   }
   assert(unfrozen == 0 && "every flow crosses a finite resource");
-  schedule_next_completion();
+}
+
+bool FlowNetwork::rates_match_full_recompute(double rel_tol) {
+  flush_dirty();
+  std::vector<std::uint32_t> all_flows;
+  std::vector<Resource*> all_resources;
+  gather_all_active(all_flows, all_resources);
+  water_fill(all_flows, all_resources, /*count=*/false);
+  for (const std::uint32_t slot : all_flows) {
+    const double incremental = slab_[slot].rate;
+    const double full = rates_scratch_[slot];
+    const double denom = std::max(std::abs(incremental), std::abs(full));
+    if (denom > 0.0 && std::abs(incremental - full) > rel_tol * denom)
+      return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------ completion tracking --
+
+bool FlowNetwork::heap_less(std::uint32_t a, std::uint32_t b) const {
+  const Flow& fa = slab_[a];
+  const Flow& fb = slab_[b];
+  if (fa.proj_done != fb.proj_done) return fa.proj_done < fb.proj_done;
+  return fa.id < fb.id;
+}
+
+void FlowNetwork::heap_sift_up(std::uint32_t pos) {
+  const std::uint32_t slot = completion_heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!heap_less(slot, completion_heap_[parent])) break;
+    completion_heap_[pos] = completion_heap_[parent];
+    slab_[completion_heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  completion_heap_[pos] = slot;
+  slab_[slot].heap_pos = pos;
+}
+
+void FlowNetwork::heap_sift_down(std::uint32_t pos) {
+  const auto size = static_cast<std::uint32_t>(completion_heap_.size());
+  const std::uint32_t slot = completion_heap_[pos];
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        heap_less(completion_heap_[child + 1], completion_heap_[child]))
+      ++child;
+    if (!heap_less(completion_heap_[child], slot)) break;
+    completion_heap_[pos] = completion_heap_[child];
+    slab_[completion_heap_[pos]].heap_pos = pos;
+    pos = child;
+  }
+  completion_heap_[pos] = slot;
+  slab_[slot].heap_pos = pos;
+}
+
+void FlowNetwork::heap_push(std::uint32_t slot) {
+  completion_heap_.push_back(slot);
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(completion_heap_.size() - 1);
+  heap_sift_up(slab_[slot].heap_pos);
+}
+
+void FlowNetwork::heap_update(std::uint32_t slot) {
+  const std::uint32_t pos = slab_[slot].heap_pos;
+  heap_sift_down(pos);
+  heap_sift_up(slab_[slot].heap_pos);
+}
+
+void FlowNetwork::heap_remove(std::uint32_t slot) {
+  const std::uint32_t pos = slab_[slot].heap_pos;
+  const std::uint32_t last = completion_heap_.back();
+  completion_heap_.pop_back();
+  slab_[slot].heap_pos = kNone;
+  if (last != slot) {
+    completion_heap_[pos] = last;
+    slab_[last].heap_pos = pos;
+    heap_sift_down(pos);
+    heap_sift_up(slab_[last].heap_pos);
+  }
 }
 
 void FlowNetwork::schedule_next_completion() {
+  if (completion_heap_.empty()) {
+    if (pending_event_ != kInvalidEvent) {
+      sim_.cancel(pending_event_);
+      pending_event_ = kInvalidEvent;
+    }
+    return;
+  }
+  const SimTime when =
+      std::max(slab_[completion_heap_.front()].proj_done, sim_.now());
+  assert(std::isfinite(when) && "active flow with no allocated rate");
   if (pending_event_ != kInvalidEvent) {
+    if (pending_time_ == when) return;  // already scheduled at this instant
     sim_.cancel(pending_event_);
-    pending_event_ = kInvalidEvent;
   }
-  if (flows_.empty()) return;
-  double horizon = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    if (flow.rate <= 0.0) continue;
-    horizon = std::min(horizon, flow.remaining / flow.rate);
-  }
-  assert(std::isfinite(horizon) && "active flow with no allocated rate");
-  pending_event_ =
-      sim_.after(std::max(horizon, 0.0), [this] { on_next_completion(); });
+  pending_time_ = when;
+  pending_event_ = sim_.at(when, [this] { on_next_completion(); });
 }
 
 void FlowNetwork::on_next_completion() {
   pending_event_ = kInvalidEvent;
-  advance_to_now();
-  // Collect every flow that finished at this instant (common in symmetric
-  // schedules where all pairs complete simultaneously).
-  std::vector<std::pair<FlowId, std::function<void(SimTime)>>> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kByteEpsilon) {
-      bytes_completed_ += it->second.total;
-      done.emplace_back(it->first, std::move(it->second.on_complete));
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
+  const SimTime now = sim_.now();
+  // Collect every flow projected to finish at this instant (common in
+  // symmetric schedules where all pairs complete simultaneously).
+  std::vector<std::function<void(SimTime)>> done;
+  while (!completion_heap_.empty() &&
+         slab_[completion_heap_.front()].proj_done <= now) {
+    const std::uint32_t slot = completion_heap_.front();
+    Flow& f = slab_[slot];
+    bytes_completed_ += f.total;
+    ++counters_.flow_completions;
+    done.push_back(std::move(f.on_complete));
+    remove_flow(slot);
+  }
+  if (done.empty()) {
+    // A reallocation moved the head's projection after this event was
+    // scheduled; just re-arm for the new head.
+    schedule_next_completion();
+    return;
   }
   mark_dirty();
-  const SimTime now = sim_.now();
-  for (auto& [id, cb] : done) {
+  for (auto& cb : done) {
     if (cb) cb(now);
   }
 }

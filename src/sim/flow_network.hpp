@@ -10,6 +10,29 @@
 //
 // Resources: per-node NIC tx and rx ports, per-rack uplink/downlink, and
 // optional per-directed-pair caps (slow links, §4.5 item 2).
+//
+// Scaling design (the simulator is our hardware, so this is the hot loop):
+//   * resource→flow membership is maintained persistently — a flow is wired
+//     into its resources once at start and unwired at finish, instead of the
+//     whole table being rebuilt on every reallocation;
+//   * a flow-set change refills only the flows on the changed resources,
+//     holding every neighbouring flow at its current rate. The max-min
+//     allocation is the unique feasible allocation in which every flow has a
+//     bottleneck (a saturated resource where its rate is maximal), so after
+//     the local fill those conditions are checked on the boundary; a
+//     neighbour that violates them joins the local set and the fill repeats.
+//     In lock-step schedules the affected set is tiny even when the
+//     connected component spans every active flow, turning O(F log F) per
+//     change into O(k log k) for k ≈ the flows whose rates actually change.
+//     If expansion fails to settle quickly the code falls back to a full
+//     recomputation of the affected connected component;
+//   * flow progress uses virtual-work accounting: each flow carries a
+//     last-update timestamp and is only settled when its rate changes, so
+//     there is no all-flows scan per event;
+//   * projected completion times live in an indexed min-heap, replacing the
+//     O(F) next-completion scan;
+//   * in assert-enabled builds (or via set_cross_check) every incremental
+//     recomputation is validated against a from-scratch full water-filling.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +63,13 @@ class FlowNetwork {
   /// No-op for unknown/finished ids.
   void abort_flow(FlowId id);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  /// Apply a topology capacity mutation (set_pair_cap / set_node_nic) at
+  /// the current virtual instant. Without this, a mid-run mutation only
+  /// takes effect at the next flow start/finish — fine for degradations
+  /// injected before the run, wrong for failure injection at time t.
+  void topology_changed() { mark_dirty(); }
+
+  std::size_t active_flows() const { return id_to_slot_.size(); }
 
   /// Current fair-share rate of a flow in bytes/sec (0 if unknown).
   double flow_rate(FlowId id) const;
@@ -48,74 +77,194 @@ class FlowNetwork {
   /// Total payload bytes fully delivered since construction.
   double bytes_completed() const { return bytes_completed_; }
 
-  /// Profiling counters: rate recomputations and progressive-filling
-  /// rounds executed so far.
-  std::uint64_t reallocations() const { return reallocations_; }
-  std::uint64_t filling_rounds() const { return filling_rounds_; }
+  /// Profiling counters for perf tracking (BENCH_core.json).
+  struct Counters {
+    std::uint64_t reallocations = 0;   // rate recomputations (any scope)
+    std::uint64_t filling_rounds = 0;  // water-filling heap pops
+    std::uint64_t flows_touched = 0;   // sum of recomputed set sizes
+    std::uint64_t max_component = 0;   // largest single recompute
+    std::uint64_t expand_rounds = 0;   // local-set growth iterations
+    std::uint64_t full_recomputes = 0; // fills that covered every flow
+    std::uint64_t flow_starts = 0;
+    std::uint64_t flow_completions = 0;
+    std::uint64_t flow_aborts = 0;
+    std::uint64_t cross_checks = 0;    // debug full-recompute validations
+  };
+  const Counters& counters() const { return counters_; }
+  std::uint64_t reallocations() const { return counters_.reallocations; }
+  std::uint64_t filling_rounds() const { return counters_.filling_rounds; }
+
+  /// When enabled, every incremental recomputation is cross-checked against
+  /// a from-scratch full water-filling and aborts on divergence. Defaults
+  /// to on in assert-enabled builds, off in NDEBUG builds.
+  void set_cross_check(bool on) { cross_check_ = on; }
+
+  /// Recompute every rate from scratch (ignoring the incremental state) and
+  /// compare with the incrementally maintained rates. True when every flow
+  /// matches within `rel_tol` relative tolerance.
+  bool rates_match_full_recompute(double rel_tol = 1e-9);
 
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
 
  private:
-  struct Flow {
-    NodeId src;
-    NodeId dst;
-    double total;
-    double remaining;
-    double rate = 0.0;
-    std::function<void(SimTime)> on_complete;
-  };
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
-  /// One capacity constraint (NIC port direction, rack uplink direction,
-  /// or pair cap). Epoch-stamped so reallocation needs no clearing pass.
-  /// `rem`/`last_lambda` implement lazy water-level accounting: the
-  /// capacity remaining at global fill level lambda is
-  /// rem - (lambda - last_lambda) * live.
+  /// One capacity constraint. Lives for the whole simulation; `members`
+  /// is the persistently maintained set of active flows crossing it.
+  /// `rem`/`last_lambda`/`live` are per-water-filling scratch implementing
+  /// lazy water-level accounting: the capacity remaining at global fill
+  /// level lambda is rem - (lambda - last_lambda) * live.
   struct Resource {
-    double cap = 0.0;        // configured capacity
-    double rem = 0.0;        // remaining capacity at last_lambda
+    enum class Kind : std::uint8_t { kTx, kRx, kRackUp, kRackDown, kPair };
+    Kind kind = Kind::kTx;
+    std::uint32_t index = 0;  // node, rack, or pair ordinal
+    std::uint32_t id = 0;     // heap tie-break; disjoint range per class
+    std::uint64_t pair_key = 0;
+    std::vector<std::uint32_t> members;  // slab indices of crossing flows
+
+    double cap = 0.0;
+    double rem = 0.0;
     double last_lambda = 0.0;
-    std::uint32_t live = 0;  // unfrozen flows crossing this resource
-    std::uint32_t id = 0;    // stable tie-break for the heap
-    std::uint64_t epoch = 0;
-    std::vector<std::uint32_t> flow_idx;  // active-flow indices crossing it
-  };
-  struct ActiveFlow {
-    Flow* flow = nullptr;
-    Resource* resources[5] = {};
-    std::uint32_t count = 0;
-    bool frozen = false;
+    std::uint32_t live = 0;
+    std::uint64_t fill_epoch = 0;
+    std::uint64_t visit_epoch = 0;
   };
 
-  /// Charge elapsed virtual time against every flow's remaining bytes.
-  void advance_to_now();
+  struct Flow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double total = 0.0;
+    double remaining = 0.0;  // bytes left as of last_update
+    double rate = 0.0;
+    SimTime last_update = 0.0;
+    SimTime proj_done = 0.0;  // last_update + remaining / rate
+    FlowId id = kInvalidFlow;
+    /// The saturated resource this flow was frozen at in the last fill that
+    /// touched it — its max-min bottleneck. Lets the incremental pass decide
+    /// in O(1) whether an untouched neighbour's rate is still justified.
+    Resource* bottleneck = nullptr;
+    std::function<void(SimTime)> on_complete;
+    // Persistent membership: resources crossed, and this flow's position in
+    // each resource's member list (for O(1) swap-removal).
+    Resource* res[5] = {};
+    std::uint32_t pos_in_res[5] = {};
+    std::uint32_t res_count = 0;
+    bool placed = false;  // membership built (happens at first flush)
+    std::uint32_t heap_pos = kNone;  // completion-heap index
+    std::uint32_t next_free = kNone;
+    // Water-filling / component-BFS scratch (epoch-stamped).
+    std::uint64_t freeze_epoch = 0;
+    std::uint64_t visit_epoch = 0;
+  };
+
+  // -- flow slab ----------------------------------------------------------
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  /// Unwire a flow from its resources (seeding the dirty set), drop it from
+  /// the completion heap, and release its slot.
+  void remove_flow(std::uint32_t slot);
+
+  // -- membership & components -------------------------------------------
+  void build_membership(std::uint32_t slot);
+  void rebuild_all_membership();
+  /// Charge elapsed virtual time against one flow's remaining bytes.
+  void settle(Flow& flow);
+
+  // -- reallocation -------------------------------------------------------
   /// Flow-set changes within one virtual instant are coalesced into a
   /// single rate recomputation via a same-time event.
   void mark_dirty();
   void flush_dirty();
-  /// Recompute all rates (progressive filling) and reschedule the next
-  /// completion event.
-  void reallocate();
+  /// Place pending flows, then recompute exactly the rates the flow-set
+  /// change can affect (local fill + boundary expansion, see file comment).
+  void reallocate_dirty();
+  /// Collect every active flow and every non-empty resource.
+  void gather_all_active(std::vector<std::uint32_t>& flows,
+                         std::vector<Resource*>& resources);
+  /// Settle each flow, adopt its scratch rate/bottleneck, reproject its
+  /// completion, and fix up the completion heap.
+  void apply_rates(const std::vector<std::uint32_t>& flows);
+  /// Check the max-min bottleneck conditions for boundary flows adjacent to
+  /// the just-filled local set (marked with `mark`); flows whose rates can
+  /// no longer be justified are stamped and appended to comp_flows_.
+  void validate_boundary(std::uint64_t mark);
+  /// Progressive filling over the given flows/resources; writes per-slot
+  /// rates into rates_scratch_ and freeze resources into bottleneck_scratch_.
+  /// Counts filling rounds only when `count`. When `local_mark` is nonzero,
+  /// only flows stamped with it participate; other members are boundary
+  /// flows whose current rates are subtracted from capacity up front.
+  void water_fill(const std::vector<std::uint32_t>& comp_flows,
+                  const std::vector<Resource*>& comp_resources, bool count,
+                  std::uint64_t local_mark = 0);
+  double resource_capacity(const Resource& r) const;
+
+  /// Water-filling heap entry: (estimated exhaust level, stable id).
+  struct FillEntry {
+    double lambda_est;
+    std::uint32_t id;
+    Resource* resource;
+  };
+
+  // -- completion tracking ------------------------------------------------
+  bool heap_less(std::uint32_t a, std::uint32_t b) const;
+  void heap_sift_up(std::uint32_t pos);
+  void heap_sift_down(std::uint32_t pos);
+  void heap_push(std::uint32_t slot);
+  void heap_update(std::uint32_t slot);
+  void heap_remove(std::uint32_t slot);
   void schedule_next_completion();
   void on_next_completion();
 
   Simulator& sim_;
   Topology& topology_;
-  std::unordered_map<FlowId, Flow> flows_;
-  FlowId next_id_ = 1;
-  SimTime last_advance_ = 0.0;
-  EventId pending_event_ = kInvalidEvent;
-  double bytes_completed_ = 0.0;
 
-  std::uint64_t reallocations_ = 0;
-  std::uint64_t filling_rounds_ = 0;
-  bool dirty_ = false;
-  EventId dirty_event_ = kInvalidEvent;
-  std::uint64_t epoch_ = 0;
+  std::vector<Flow> slab_;
+  std::uint32_t free_head_ = kNone;
+  std::unordered_map<FlowId, std::uint32_t> id_to_slot_;
+  FlowId next_id_ = 1;
+
   std::vector<Resource> tx_, rx_, rack_up_, rack_down_;
   std::unordered_map<std::uint64_t, Resource> pair_res_;
-  std::vector<Resource*> touched_;
-  std::vector<ActiveFlow> active_;
+  std::uint32_t pair_seq_ = 0;
+  std::uint32_t pair_id_base_ = 0;
+
+  std::vector<std::uint32_t> pending_new_;   // started, membership unbuilt
+  std::vector<Resource*> dirty_seeds_;       // membership changed here
+  bool dirty_ = false;
+  EventId dirty_event_ = kInvalidEvent;
+  bool recompute_all_ = false;
+  std::uint64_t topo_version_ = 0;
+
+  std::vector<std::uint32_t> completion_heap_;  // slab indices by proj_done
+  EventId pending_event_ = kInvalidEvent;
+  SimTime pending_time_ = 0.0;
+
+  std::uint64_t epoch_ = 0;  // shared visit/fill epoch counter
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<Resource*> comp_resources_;
+  std::vector<double> rates_scratch_;
+  std::vector<Resource*> bottleneck_scratch_;
+  std::vector<FillEntry> fill_heap_;
+
+  /// Local-set growth rounds before giving up and recomputing the whole
+  /// connected component from scratch.
+  static constexpr int kMaxExpandRounds = 6;
+  /// Relative tolerance for boundary-violation checks. Deliberately much
+  /// tighter than the 1e-9 cross-check tolerance: any real rate change
+  /// larger than this triggers a proper refill, so the error left behind by
+  /// suppressed sub-tolerance changes stays far below what the cross-check
+  /// (and the property tests) can see. FP noise sits near 1e-16, four
+  /// orders below, so spurious expansions don't happen either.
+  static constexpr double kExpandTol = 1e-12;
+
+  double bytes_completed_ = 0.0;
+  Counters counters_;
+#ifdef NDEBUG
+  bool cross_check_ = false;
+#else
+  bool cross_check_ = true;
+#endif
 };
 
 }  // namespace rdmc::sim

@@ -29,6 +29,7 @@ double Topology::latency(NodeId src, NodeId dst) const {
 
 void Topology::set_pair_cap(NodeId src, NodeId dst, double gbps) {
   pair_caps_Bps_[pair_key(src, dst)] = gbps * 1e9 / 8.0;
+  ++version_;
 }
 
 std::optional<double> Topology::pair_cap_Bps(NodeId src, NodeId dst) const {
@@ -39,6 +40,7 @@ std::optional<double> Topology::pair_cap_Bps(NodeId src, NodeId dst) const {
 
 void Topology::set_node_nic(NodeId node, double gbps) {
   node_nic_Bps_[node] = gbps * 1e9 / 8.0;
+  ++version_;
 }
 
 double Topology::node_tx_Bps(NodeId node) const {

@@ -71,6 +71,12 @@ class Topology {
   double node_tx_Bps(NodeId node) const;
   double node_rx_Bps(NodeId node) const;
 
+  /// Bumped on every capacity mutation (set_pair_cap / set_node_nic).
+  /// FlowNetwork keeps resource membership persistently across flow
+  /// arrivals; a version change tells it the cached structure is stale and
+  /// forces one full rebuild.
+  std::uint64_t version() const { return version_; }
+
  private:
   static std::uint64_t pair_key(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
@@ -78,6 +84,7 @@ class Topology {
 
   TopologyConfig config_;
   std::size_t num_racks_ = 1;
+  std::uint64_t version_ = 0;
   std::unordered_map<std::uint64_t, double> pair_caps_Bps_;
   std::unordered_map<NodeId, double> node_nic_Bps_;
 };
