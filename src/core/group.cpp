@@ -193,9 +193,9 @@ void Group::build_transfer_lists(std::size_t num_blocks) {
 void Group::arm_first_block() {
   if (rank_ == 0 || scratch_armed_ || failed_) return;
   Pair& pair = pairs_[first_pair_];
-  if (!pair.qp->post_recv(
+  if (!fabric::ok(pair.qp->post_recv(
           fabric::MemoryView{scratch_.data(), scratch_.size()},
-          /*wr_id=*/0))
+          /*wr_id=*/0)))
     return;
   scratch_armed_ = true;
   ++pair.credits_granted;
@@ -239,7 +239,7 @@ void Group::post_receives(std::size_t pair_index) {
     fabric::MemoryView buf{
         data_ != nullptr ? data_ + block_offset(block) : nullptr,
         block_bytes(block)};
-    if (!pair.qp->post_recv(buf, pair.next_recv_post)) return;
+    if (!fabric::ok(pair.qp->post_recv(buf, pair.next_recv_post))) return;
     ++pair.next_recv_post;
     ++pair.credits_granted;
     granted = true;
@@ -265,8 +265,8 @@ void Group::pump_sends(std::size_t pair_index) {
     fabric::MemoryView buf{
         data_ != nullptr ? data_ + block_offset(block) : nullptr,
         block_bytes(block)};
-    if (!pair.qp->post_send(buf, pair.next_send,
-                            static_cast<std::uint32_t>(size_)))
+    if (!fabric::ok(pair.qp->post_send(buf, pair.next_send,
+                                       static_cast<std::uint32_t>(size_))))
       return;
     ++pair.sends_posted;
     ++pair.next_send;
@@ -361,7 +361,11 @@ void Group::finish_message() {
 
 void Group::on_completion(const fabric::Completion& c,
                           std::size_t pair_index) {
-  if (failed_) return;  // flushed work after a break is expected
+  // Fault-path accounting happens even for quarantined completions, so
+  // campaigns can observe the flush volume a break produced.
+  if (c.status == fabric::WcStatus::kFlushed) ++stats_.flushed_completions;
+  if (c.opcode == fabric::WcOpcode::kDisconnect) ++stats_.disconnects;
+  if (failed_) return;  // dead-epoch completions are quarantined
   Pair& pair = pairs_[pair_index];
   switch (c.opcode) {
     case fabric::WcOpcode::kRecv: {
@@ -427,7 +431,10 @@ std::string Group::debug_dump() const {
   return out;
 }
 
-void Group::on_failure_notice(NodeId suspect) { fail(suspect, false); }
+void Group::on_failure_notice(NodeId suspect) {
+  ++stats_.failure_notices;
+  fail(suspect, false);
+}
 
 void Group::fail(NodeId suspect, bool relay) {
   if (failed_) return;

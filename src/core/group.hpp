@@ -81,6 +81,11 @@ class Group : public QpSink {
     double setup_seconds = 0.0;
     /// Scratch-to-offset first-block copy seconds (§4.2).
     double copy_seconds = 0.0;
+    // Fault-path counters: what the failure machinery saw, including
+    // quarantined completions arriving after the group failed.
+    std::uint64_t flushed_completions = 0;  // kFlushed status seen
+    std::uint64_t disconnects = 0;          // kDisconnect completions seen
+    std::uint64_t failure_notices = 0;      // relayed OOB notices received
   };
   const Stats& stats() const { return stats_; }
 

@@ -98,12 +98,7 @@ bool Node::destroy_group(GroupId group) {
   auto it = groups_.find(group);
   if (it == groups_.end()) return false;
   const bool clean = !it->second->failed();
-  for (auto qp_it = qp_map_.begin(); qp_it != qp_map_.end();) {
-    if (qp_it->second.first == it->second.get())
-      qp_it = qp_map_.erase(qp_it);
-    else
-      ++qp_it;
-  }
+  retire_qps(it->second.get());
   groups_.erase(it);
   return clean;
 }
@@ -154,12 +149,7 @@ bool Node::destroy_small_group(GroupId group) {
   auto it = small_groups_.find(group);
   if (it == small_groups_.end()) return false;
   const bool clean = !it->second->failed();
-  for (auto qp_it = qp_map_.begin(); qp_it != qp_map_.end();) {
-    if (qp_it->second.first == it->second.get())
-      qp_it = qp_map_.erase(qp_it);
-    else
-      ++qp_it;
-  }
+  retire_qps(it->second.get());
   small_groups_.erase(it);
   return clean;
 }
@@ -174,9 +164,13 @@ void Node::on_completion(const fabric::Completion& c) {
   std::lock_guard lock(mutex_);
   auto it = qp_map_.find(c.qp);
   if (it == qp_map_.end()) {
-    // Either a late completion for a destroyed group (drop once the buffer
-    // overflows) or an early credit from a member that finished
-    // create_group before we did (replayed by register_qp).
+    // Quarantine: completions for a destroyed group's queue pairs (flushes
+    // and disconnects racing the teardown) are dropped, never buffered —
+    // they belong to a dead epoch and must not be replayed into whatever
+    // group reuses the channel later.
+    if (retired_qps_.contains(c.qp)) return;
+    // Otherwise an early credit from a member that finished create_group
+    // before we did (replayed by register_qp).
     constexpr std::size_t kMaxUnrouted = 65536;
     RDMC_LOG_DEBUG("core",
                    "node %u: buffering unrouted completion qp=%llu op=%d",
@@ -246,12 +240,29 @@ void Node::relay_failure(GroupId group, const std::vector<NodeId>& members,
   }
 }
 
+void Node::retire_qps(QpSink* sink) {
+  for (auto qp_it = qp_map_.begin(); qp_it != qp_map_.end();) {
+    if (qp_it->second.first == sink) {
+      retired_qps_.insert(qp_it->first);
+      qp_it = qp_map_.erase(qp_it);
+    } else {
+      ++qp_it;
+    }
+  }
+  std::erase_if(unrouted_, [this](const fabric::Completion& c) {
+    return retired_qps_.contains(c.qp);
+  });
+}
+
 void Node::register_qp(fabric::QpId qp, QpSink* sink,
                        std::size_t pair_index) {
   // Called from Group's constructor, which runs under mutex_ via
   // create_group; the recursive mutex also admits re-entry from callbacks.
   std::lock_guard lock(mutex_);
   qp_map_[qp] = {sink, pair_index};
+  // The channel (and thus the QP) may be reused by a re-formed group; from
+  // here on its completions belong to the new epoch.
+  retired_qps_.erase(qp);
   // Replay completions that raced ahead of this group's creation.
   std::vector<fabric::Completion> replay;
   for (auto it = unrouted_.begin(); it != unrouted_.end();) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/options.hpp"
@@ -159,6 +160,9 @@ class Node {
   void relay_failure(GroupId group, const std::vector<NodeId>& members,
                      NodeId suspect);
   void register_qp(fabric::QpId qp, QpSink* sink, std::size_t pair_index);
+  /// Move every queue pair routed to `sink` into the retired set and purge
+  /// its buffered unrouted completions (group teardown, §4.6).
+  void retire_qps(QpSink* sink);
 
   fabric::Fabric& fabric_;
   fabric::Endpoint& endpoint_;
@@ -178,6 +182,12 @@ class Node {
   /// credits before a peer has created its side. Those completions are
   /// buffered here and replayed on registration.
   std::vector<fabric::Completion> unrouted_;
+  /// Queue pairs of destroyed groups. Their dead-epoch completions (often
+  /// flushes racing the teardown) are dropped instead of being buffered in
+  /// unrouted_, where they would eventually crowd out genuine early
+  /// credits during long recovery campaigns. register_qp removes the id
+  /// again: a re-formed group reusing a channel gets the same QP back.
+  std::unordered_set<fabric::QpId> retired_qps_;
 };
 
 }  // namespace rdmc

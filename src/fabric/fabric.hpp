@@ -57,6 +57,24 @@ enum class WcStatus : std::uint8_t {
   kError,
 };
 
+/// Outcome of a QueuePair::post_* call, reported synchronously. Verbs
+/// distinguishes "the connection is (known to be) dead" from "the caller
+/// handed us garbage"; collapsing both into one bool made every caller
+/// guess which recovery path to take (tear the group down vs. fix the
+/// arguments). Remote failures (e.g. an out-of-bounds window write
+/// detected at the target) still surface asynchronously as a connection
+/// break, exactly like a remote-access error on real hardware.
+enum class PostResult : std::uint8_t {
+  kOk = 0,
+  kQpBroken,  // the connection broke, or the QP was locally closed
+  kBadArgs,   // locally detectable misuse (e.g. payload >= 4 GiB: the
+              // byte_len/immediate fields are 32-bit)
+  kWindowViolation,  // locally detectable window misuse (offset + length
+                     // overflows the 64-bit window address space)
+};
+
+constexpr bool ok(PostResult r) { return r == PostResult::kOk; }
+
 struct Completion {
   std::uint64_t wr_id = 0;
   WcOpcode opcode = WcOpcode::kSend;
@@ -76,8 +94,9 @@ enum class CompletionMode : std::uint8_t {
 
 /// One bound queue pair (one side of an RC connection).
 ///
-/// All post_* calls are non-blocking and thread-safe. They return false if
-/// the connection is (already known to be) broken.
+/// All post_* calls are non-blocking and thread-safe. They return
+/// PostResult::kQpBroken if the connection is (already known to be) broken
+/// or the QP was locally closed.
 class QueuePair {
  public:
   virtual ~QueuePair() = default;
@@ -87,33 +106,40 @@ class QueuePair {
 
   /// Two-sided send carrying an immediate value. Completes with kSend at
   /// the sender and kRecv at the receiver (into its oldest posted recv).
-  virtual bool post_send(MemoryView buf, std::uint64_t wr_id,
-                         std::uint32_t immediate) = 0;
+  /// kBadArgs if a real buffer's size does not fit the 32-bit byte_len
+  /// field (phantom — null data — buffers are exempt: they model timing
+  /// only and may legitimately exceed 4 GiB).
+  virtual PostResult post_send(MemoryView buf, std::uint64_t wr_id,
+                               std::uint32_t immediate) = 0;
 
   /// Post a receive buffer. Buffers are consumed in FIFO order.
-  virtual bool post_recv(MemoryView buf, std::uint64_t wr_id) = 0;
+  /// kBadArgs under the same size rule as post_send.
+  virtual PostResult post_recv(MemoryView buf, std::uint64_t wr_id) = 0;
 
   /// One-sided write-with-immediate: delivers a kRecvWriteImm completion at
   /// the peer without consuming a posted receive. Used for the
   /// ready-for-block notification.
-  virtual bool post_write_imm(std::uint32_t immediate,
-                              std::uint64_t wr_id) = 0;
+  virtual PostResult post_write_imm(std::uint32_t immediate,
+                                    std::uint64_t wr_id) = 0;
 
   /// One-sided write with payload into the peer's registered memory window
   /// (the RDMA one-sided write-with-immediate mode of §2, as used by
   /// Derecho's small-message and status-table protocols, §4.6): places
   /// `local` at `offset` within the peer's window `window_id` and delivers
   /// a kRecvWindowWrite completion there (no posted receive consumed).
-  /// FIFO-ordered with the QP's two-sided sends. Fails (false) if the QP
-  /// is broken; a write beyond the window's bounds breaks the connection,
-  /// like a remote-access error on real hardware.
+  /// FIFO-ordered with the QP's two-sided sends.
+  /// Returns kWindowViolation if `offset + local.size` overflows the
+  /// 64-bit window address space (locally detectable misuse); a write
+  /// beyond the *remote* window's bounds is only discovered at the target
+  /// and breaks the connection asynchronously, like a remote-access error
+  /// on real hardware.
   /// `signaled=false` suppresses the issuer-side kWindowWrite completion
   /// (unsignaled verbs posts — senders typically signal every Nth write).
-  virtual bool post_window_write(std::uint32_t window_id,
-                                 std::uint64_t offset, MemoryView local,
-                                 std::uint32_t immediate,
-                                 std::uint64_t wr_id,
-                                 bool signaled = true) = 0;
+  virtual PostResult post_window_write(std::uint32_t window_id,
+                                       std::uint64_t offset, MemoryView local,
+                                       std::uint32_t immediate,
+                                       std::uint64_t wr_id,
+                                       bool signaled = true) = 0;
 
   /// Locally tear the QP down (RDMA destroy-QP): posted receives are
   /// revoked with a fence — on return no in-flight transfer will touch
@@ -173,6 +199,57 @@ class Endpoint {
   virtual void unregister_window(std::uint32_t window_id) = 0;
 };
 
+/// First-class failure injection, exposed uniformly by every backend via
+/// Fabric::faults().
+///
+/// The contract, identical across backends (only the notion of "now"
+/// differs — SimFabric injects at the current *virtual* instant, MemFabric
+/// and TcpFabric immediately in real time):
+///
+///   * break_link(a, b): every connection between the two nodes breaks.
+///     Each non-closed QP side receives kFlushed completions for its posted
+///     work followed by exactly one kDisconnect (this is the hardware
+///     retry-exhaustion report of §2 that RDMC's failure handling, §3
+///     item 6, builds on). Closed QPs receive nothing — close() fences.
+///     A no-op if the nodes share no connection.
+///   * crash_node(n): the node fail-stops. Every connection it participates
+///     in breaks as above (survivors each get their kDisconnect), the node
+///     is marked crashed, and all future out-of-band traffic to or from it
+///     is silently dropped. Connecting to a crashed node yields a
+///     born-broken connection (the QP flushes immediately) rather than a
+///     silent hang.
+///   * degrade_link(a, b, factor, duration): transient capacity fault —
+///     both directions of the pair run at `factor` x their normal bandwidth
+///     for `duration` seconds, then recover. Overlapping degradations nest
+///     (innermost factor wins until it expires). Only meaningful on
+///     backends with a bandwidth model: SimFabric applies it to the flow
+///     network; MemFabric/TcpFabric accept and ignore it (they move real
+///     bytes with no modelled capacity) — returns false when ignored.
+///   * slow_node(n, factor, duration): slow-receiver fault (§3 item 5, the
+///     scenario of Fig 9). The node's completion handling runs `factor` x
+///     slower for `duration` seconds. SimFabric scales the node's modelled
+///     software costs in virtual time; MemFabric/TcpFabric inject a real
+///     delay before each completion dispatch on that node's completion
+///     thread for a real-time window. Returns false when ignored.
+///
+/// All injection calls are safe from any thread, including completion
+/// handlers. They are asynchronous: completions resulting from an injection
+/// surface through the normal completion path, never inline from the call.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  virtual void break_link(NodeId a, NodeId b) = 0;
+  virtual void crash_node(NodeId node) = 0;
+  virtual bool degrade_link(NodeId a, NodeId b, double factor,
+                            double duration_s) = 0;
+  virtual bool slow_node(NodeId node, double factor, double duration_s) = 0;
+
+  /// Ground truth for orchestrators standing in for the external
+  /// membership service of §4.6: has `node` been fail-stopped?
+  virtual bool crashed(NodeId node) const = 0;
+};
+
 /// A fabric instance: a set of endpoints plus connection management.
 class Fabric {
  public:
@@ -188,13 +265,13 @@ class Fabric {
   /// connection.
   virtual QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) = 0;
 
-  /// Sever the connection(s) between two nodes (failure injection). Both
-  /// sides receive kDisconnect completions for every affected QP; posted
-  /// work flushes with kFlushed.
-  virtual void break_link(NodeId a, NodeId b) = 0;
+  /// Failure injection for this fabric (see FaultInjector for the
+  /// contract). The reference stays valid for the fabric's lifetime.
+  virtual FaultInjector& faults() = 0;
 
-  /// Crash a node: breaks every connection it participates in.
-  virtual void crash_node(NodeId node) = 0;
+  /// Convenience shorthands for the two most common injections.
+  void break_link(NodeId a, NodeId b) { faults().break_link(a, b); }
+  void crash_node(NodeId node) { faults().crash_node(node); }
 };
 
 }  // namespace rdmc::fabric

@@ -1,0 +1,175 @@
+#include "fabric/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "fabric/sim_fabric.hpp"
+#include "util/random.hpp"
+
+namespace rdmc::fabric {
+
+namespace {
+
+const char* kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrashNode: return "crash";
+    case FaultEvent::Kind::kBreakLink: return "break";
+    case FaultEvent::Kind::kDegradeLink: return "degrade";
+    case FaultEvent::Kind::kSlowNode: return "slow";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const FaultPlanSpec& spec) {
+  util::Rng rng(seed);
+  std::vector<FaultEvent> events;
+  if (spec.nodes.size() < 2 || spec.max_events == 0) return FaultPlan{};
+
+  const std::set<NodeId> protect(spec.protect.begin(), spec.protect.end());
+  std::set<NodeId> crashed;
+  auto crashable = [&] {
+    std::vector<NodeId> out;
+    if (spec.nodes.size() - crashed.size() <= spec.min_survivors)
+      return out;
+    for (NodeId n : spec.nodes)
+      if (!protect.contains(n) && !crashed.contains(n)) out.push_back(n);
+    return out;
+  };
+  auto pick = [&](const std::vector<NodeId>& from) {
+    return from[rng.uniform(0, from.size() - 1)];
+  };
+
+  const std::size_t lo = std::min(spec.min_events, spec.max_events);
+  const std::size_t count = rng.uniform(lo, spec.max_events);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Weighted kind selection; crash falls through to a link break when no
+    // crashable node remains (so plans keep their event count).
+    double w_crash = crashable().empty() ? 0.0 : spec.crash_weight;
+    const double total = w_crash + spec.break_weight + spec.degrade_weight +
+                         spec.slow_weight;
+    if (total <= 0.0) break;
+    double roll = rng.uniform01() * total;
+
+    FaultEvent e;
+    e.at = rng.uniform01() * spec.window_s;
+    if ((roll -= w_crash) < 0.0) {
+      e.kind = FaultEvent::Kind::kCrashNode;
+      e.node = pick(crashable());
+      crashed.insert(e.node);
+    } else if ((roll -= spec.break_weight) < 0.0) {
+      e.kind = FaultEvent::Kind::kBreakLink;
+      e.node = pick(spec.nodes);
+      do {
+        e.peer = pick(spec.nodes);
+      } while (e.peer == e.node);
+    } else if ((roll -= spec.degrade_weight) < 0.0) {
+      e.kind = FaultEvent::Kind::kDegradeLink;
+      e.node = pick(spec.nodes);
+      do {
+        e.peer = pick(spec.nodes);
+      } while (e.peer == e.node);
+      e.factor = spec.degrade_factor_lo +
+                 rng.uniform01() *
+                     (spec.degrade_factor_hi - spec.degrade_factor_lo);
+      e.duration_s =
+          spec.duration_lo +
+          rng.uniform01() * (spec.duration_hi - spec.duration_lo);
+    } else {
+      e.kind = FaultEvent::Kind::kSlowNode;
+      e.node = pick(spec.nodes);
+      e.factor =
+          spec.slow_factor_lo +
+          rng.uniform01() * (spec.slow_factor_hi - spec.slow_factor_lo);
+      e.duration_s =
+          spec.duration_lo +
+          rng.uniform01() * (spec.duration_hi - spec.duration_lo);
+    }
+    events.push_back(e);
+  }
+  return FaultPlan(std::move(events));
+}
+
+std::vector<NodeId> FaultPlan::crashed_nodes() const {
+  std::vector<NodeId> out;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultEvent::Kind::kCrashNode) continue;
+    if (std::find(out.begin(), out.end(), e.node) == out.end())
+      out.push_back(e.node);
+  }
+  return out;
+}
+
+void FaultPlan::apply(Fabric& fabric, const FaultEvent& event) {
+  FaultInjector& inj = fabric.faults();
+  switch (event.kind) {
+    case FaultEvent::Kind::kCrashNode:
+      inj.crash_node(event.node);
+      break;
+    case FaultEvent::Kind::kBreakLink:
+      inj.break_link(event.node, event.peer);
+      break;
+    case FaultEvent::Kind::kDegradeLink:
+      inj.degrade_link(event.node, event.peer, event.factor,
+                       event.duration_s);
+      break;
+    case FaultEvent::Kind::kSlowNode:
+      inj.slow_node(event.node, event.factor, event.duration_s);
+      break;
+  }
+}
+
+void FaultPlan::schedule_on(SimFabric& fabric) const {
+  sim::Simulator& sim = fabric.simulator();
+  const double start = sim.now();
+  for (const FaultEvent& e : events_) {
+    sim.at(start + e.at, [&fabric, e] { apply(fabric, e); });
+  }
+}
+
+void FaultPlan::execute_now(Fabric& fabric) const {
+  for (const FaultEvent& e : events_) apply(fabric, e);
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char line[128];
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrashNode:
+        std::snprintf(line, sizeof line, "t=%+.3fms %s node %u\n",
+                      e.at * 1e3, kind_name(e.kind), e.node);
+        break;
+      case FaultEvent::Kind::kBreakLink:
+        std::snprintf(line, sizeof line, "t=%+.3fms %s link %u-%u\n",
+                      e.at * 1e3, kind_name(e.kind), e.node, e.peer);
+        break;
+      case FaultEvent::Kind::kDegradeLink:
+        std::snprintf(line, sizeof line,
+                      "t=%+.3fms %s link %u-%u x%.2f for %.2fms\n",
+                      e.at * 1e3, kind_name(e.kind), e.node, e.peer,
+                      e.factor, e.duration_s * 1e3);
+        break;
+      case FaultEvent::Kind::kSlowNode:
+        std::snprintf(line, sizeof line,
+                      "t=%+.3fms %s node %u x%.1f for %.2fms\n", e.at * 1e3,
+                      kind_name(e.kind), e.node, e.factor,
+                      e.duration_s * 1e3);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rdmc::fabric

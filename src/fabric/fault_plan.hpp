@@ -1,0 +1,115 @@
+// Fault plans: declarative, seeded fault-injection campaigns.
+//
+// A FaultPlan is a list of timed fault events (node crashes, link breaks,
+// transient bandwidth degradations, slow receivers) replayed against any
+// fabric's FaultInjector. Plans exist so the §4.6 recovery machinery can be
+// exercised systematically: `FaultPlan::random(seed, spec)` derives a
+// deterministic plan from a seed, the chaos campaign sweeps hundreds of
+// seeds, and any failing seed replays bit-identically for debugging.
+//
+// Timestamps are seconds relative to the plan's start. On SimFabric,
+// schedule_on() turns them into virtual-time events on the simulator's
+// queue, so a crash at t=2ms lands mid-transfer with full determinism. On
+// the immediate-mode backends (Mem/Tcp) execute_now() applies every event
+// back-to-back, which still exercises the failure paths but without timing
+// control.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace rdmc::fabric {
+
+class SimFabric;
+
+/// One timed fault. Which fields matter depends on `kind`:
+///   kCrashNode   — node
+///   kBreakLink   — node, peer
+///   kDegradeLink — node, peer, factor (<1), duration_s
+///   kSlowNode    — node, factor (>1), duration_s
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrashNode,
+    kBreakLink,
+    kDegradeLink,
+    kSlowNode,
+  };
+  Kind kind = Kind::kCrashNode;
+  double at = 0.0;  // seconds from plan start
+  NodeId node = 0;
+  NodeId peer = 0;
+  double factor = 1.0;
+  double duration_s = 0.0;
+};
+
+/// Knobs for FaultPlan::random. Weights select event kinds in proportion;
+/// a weight of 0 disables that kind. Crashes respect `protect` (members
+/// that must survive, e.g. the root) and `min_survivors`.
+struct FaultPlanSpec {
+  /// Candidate fault targets (typically the group's members).
+  std::vector<NodeId> nodes;
+  /// Nodes the plan must never crash (it may still break/degrade their
+  /// links or slow them down).
+  std::vector<NodeId> protect;
+  /// Lower bound on nodes left uncrashed by the whole plan.
+  std::size_t min_survivors = 2;
+
+  std::size_t min_events = 1;
+  std::size_t max_events = 3;
+  /// Event times are drawn uniformly from [0, window_s).
+  double window_s = 10e-3;
+
+  double crash_weight = 1.0;
+  double break_weight = 1.0;
+  double degrade_weight = 1.0;
+  double slow_weight = 1.0;
+
+  /// Degradation multiplies a link's capacity by factor in this range.
+  double degrade_factor_lo = 0.02;
+  double degrade_factor_hi = 0.5;
+  /// Slow-receiver factor multiplies software costs in this range.
+  double slow_factor_lo = 2.0;
+  double slow_factor_hi = 20.0;
+  /// Transient (degrade/slow) durations, seconds.
+  double duration_lo = 0.5e-3;
+  double duration_hi = 5e-3;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Deterministic seeded plan: same (seed, spec) always yields the same
+  /// events. Events come out sorted by time.
+  static FaultPlan random(std::uint64_t seed, const FaultPlanSpec& spec);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Nodes this plan crashes (dedup'd, in crash order).
+  std::vector<NodeId> crashed_nodes() const;
+
+  /// Schedule every event on the simulator's queue at
+  /// sim.now() + event.at. The fabric must outlive the scheduled events.
+  void schedule_on(SimFabric& fabric) const;
+
+  /// Apply every event immediately, in time order (for the immediate-mode
+  /// Mem/Tcp backends, which have no virtual clock).
+  void execute_now(Fabric& fabric) const;
+
+  /// Apply a single event to any fabric's injector.
+  static void apply(Fabric& fabric, const FaultEvent& event);
+
+  /// Human-readable one-line-per-event rendering (for --replay output).
+  std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by `at`
+};
+
+}  // namespace rdmc::fabric

@@ -112,12 +112,33 @@ class MemFabric::MemEndpoint final : public Endpoint {
         queue_.pop_front();
         handling_ = true;
         lock.unlock();
+        slow_dispatch_delay();
         dispatch(event);
         lock.lock();
         handling_ = false;
       }
       cv_.notify_all();  // wake drain() waiters
     }
+  }
+
+  /// Slow-receiver injection (FaultInjector::slow_node): delay each
+  /// completion dispatch while the real-time window is open.
+  void slow_dispatch_delay() {
+    const auto until = slow_until_.load(std::memory_order_relaxed);
+    if (until == 0) return;
+    const auto now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    if (now >= until) {
+      slow_until_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        slow_delay_ns_.load(std::memory_order_relaxed)));
+  }
+
+  void set_slow(std::int64_t delay_ns, std::int64_t until_epoch_ns) {
+    slow_delay_ns_.store(delay_ns, std::memory_order_relaxed);
+    slow_until_.store(until_epoch_ns, std::memory_order_relaxed);
   }
 
   void dispatch(const NodeEvent& event) {
@@ -148,6 +169,8 @@ class MemFabric::MemEndpoint final : public Endpoint {
   std::deque<NodeEvent> queue_;
   bool stopping_ = false;
   bool handling_ = false;
+  std::atomic<std::int64_t> slow_delay_ns_{0};
+  std::atomic<std::int64_t> slow_until_{0};  // steady_clock epoch ns; 0=off
   std::thread thread_;
 
   friend class MemFabric;
@@ -162,13 +185,14 @@ class MemFabric::MemQueuePair final : public QueuePair {
   MemQueuePair(QpId id, NodeId self, NodeId peer, Connection& conn)
       : QueuePair(id, peer), self_(self), conn_(conn) {}
 
-  bool post_send(MemoryView buf, std::uint64_t wr_id,
-                 std::uint32_t immediate) override;
-  bool post_recv(MemoryView buf, std::uint64_t wr_id) override;
-  bool post_write_imm(std::uint32_t immediate, std::uint64_t wr_id) override;
-  bool post_window_write(std::uint32_t window_id, std::uint64_t offset,
-                         MemoryView local, std::uint32_t immediate,
-                         std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send(MemoryView buf, std::uint64_t wr_id,
+                       std::uint32_t immediate) override;
+  PostResult post_recv(MemoryView buf, std::uint64_t wr_id) override;
+  PostResult post_write_imm(std::uint32_t immediate,
+                            std::uint64_t wr_id) override;
+  PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
+                               MemoryView local, std::uint32_t immediate,
+                               std::uint64_t wr_id, bool signaled) override;
   void close() override;
 
   NodeId self_;
@@ -323,7 +347,8 @@ struct MemFabric::Connection {
   }
 
   /// Flush all posted work with kFlushed and notify both sides of the
-  /// break. Call with lock held.
+  /// break. Locally closed QPs receive nothing — close() fences. Call with
+  /// lock held.
   void flush_locked() {
     broken = true;
     side_a.mark_broken();
@@ -331,29 +356,33 @@ struct MemFabric::Connection {
     auto flush_dir = [&](Direction& dir, NodeId src) {
       MemQueuePair* sqp = side_for(src);
       MemQueuePair* rqp = side_for(sqp->peer());
-      for (auto& s : dir.sends) {
-        fabric.deliver(sqp->self_,
-                       Completion{s.wr_id, WcOpcode::kSend,
-                                  WcStatus::kFlushed, 0, 0, sqp->id(),
-                                  sqp->peer()});
+      if (!sqp->closed_) {
+        for (auto& s : dir.sends) {
+          fabric.deliver(sqp->self_,
+                         Completion{s.wr_id, WcOpcode::kSend,
+                                    WcStatus::kFlushed, 0, 0, sqp->id(),
+                                    sqp->peer()});
+        }
       }
       dir.sends.clear();
-      for (auto& r : dir.recvs) {
-        fabric.deliver(rqp->self_,
-                       Completion{r.wr_id, WcOpcode::kRecv,
-                                  WcStatus::kFlushed, 0, 0, rqp->id(),
-                                  rqp->peer()});
+      if (!rqp->closed_) {
+        for (auto& r : dir.recvs) {
+          fabric.deliver(rqp->self_,
+                         Completion{r.wr_id, WcOpcode::kRecv,
+                                    WcStatus::kFlushed, 0, 0, rqp->id(),
+                                    rqp->peer()});
+        }
       }
       dir.recvs.clear();
     };
     flush_dir(a_to_b, side_a.self_);
     flush_dir(b_to_a, side_b.self_);
-    fabric.deliver(side_a.self_,
-                   Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0,
-                              0, side_a.id(), side_a.peer()});
-    fabric.deliver(side_b.self_,
-                   Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0,
-                              0, side_b.id(), side_b.peer()});
+    for (MemQueuePair* side : {&side_a, &side_b}) {
+      if (side->closed_) continue;
+      fabric.deliver(side->self_,
+                     Completion{0, WcOpcode::kDisconnect, WcStatus::kError,
+                                0, 0, side->id(), side->peer()});
+    }
   }
 
   MemFabric& fabric;
@@ -365,30 +394,33 @@ struct MemFabric::Connection {
   bool broken = false;
 };
 
-bool MemFabric::MemQueuePair::post_send(MemoryView buf, std::uint64_t wr_id,
-                                        std::uint32_t immediate) {
+PostResult MemFabric::MemQueuePair::post_send(MemoryView buf,
+                                              std::uint64_t wr_id,
+                                              std::uint32_t immediate) {
   std::lock_guard lock(conn_.mutex);
-  if (conn_.broken || broken()) return false;
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   auto& dir = conn_.direction_from(self_);
   dir.sends.push_back({buf, wr_id, immediate});
   conn_.try_match(self_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
-bool MemFabric::MemQueuePair::post_recv(MemoryView buf,
-                                        std::uint64_t wr_id) {
+PostResult MemFabric::MemQueuePair::post_recv(MemoryView buf,
+                                              std::uint64_t wr_id) {
   std::lock_guard lock(conn_.mutex);
-  if (conn_.broken || broken()) return false;
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   auto& dir = conn_.direction_from(peer_);
   dir.recvs.push_back({buf, wr_id});
   conn_.try_match(peer_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
-bool MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
-                                             std::uint64_t wr_id) {
+PostResult MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
+                                                   std::uint64_t wr_id) {
   std::lock_guard lock(conn_.mutex);
-  if (conn_.broken || broken()) return false;
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
   conn_.fabric.deliver(self_,
                        Completion{wr_id, WcOpcode::kWriteImm,
                                   WcStatus::kSuccess, 0, immediate, id_,
@@ -398,7 +430,7 @@ bool MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
                        Completion{0, WcOpcode::kRecvWriteImm,
                                   WcStatus::kSuccess, 0, immediate,
                                   other->id(), other->peer()});
-  return true;
+  return PostResult::kOk;
 }
 
 void MemFabric::MemQueuePair::close() {
@@ -412,11 +444,14 @@ void MemFabric::MemQueuePair::close() {
   conn_.try_match(peer_, incoming);
 }
 
-bool MemFabric::MemQueuePair::post_window_write(
+PostResult MemFabric::MemQueuePair::post_window_write(
     std::uint32_t window_id, std::uint64_t offset, MemoryView local,
     std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
   std::lock_guard lock(conn_.mutex);
-  if (conn_.broken || broken()) return false;
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (local.data && local.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  if (local.size > 0 && offset > ~std::uint64_t{0} - local.size)
+    return PostResult::kWindowViolation;
   auto& dir = conn_.direction_from(self_);
   Connection::PendingSend send;
   send.buf = local;
@@ -428,7 +463,7 @@ bool MemFabric::MemQueuePair::post_window_write(
   send.window_offset = offset;
   dir.sends.push_back(send);
   conn_.try_match(self_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -493,7 +528,14 @@ QueuePair* MemFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
     next_qp_id_ += 2;
     it = connections_.emplace(key, std::move(conn)).first;
   }
-  return it->second->side_for(a);
+  Connection* conn = it->second.get();
+  const bool dead_peer = crashed_.contains(lo) || crashed_.contains(hi);
+  if (dead_peer) {
+    // Born-broken rather than a silent hang (see FaultInjector contract).
+    std::lock_guard conn_lock(conn->mutex);
+    if (!conn->broken) conn->flush_locked();
+  }
+  return conn->side_for(a);
 }
 
 void MemFabric::break_link(NodeId a, NodeId b) {
@@ -527,6 +569,34 @@ void MemFabric::crash_node(NodeId node) {
     std::lock_guard lock(conn->mutex);
     if (!conn->broken) conn->flush_locked();
   }
+}
+
+bool MemFabric::degrade_link(NodeId, NodeId, double, double) {
+  // MemFabric moves real bytes with no modelled capacity; accepted and
+  // ignored per the FaultInjector contract.
+  return false;
+}
+
+bool MemFabric::slow_node(NodeId node, double factor, double duration_s) {
+  if (node >= endpoints_.size() || factor <= 1.0 || duration_s <= 0.0)
+    return false;
+  // Real-time approximation of a slow receiver: (factor - 1) x a nominal
+  // 10 us handler cost, injected before each dispatch while the window is
+  // open.
+  const auto delay_ns = static_cast<std::int64_t>((factor - 1.0) * 10e3);
+  const auto until = (std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(duration_s)))
+                         .time_since_epoch()
+                         .count();
+  endpoints_[node]->set_slow(delay_ns, until);
+  return true;
+}
+
+bool MemFabric::crashed(NodeId node) const {
+  std::lock_guard lock(connections_mutex_);
+  return crashed_.contains(node);
 }
 
 MemFabric::WindowApply MemFabric::apply_endpoint_window_write(

@@ -29,7 +29,7 @@ namespace rdmc::fabric {
 
 class MemFabric;
 
-class MemFabric final : public Fabric {
+class MemFabric final : public Fabric, public FaultInjector {
  public:
   explicit MemFabric(std::size_t num_nodes);
   ~MemFabric() override;
@@ -40,8 +40,19 @@ class MemFabric final : public Fabric {
   std::size_t num_nodes() const override { return endpoints_.size(); }
   Endpoint& endpoint(NodeId node) override;
   QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) override;
+  FaultInjector& faults() override { return *this; }
+
+  // FaultInjector: immediate-mode semantics — injections take effect as
+  // soon as the call returns. There is no bandwidth model, so
+  // degrade_link is accepted-and-ignored (returns false); slow_node
+  // injects a real dispatch delay on the node's completion thread for a
+  // real-time window.
   void break_link(NodeId a, NodeId b) override;
   void crash_node(NodeId node) override;
+  bool degrade_link(NodeId a, NodeId b, double factor,
+                    double duration_s) override;
+  bool slow_node(NodeId node, double factor, double duration_s) override;
+  bool crashed(NodeId node) const override;
 
   /// Stop all completion threads (also done by the destructor). After
   /// stop(), no further handlers run.
@@ -77,7 +88,7 @@ class MemFabric final : public Fabric {
                                           MemoryView src);
 
   std::vector<std::unique_ptr<MemEndpoint>> endpoints_;
-  std::mutex connections_mutex_;
+  mutable std::mutex connections_mutex_;
   std::map<std::tuple<NodeId, NodeId, std::uint32_t>,
            std::unique_ptr<Connection>>
       connections_;

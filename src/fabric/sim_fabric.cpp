@@ -21,6 +21,9 @@ struct SimFabric::NodeState {
   double wait = 0.0;
   /// Last instant a completion handler finished (hybrid window anchor).
   sim::SimTime last_event = -1e18;
+  /// Slow-receiver injection: software costs scale by this (product of
+  /// active slow_node windows; 1.0 when healthy).
+  double software_factor = 1.0;
   util::Rng rng;
 };
 
@@ -81,13 +84,14 @@ class SimFabric::SimQueuePair final : public QueuePair {
   SimQueuePair(QpId id, NodeId self, NodeId peer, Connection& conn)
       : QueuePair(id, peer), self_(self), conn_(conn) {}
 
-  bool post_send(MemoryView buf, std::uint64_t wr_id,
-                 std::uint32_t immediate) override;
-  bool post_recv(MemoryView buf, std::uint64_t wr_id) override;
-  bool post_write_imm(std::uint32_t immediate, std::uint64_t wr_id) override;
-  bool post_window_write(std::uint32_t window_id, std::uint64_t offset,
-                         MemoryView local, std::uint32_t immediate,
-                         std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send(MemoryView buf, std::uint64_t wr_id,
+                       std::uint32_t immediate) override;
+  PostResult post_recv(MemoryView buf, std::uint64_t wr_id) override;
+  PostResult post_write_imm(std::uint32_t immediate,
+                            std::uint64_t wr_id) override;
+  PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
+                               MemoryView local, std::uint32_t immediate,
+                               std::uint64_t wr_id, bool signaled) override;
   void close() override;
 
   NodeId self_;
@@ -264,6 +268,7 @@ void SimFabric::Connection::flush(sim::SimTime when_hint) {
   broken = true;
   side_a.mark_broken();
   side_b.mark_broken();
+  fabric.fault_counters_.links_broken++;
   const sim::SimTime t = std::max(when_hint, fabric.sim_.now());
   auto flush_dir = [&](Direction& dir, NodeId src) {
     if (dir.flow != sim::kInvalidFlow) {
@@ -273,62 +278,72 @@ void SimFabric::Connection::flush(sim::SimTime when_hint) {
     dir.in_flight = false;
     SimQueuePair* sqp = side_for(src);
     SimQueuePair* rqp = side_for(sqp->peer());
-    for (auto& s : dir.sends) {
-      fabric.deliver_completion(
-          sqp->self_,
-          Completion{s.wr_id, WcOpcode::kSend, WcStatus::kFlushed, 0, 0,
-                     sqp->id(), sqp->peer()},
-          t);
+    // close() fences: a locally closed QP receives nothing, not even
+    // flushes for work it posted before closing.
+    if (!sqp->closed_) {
+      for (auto& s : dir.sends) {
+        fabric.fault_counters_.flushed_completions++;
+        fabric.deliver_completion(
+            sqp->self_,
+            Completion{s.wr_id, WcOpcode::kSend, WcStatus::kFlushed, 0, 0,
+                       sqp->id(), sqp->peer()},
+            t);
+      }
     }
     dir.sends.clear();
-    for (auto& r : dir.recvs) {
-      fabric.deliver_completion(
-          rqp->self_,
-          Completion{r.wr_id, WcOpcode::kRecv, WcStatus::kFlushed, 0, 0,
-                     rqp->id(), rqp->peer()},
-          t);
+    if (!rqp->closed_) {
+      for (auto& r : dir.recvs) {
+        fabric.fault_counters_.flushed_completions++;
+        fabric.deliver_completion(
+            rqp->self_,
+            Completion{r.wr_id, WcOpcode::kRecv, WcStatus::kFlushed, 0, 0,
+                       rqp->id(), rqp->peer()},
+            t);
+      }
     }
     dir.recvs.clear();
   };
   flush_dir(a_to_b, side_a.self_);
   flush_dir(b_to_a, side_b.self_);
-  fabric.deliver_completion(
-      side_a.self_,
-      Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0, 0,
-                 side_a.id(), side_a.peer()},
-      t);
-  fabric.deliver_completion(
-      side_b.self_,
-      Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0, 0,
-                 side_b.id(), side_b.peer()},
-      t);
+  for (SimQueuePair* side : {&side_a, &side_b}) {
+    if (side->closed_) continue;
+    fabric.fault_counters_.disconnects_delivered++;
+    fabric.deliver_completion(
+        side->self_,
+        Completion{0, WcOpcode::kDisconnect, WcStatus::kError, 0, 0,
+                   side->id(), side->peer()},
+        t);
+  }
 }
 
-bool SimFabric::SimQueuePair::post_send(MemoryView buf, std::uint64_t wr_id,
-                                        std::uint32_t immediate) {
-  if (conn_.broken || broken()) return false;
+PostResult SimFabric::SimQueuePair::post_send(MemoryView buf,
+                                              std::uint64_t wr_id,
+                                              std::uint32_t immediate) {
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   const sim::SimTime effective =
       conn_.fabric.charge_software(self_, conn_.fabric.options_.costs.post_send_s);
   auto& dir = conn_.direction_from(self_);
   dir.sends.push_back({buf, wr_id, immediate, effective});
   conn_.maybe_start(self_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
-bool SimFabric::SimQueuePair::post_recv(MemoryView buf,
-                                        std::uint64_t wr_id) {
-  if (conn_.broken || broken()) return false;
+PostResult SimFabric::SimQueuePair::post_recv(MemoryView buf,
+                                              std::uint64_t wr_id) {
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   conn_.fabric.charge_software(self_,
                                conn_.fabric.options_.costs.post_recv_s);
   auto& dir = conn_.direction_from(peer_);
   dir.recvs.push_back({buf, wr_id});
   conn_.maybe_start(peer_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
-bool SimFabric::SimQueuePair::post_write_imm(std::uint32_t immediate,
-                                             std::uint64_t wr_id) {
-  if (conn_.broken || broken()) return false;
+PostResult SimFabric::SimQueuePair::post_write_imm(std::uint32_t immediate,
+                                                   std::uint64_t wr_id) {
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
   auto& fabric = conn_.fabric;
   const sim::SimTime effective =
       fabric.charge_software(self_, fabric.options_.costs.post_send_s);
@@ -348,7 +363,7 @@ bool SimFabric::SimQueuePair::post_write_imm(std::uint32_t immediate,
                                        WcStatus::kSuccess, 0, immediate,
                                        other->id(), other->peer()},
                             arrive);
-  return true;
+  return PostResult::kOk;
 }
 
 void SimFabric::SimQueuePair::close() {
@@ -357,10 +372,13 @@ void SimFabric::SimQueuePair::close() {
   conn_.direction_from(peer_).recvs.clear();
 }
 
-bool SimFabric::SimQueuePair::post_window_write(
+PostResult SimFabric::SimQueuePair::post_window_write(
     std::uint32_t window_id, std::uint64_t offset, MemoryView local,
     std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
-  if (conn_.broken || broken()) return false;
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (local.data && local.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  if (local.size > 0 && offset > ~std::uint64_t{0} - local.size)
+    return PostResult::kWindowViolation;
   const sim::SimTime effective = conn_.fabric.charge_software(
       self_, conn_.fabric.options_.costs.post_send_s);
   auto& dir = conn_.direction_from(self_);
@@ -375,7 +393,7 @@ bool SimFabric::SimQueuePair::post_window_write(
   send.window_offset = offset;
   dir.sends.push_back(send);
   conn_.maybe_start(self_, dir);
-  return true;
+  return PostResult::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -424,6 +442,12 @@ QueuePair* SimFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
     next_qp_id_ += 2;
     it = connections_.emplace(key, std::move(conn)).first;
   }
+  // Connecting to a crashed node yields a born-broken connection rather
+  // than a silent hang: the survivor's side flushes immediately.
+  if (!it->second->broken &&
+      (crashed_.contains(lo) || crashed_.contains(hi))) {
+    it->second->flush(sim_.now());
+  }
   return it->second->side_for(a);
 }
 
@@ -437,12 +461,79 @@ void SimFabric::break_link(NodeId a, NodeId b) {
 }
 
 void SimFabric::crash_node(NodeId node) {
-  crashed_.insert(node);
+  if (crashed_.insert(node).second) fault_counters_.crashes++;
   for (auto& [key, conn] : connections_) {
     if ((std::get<0>(key) == node || std::get<1>(key) == node) &&
         !conn->broken)
       conn->flush(sim_.now());
   }
+}
+
+void SimFabric::apply_degrade(NodeId src, NodeId dst, double factor) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  Degrade& d = degrades_[key];
+  if (d.depth == 0) {
+    const auto original = topology_.pair_cap_Bps(src, dst);
+    d.had_original = original.has_value();
+    d.original_gbps = original ? *original * 8.0 / 1e9 : 0.0;
+    // Base bandwidth of an uncapped pair: whatever the tighter NIC port
+    // allows (the pair cap only matters when below that anyway).
+    d.base_gbps =
+        d.had_original
+            ? d.original_gbps
+            : std::min(topology_.node_tx_Bps(src), topology_.node_rx_Bps(dst)) *
+                  8.0 / 1e9;
+    d.combined = 1.0;
+  }
+  d.depth++;
+  d.combined *= factor;
+  topology_.set_pair_cap(src, dst, d.base_gbps * d.combined);
+}
+
+void SimFabric::expire_degrade(NodeId src, NodeId dst, double factor) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = degrades_.find(key);
+  if (it == degrades_.end()) return;
+  Degrade& d = it->second;
+  d.depth--;
+  d.combined /= factor;
+  if (d.depth > 0) {
+    topology_.set_pair_cap(src, dst, d.base_gbps * d.combined);
+    return;
+  }
+  if (d.had_original)
+    topology_.set_pair_cap(src, dst, d.original_gbps);
+  else
+    topology_.clear_pair_cap(src, dst);
+  degrades_.erase(it);
+}
+
+bool SimFabric::degrade_link(NodeId a, NodeId b, double factor,
+                             double duration_s) {
+  if (factor <= 0.0 || duration_s < 0.0) return false;
+  fault_counters_.degrades++;
+  apply_degrade(a, b, factor);
+  apply_degrade(b, a, factor);
+  flows_.topology_changed();
+  sim_.after(duration_s, [this, a, b, factor] {
+    expire_degrade(a, b, factor);
+    expire_degrade(b, a, factor);
+    flows_.topology_changed();
+  });
+  return true;
+}
+
+bool SimFabric::slow_node(NodeId node, double factor, double duration_s) {
+  if (factor <= 0.0 || duration_s < 0.0 || node >= node_state_.size())
+    return false;
+  fault_counters_.slowdowns++;
+  node_state_[node].software_factor *= factor;
+  sim_.after(duration_s, [this, node, factor] {
+    node_state_[node].software_factor /= factor;
+  });
+  return true;
 }
 
 sim::SimTime SimFabric::charge_software(NodeId node, double cost) {
@@ -453,15 +544,19 @@ sim::SimTime SimFabric::charge_software(NodeId node, double cost) {
     return std::max(sim_.now(), st.cpu_free);
   }
   const double preempt = options_.preemption.sample(st.rng);
+  const double scaled = cost * st.software_factor;  // slow-receiver fault
   const sim::SimTime start = std::max(sim_.now(), st.cpu_free);
-  const sim::SimTime done = start + cost + preempt;
-  st.busy += cost;  // preemption is stolen time, not useful work
+  const sim::SimTime done = start + scaled + preempt;
+  st.busy += scaled;  // preemption is stolen time, not useful work
   st.cpu_free = done;
   return done;
 }
 
 void SimFabric::deliver_completion(NodeId node, Completion c,
                                    sim::SimTime ready) {
+  // Fail-stop: a crashed node's software never runs again, so nothing is
+  // delivered to it — not even the flushes its own crash produced.
+  if (crashed_.contains(node)) return;
   NodeState& st = node_state_[node];
   const SimEndpoint& ep = *endpoints_[node];
   double pickup = 0.0;
@@ -499,9 +594,10 @@ void SimFabric::attempt_handle(NodeId node, const Completion& c,
   st.wait += std::max(0.0, start - ready);
   double cost = 0.0;
   if (!options_.cross_channel) {
-    cost = options_.costs.handle_completion_s +
-           options_.preemption.sample(st.rng);
-    st.busy += options_.costs.handle_completion_s;
+    const double scaled =
+        options_.costs.handle_completion_s * st.software_factor;
+    cost = scaled + options_.preemption.sample(st.rng);
+    st.busy += scaled;
   }
   st.cpu_free = start + cost;
   st.last_event = start + cost;

@@ -34,7 +34,7 @@
 
 namespace rdmc::fabric {
 
-class SimFabric final : public Fabric {
+class SimFabric final : public Fabric, public FaultInjector {
  public:
   struct Options {
     sim::SoftwareCosts costs{};
@@ -61,8 +61,30 @@ class SimFabric final : public Fabric {
   std::size_t num_nodes() const override { return topology_.num_nodes(); }
   Endpoint& endpoint(NodeId node) override;
   QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) override;
+  FaultInjector& faults() override { return *this; }
+
+  // FaultInjector: injections take effect at the current virtual instant;
+  // degradations/slowdowns recover after `duration_s` of virtual time.
   void break_link(NodeId a, NodeId b) override;
   void crash_node(NodeId node) override;
+  bool degrade_link(NodeId a, NodeId b, double factor,
+                    double duration_s) override;
+  bool slow_node(NodeId node, double factor, double duration_s) override;
+  bool crashed(NodeId node) const override {
+    return crashed_.contains(node);
+  }
+
+  /// Fault-path observability (PerfStats and the chaos campaign read these
+  /// instead of re-deriving them from completion streams).
+  struct FaultCounters {
+    std::uint64_t disconnects_delivered = 0;  // kDisconnect completions
+    std::uint64_t flushed_completions = 0;    // kFlushed completions
+    std::uint64_t links_broken = 0;           // connections flushed
+    std::uint64_t crashes = 0;
+    std::uint64_t degrades = 0;
+    std::uint64_t slowdowns = 0;
+  };
+  const FaultCounters& fault_counters() const { return fault_counters_; }
 
   sim::Simulator& simulator() { return sim_; }
   sim::FlowNetwork& flows() { return flows_; }
@@ -92,6 +114,19 @@ class SimFabric final : public Fabric {
   /// at which the action takes effect. Zero-cost in cross-channel mode.
   sim::SimTime charge_software(NodeId node, double cost);
 
+  /// Nested transient degradations on one directed pair. `depth` counts
+  /// active windows; the pair cap is base x product of active factors and
+  /// the original cap (or its absence) is restored when depth reaches 0.
+  struct Degrade {
+    int depth = 0;
+    double combined = 1.0;
+    bool had_original = false;
+    double original_gbps = 0.0;
+    double base_gbps = 0.0;
+  };
+  void apply_degrade(NodeId src, NodeId dst, double factor);
+  void expire_degrade(NodeId src, NodeId dst, double factor);
+
   sim::Simulator& sim_;
   sim::Topology& topology_;
   sim::FlowNetwork flows_;
@@ -102,6 +137,8 @@ class SimFabric final : public Fabric {
            std::unique_ptr<Connection>>
       connections_;
   std::set<NodeId> crashed_;
+  std::map<std::uint64_t, Degrade> degrades_;
+  FaultCounters fault_counters_;
   QpId next_qp_id_ = 1;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.hpp"
@@ -94,13 +95,14 @@ class TcpFabric::TcpQueuePair final : public QueuePair {
                std::uint32_t channel)
       : QueuePair(id, peer), owner_(owner), channel_(channel) {}
 
-  bool post_send(MemoryView buf, std::uint64_t wr_id,
-                 std::uint32_t immediate) override;
-  bool post_recv(MemoryView buf, std::uint64_t wr_id) override;
-  bool post_write_imm(std::uint32_t immediate, std::uint64_t wr_id) override;
-  bool post_window_write(std::uint32_t window_id, std::uint64_t offset,
-                         MemoryView local, std::uint32_t immediate,
-                         std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send(MemoryView buf, std::uint64_t wr_id,
+                       std::uint32_t immediate) override;
+  PostResult post_recv(MemoryView buf, std::uint64_t wr_id) override;
+  PostResult post_write_imm(std::uint32_t immediate,
+                            std::uint64_t wr_id) override;
+  PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
+                               MemoryView local, std::uint32_t immediate,
+                               std::uint64_t wr_id, bool signaled) override;
   void close() override;
 
   TcpEndpoint& owner_;
@@ -183,7 +185,16 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
   int dial(NodeId peer);
   void push(NodeEvent event);
   void completion_loop();
+  void slow_dispatch_delay();
   void dispatch(const NodeEvent& event);
+
+ public:
+  void set_slow(std::int64_t delay_ns, std::int64_t until_epoch_ns) {
+    slow_delay_ns_.store(delay_ns, std::memory_order_relaxed);
+    slow_until_.store(until_epoch_ns, std::memory_order_relaxed);
+  }
+
+ private:
 
   TcpFabric& fabric_;
   NodeId id_;
@@ -214,6 +225,8 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
   std::condition_variable cv_;
   std::deque<NodeEvent> queue_;
   bool stopping_ = false;
+  std::atomic<std::int64_t> slow_delay_ns_{0};
+  std::atomic<std::int64_t> slow_until_{0};  // steady_clock epoch ns; 0=off
   std::thread completion_thread_;
 
   friend class TcpFabric;
@@ -367,6 +380,9 @@ int TcpFabric::TcpEndpoint::dial(NodeId peer) {
   auto it = out_fds_.find(peer);
   if (it != out_fds_.end()) return it->second;
   if (severed_[peer]) return -1;
+  // A crashed peer will never answer; fail fast instead of burning the
+  // bootstrap retry window against a dead listener.
+  if (fabric_.crashed(peer)) return -1;
   const TcpAddress address = fabric_.addresses_[peer];
   // Retry for a bootstrap window: peers of a distributed deployment come
   // up in arbitrary order (the paper's TCP mesh barriers over the same
@@ -475,15 +491,21 @@ void TcpFabric::TcpEndpoint::sever_peer(NodeId peer) {
       qp->mark_broken();
       auto rx_it = rx_.find(key);
       if (rx_it != rx_.end()) {
-        for (const auto& recv : rx_it->second.recvs) {
-          flushes.push_back(Completion{recv.wr_id, WcOpcode::kRecv,
-                                       WcStatus::kFlushed, 0, 0, qp->id(),
-                                       peer});
+        // close() fences: a locally closed QP receives nothing.
+        if (!qp->closed_) {
+          for (const auto& recv : rx_it->second.recvs) {
+            flushes.push_back(Completion{recv.wr_id, WcOpcode::kRecv,
+                                         WcStatus::kFlushed, 0, 0, qp->id(),
+                                         peer});
+          }
         }
         rx_it->second.recvs.clear();
       }
-      flushes.push_back(Completion{0, WcOpcode::kDisconnect,
-                                   WcStatus::kError, 0, 0, qp->id(), peer});
+      if (!qp->closed_) {
+        flushes.push_back(Completion{0, WcOpcode::kDisconnect,
+                                     WcStatus::kError, 0, 0, qp->id(),
+                                     peer});
+      }
     }
   }
   for (auto& c : flushes) push(c);
@@ -519,10 +541,26 @@ void TcpFabric::TcpEndpoint::completion_loop() {
       NodeEvent event = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
+      slow_dispatch_delay();
       dispatch(event);
       lock.lock();
     }
   }
+}
+
+/// Slow-receiver injection (FaultInjector::slow_node): delay each
+/// completion dispatch while the real-time window is open.
+void TcpFabric::TcpEndpoint::slow_dispatch_delay() {
+  const auto until = slow_until_.load(std::memory_order_relaxed);
+  if (until == 0) return;
+  const auto now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  if (now >= until) {
+    slow_until_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      slow_delay_ns_.load(std::memory_order_relaxed)));
 }
 
 void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
@@ -585,25 +623,28 @@ void TcpFabric::TcpQueuePair::close() {
   }
 }
 
-bool TcpFabric::TcpQueuePair::post_send(MemoryView buf, std::uint64_t wr_id,
-                                        std::uint32_t immediate) {
-  if (broken()) return false;
+PostResult TcpFabric::TcpQueuePair::post_send(MemoryView buf,
+                                              std::uint64_t wr_id,
+                                              std::uint32_t immediate) {
+  if (broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   FrameHeader header;
   header.type = FrameType::kSend;
   header.channel = channel_;
   header.immediate = immediate;
   header.length = buf.size;
-  if (!owner_.send_frame(peer_, header, buf)) return false;
+  if (!owner_.send_frame(peer_, header, buf)) return PostResult::kQpBroken;
   // TCP semantics: the kernel accepted the bytes; completion now.
   owner_.push(Completion{wr_id, WcOpcode::kSend, WcStatus::kSuccess,
                          static_cast<std::uint32_t>(buf.size), immediate,
                          id(), peer_});
-  return true;
+  return PostResult::kOk;
 }
 
-bool TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
-                                        std::uint64_t wr_id) {
-  if (broken()) return false;
+PostResult TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
+                                              std::uint64_t wr_id) {
+  if (broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   std::unique_lock lock(owner_.state_mutex_);
   auto& rx = owner_.rx_[{peer_, channel_}];
   if (!rx.pending.empty()) {
@@ -613,36 +654,40 @@ bool TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
     if (payload.size() > buf.size) {
       RDMC_LOG_ERROR("tcpfabric", "recv buffer too small for early send");
       owner_.sever_peer(peer_);
-      return false;
+      return PostResult::kQpBroken;
     }
     if (buf.data != nullptr)
       std::memcpy(buf.data, payload.data(), payload.size());
     owner_.push(Completion{wr_id, WcOpcode::kRecv, WcStatus::kSuccess,
                            static_cast<std::uint32_t>(payload.size()),
                            immediate, id(), peer_});
-    return true;
+    return PostResult::kOk;
   }
   rx.recvs.push_back({buf, wr_id});
-  return true;
+  return PostResult::kOk;
 }
 
-bool TcpFabric::TcpQueuePair::post_write_imm(std::uint32_t immediate,
-                                             std::uint64_t wr_id) {
-  if (broken()) return false;
+PostResult TcpFabric::TcpQueuePair::post_write_imm(std::uint32_t immediate,
+                                                   std::uint64_t wr_id) {
+  if (broken()) return PostResult::kQpBroken;
   FrameHeader header;
   header.type = FrameType::kWriteImm;
   header.channel = channel_;
   header.immediate = immediate;
-  if (!owner_.send_frame(peer_, header, MemoryView{})) return false;
+  if (!owner_.send_frame(peer_, header, MemoryView{}))
+    return PostResult::kQpBroken;
   owner_.push(Completion{wr_id, WcOpcode::kWriteImm, WcStatus::kSuccess, 0,
                          immediate, id(), peer_});
-  return true;
+  return PostResult::kOk;
 }
 
-bool TcpFabric::TcpQueuePair::post_window_write(
+PostResult TcpFabric::TcpQueuePair::post_window_write(
     std::uint32_t window_id, std::uint64_t offset, MemoryView local,
     std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
-  if (broken()) return false;
+  if (broken()) return PostResult::kQpBroken;
+  if (local.data && local.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  if (local.size > 0 && offset > ~std::uint64_t{0} - local.size)
+    return PostResult::kWindowViolation;
   FrameHeader header;
   header.type = FrameType::kWindowWrite;
   header.channel = channel_;
@@ -650,14 +695,14 @@ bool TcpFabric::TcpQueuePair::post_window_write(
   header.window_id = window_id;
   header.offset_or_wrid = offset;
   header.length = local.size;
-  if (!owner_.send_frame(peer_, header, local)) return false;
+  if (!owner_.send_frame(peer_, header, local)) return PostResult::kQpBroken;
   if (signaled) {
     owner_.push(Completion{wr_id, WcOpcode::kWindowWrite,
                            WcStatus::kSuccess,
                            static_cast<std::uint32_t>(local.size), immediate,
                            id(), peer_});
   }
-  return true;
+  return PostResult::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -668,6 +713,7 @@ TcpFabric::TcpFabric(std::vector<TcpAddress> addresses,
                      std::vector<NodeId> local_nodes)
     : addresses_(std::move(addresses)) {
   endpoints_.resize(addresses_.size());
+  crashed_.resize(addresses_.size(), false);
   for (NodeId node : local_nodes) {
     assert(node < addresses_.size());
     endpoints_[node] = std::make_unique<TcpEndpoint>(*this, node);
@@ -702,10 +748,40 @@ void TcpFabric::break_link(NodeId a, NodeId b) {
 }
 
 void TcpFabric::crash_node(NodeId node) {
+  {
+    std::lock_guard lock(crashed_mutex_);
+    if (node < crashed_.size()) crashed_[node] = true;
+  }
   // Close everything the node owns; peers discover via EOF/reset, exactly
   // like a real process crash.
   if (node < endpoints_.size() && endpoints_[node])
     endpoints_[node]->stop();
+}
+
+bool TcpFabric::degrade_link(NodeId, NodeId, double, double) {
+  // Kernel TCP pacing is not injectable from here; accepted and ignored
+  // per the FaultInjector contract.
+  return false;
+}
+
+bool TcpFabric::slow_node(NodeId node, double factor, double duration_s) {
+  if (node >= endpoints_.size() || !endpoints_[node] || factor <= 1.0 ||
+      duration_s <= 0.0)
+    return false;
+  const auto delay_ns = static_cast<std::int64_t>((factor - 1.0) * 10e3);
+  const auto until = (std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(duration_s)))
+                         .time_since_epoch()
+                         .count();
+  endpoints_[node]->set_slow(delay_ns, until);
+  return true;
+}
+
+bool TcpFabric::crashed(NodeId node) const {
+  std::lock_guard lock(crashed_mutex_);
+  return node < crashed_.size() && crashed_[node];
 }
 
 TcpAddress TcpFabric::local_address(NodeId node) const {

@@ -46,7 +46,7 @@ struct TcpAddress {
   std::uint16_t port = 0;  // 0 = ephemeral (single-process use)
 };
 
-class TcpFabric final : public Fabric {
+class TcpFabric final : public Fabric, public FaultInjector {
  public:
   /// `addresses[i]` is node i's listen address. `local_nodes` are the
   /// endpoints this instance hosts (all of them for single-process runs;
@@ -64,8 +64,19 @@ class TcpFabric final : public Fabric {
   /// `a` must be local; the QP is a's side. (In a distributed deployment
   /// the peer process creates its own side symmetrically.)
   QueuePair* connect(NodeId a, NodeId b, std::uint32_t channel) override;
+  FaultInjector& faults() override { return *this; }
+
+  // FaultInjector: immediate-mode semantics. crash_node stops the node's
+  // endpoint if hosted here; peers discover via EOF/reset, exactly like a
+  // real process crash. degrade_link is accepted-and-ignored (kernel TCP
+  // has no injectable bandwidth model here); slow_node injects a real
+  // dispatch delay on the node's completion thread for a real-time window.
   void break_link(NodeId a, NodeId b) override;
   void crash_node(NodeId node) override;
+  bool degrade_link(NodeId a, NodeId b, double factor,
+                    double duration_s) override;
+  bool slow_node(NodeId node, double factor, double duration_s) override;
+  bool crashed(NodeId node) const override;
 
   /// The resolved listen address of a local node (useful with port 0).
   TcpAddress local_address(NodeId node) const;
@@ -81,6 +92,8 @@ class TcpFabric final : public Fabric {
 
   std::vector<TcpAddress> addresses_;
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;  // index = node id
+  mutable std::mutex crashed_mutex_;
+  std::vector<bool> crashed_;  // index = node id
   std::atomic<QpId> next_qp_id_{1};
 };
 

@@ -1,0 +1,96 @@
+// §4.6 "Recovery From Failure" driver.
+//
+// RDMC itself never masks failures: a group that loses a member or a
+// connection reports the failure to every survivor and stops. The paper
+// pushes recovery to the layer above — "tear down the group, drop the
+// suspected member, re-create the group on the survivors, and resend any
+// message that was in flight". RecoveryDriver is that layer, written
+// against the simulated cluster so fault plans land at exact virtual
+// instants and every run is reproducible.
+//
+// The driver also doubles as the chaos campaign's invariant checker: every
+// delivery is verified against the seeded payload (no corruption), must
+// extend the member's per-epoch prefix (no duplication, no gaps, sender
+// order), and failures must reach every survivor exactly once per group
+// before the driver tears it down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "harness/sim_harness.hpp"
+
+namespace rdmc::harness {
+
+struct RecoveryConfig {
+  /// Initial membership; front is the root (the sender).
+  std::vector<NodeId> members;
+  GroupOptions group_options;
+
+  /// The workload: `messages` back-to-back multicasts of `message_bytes`,
+  /// payloads derived from `payload_seed` (first 8 bytes carry the
+  /// sequence number; the rest a seeded pattern the receivers verify).
+  std::size_t messages = 4;
+  std::size_t message_bytes = 1 << 20;
+  std::uint64_t payload_seed = 1;
+
+  /// Virtual time the driver advances per poll. Small slices let scheduled
+  /// fault events land mid-epoch (and cascade across re-formed groups)
+  /// instead of draining inside one run-to-quiescence call.
+  double slice_s = 50e-6;
+  /// Virtual-time cap per epoch; exceeding it is reported as a violation.
+  double epoch_timeout_s = 1.0;
+  /// After a failure is first observed, how long the driver waits for the
+  /// remaining survivors' callbacks before declaring them un-notified.
+  double notify_grace_s = 5e-3;
+  /// Re-formation cap (defence against livelock; hitting it is reported).
+  std::size_t max_reforms = 32;
+  /// First group id; each re-formation uses the next id (group ids name
+  /// fabric channels and must not be recycled across epochs, rdmc.hpp).
+  GroupId first_group_id = 100;
+};
+
+struct RecoveryResult {
+  /// True when every invariant held (root loss is not a violation; see
+  /// `root_lost`).
+  bool ok = false;
+  /// The root itself crashed. RDMC's sender is not replaceable below the
+  /// application (§4.6); the driver stops and reports it separately.
+  bool root_lost = false;
+  /// Membership ran out (fewer than two nodes left to re-form on).
+  bool exhausted = false;
+  std::vector<std::string> violations;
+
+  std::size_t reforms = 0;               // §4.6 re-creations performed
+  std::size_t failures_observed = 0;     // failure callbacks, all epochs
+  std::size_t deliveries = 0;            // completion callbacks, receivers
+  std::size_t redeliveries = 0;          // resends of already-held seqs
+  std::vector<NodeId> final_members;
+  double virtual_seconds = 0.0;
+};
+
+class RecoveryDriver {
+ public:
+  RecoveryDriver(SimCluster& cluster, RecoveryConfig config);
+
+  /// Run epochs (create group, send, poll, on failure tear down and
+  /// re-form on survivors) until every survivor holds the full message
+  /// sequence or the run ends in root loss / exhaustion / violation.
+  RecoveryResult run();
+
+ private:
+  struct Member;
+  struct Epoch;
+
+  void build_payloads();
+  bool epoch_done(const Epoch& e) const;
+  std::vector<NodeId> survivors_of(const Epoch& e) const;
+
+  SimCluster& cluster_;
+  RecoveryConfig config_;
+  std::vector<std::vector<std::byte>> payloads_;
+};
+
+}  // namespace rdmc::harness

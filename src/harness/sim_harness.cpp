@@ -40,6 +40,9 @@ SimCluster::GroupRecord& SimCluster::create_group(GroupId id,
         [](std::size_t size) { return fabric::MemoryView{nullptr, size}; },
         [this, r, m](std::byte*, std::size_t) {
           r->delivery_times[m].push_back(sim_.now());
+        },
+        [this, r, node](GroupId, NodeId suspect) {
+          r->failure_log.push_back({sim_.now(), node, suspect});
         });
     assert(ok && "create_group failed");
     (void)ok;
@@ -56,6 +59,15 @@ void SimCluster::run_to_quiescence() {
                        .count();
 }
 
+bool SimCluster::run_slice(double dt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool more = sim_.run_until(sim_.now() + dt);
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return more;
+}
+
 PerfStats SimCluster::perf_stats() const {
   const auto& c = fabric_->flows().counters();
   PerfStats s;
@@ -68,6 +80,10 @@ PerfStats SimCluster::perf_stats() const {
   s.expand_rounds = c.expand_rounds;
   s.full_recomputes = c.full_recomputes;
   s.flow_starts = c.flow_starts;
+  const auto& f = fabric_->fault_counters();
+  s.breaks_delivered = f.disconnects_delivered;
+  s.flushed_completions = f.flushed_completions;
+  s.reforms = reforms_;
   return s;
 }
 

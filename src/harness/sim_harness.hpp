@@ -37,6 +37,10 @@ struct PerfStats {
   std::uint64_t expand_rounds = 0;
   std::uint64_t full_recomputes = 0;
   std::uint64_t flow_starts = 0;
+  // Fault-path counters (SimFabric::FaultCounters + harness bookkeeping).
+  std::uint64_t breaks_delivered = 0;     // kDisconnect completions
+  std::uint64_t flushed_completions = 0;  // kFlushed completions
+  std::uint64_t reforms = 0;              // §4.6 group re-creations
 };
 
 /// A simulated cluster with one rdmc::Node per machine.
@@ -59,6 +63,16 @@ class SimCluster {
     /// delivery_times[i]: virtual times member i delivered each message
     /// (senders record local send completion instead).
     std::vector<std::vector<double>> delivery_times;
+    /// One failure-callback firing: at virtual time `when`, member `by`
+    /// reported the group failed, suspecting `suspect`. The §4.6 recovery
+    /// driver and the chaos invariants read this instead of re-deriving
+    /// who-saw-what from completion streams.
+    struct FailureObservation {
+      double when = 0.0;
+      NodeId by = 0;
+      NodeId suspect = 0;
+    };
+    std::vector<FailureObservation> failure_log;
   };
 
   /// Create `members.front()`-rooted group on every member with phantom
@@ -78,6 +92,15 @@ class SimCluster {
   /// reported by perf_stats().
   void run_to_quiescence();
 
+  /// sim().run_until(now + dt) with the same wall accounting. Returns true
+  /// while events remain past the deadline. Recovery drivers advance in
+  /// slices so pending fault events can land mid-epoch instead of all
+  /// draining inside one run-to-quiescence call.
+  bool run_slice(double dt);
+
+  /// Record one §4.6 group re-creation (reported via perf_stats).
+  void note_reform() { ++reforms_; }
+
   const GroupRecord& record(GroupId id) const;
 
  private:
@@ -87,6 +110,7 @@ class SimCluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<GroupRecord>> records_;
   double wall_seconds_ = 0.0;
+  std::uint64_t reforms_ = 0;
 };
 
 /// One-shot multicast experiment (most figures).

@@ -249,8 +249,10 @@ double FlowNetwork::resource_capacity(const Resource& r) const {
       const auto cap = topology_.pair_cap_Bps(
           static_cast<NodeId>(r.pair_key >> 32),
           static_cast<NodeId>(r.pair_key & 0xFFFFFFFFu));
-      assert(cap.has_value());
-      return *cap;
+      // The cap can vanish mid-run (clear_pair_cap when a transient
+      // degradation recovers); the stale resource stays in pair_res_ with
+      // no members after the rebuild, so report it unconstrained.
+      return cap ? *cap : 1e18;
     }
   }
   return 0.0;

@@ -32,6 +32,10 @@ void Topology::set_pair_cap(NodeId src, NodeId dst, double gbps) {
   ++version_;
 }
 
+void Topology::clear_pair_cap(NodeId src, NodeId dst) {
+  if (pair_caps_Bps_.erase(pair_key(src, dst)) > 0) ++version_;
+}
+
 std::optional<double> Topology::pair_cap_Bps(NodeId src, NodeId dst) const {
   auto it = pair_caps_Bps_.find(pair_key(src, dst));
   if (it == pair_caps_Bps_.end()) return std::nullopt;

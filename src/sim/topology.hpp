@@ -63,6 +63,9 @@ class Topology {
   /// Cap the directed (src, dst) path at `gbps` — injects the slow links of
   /// the robustness analysis (§4.5 item 2).
   void set_pair_cap(NodeId src, NodeId dst, double gbps);
+  /// Remove a directed pair cap (transient degradations recover). No-op if
+  /// the pair was never capped.
+  void clear_pair_cap(NodeId src, NodeId dst);
   std::optional<double> pair_cap_Bps(NodeId src, NodeId dst) const;
   bool has_pair_caps() const { return !pair_caps_Bps_.empty(); }
 

@@ -63,8 +63,8 @@ TEST(MemFabric, BasicSendRecv) {
   for (std::size_t i = 0; i < src.size(); ++i)
     src[i] = static_cast<std::byte>(i * 7);
 
-  ASSERT_TRUE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 11));
-  ASSERT_TRUE(qp0->post_send(MemoryView{src.data(), src.size()}, 22, 999));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 11)));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{src.data(), src.size()}, 22, 999)));
 
   ASSERT_TRUE(c0.wait_for(1));
   ASSERT_TRUE(c1.wait_for(1));
@@ -86,10 +86,10 @@ TEST(MemFabric, SendWaitsForRecv) {
   QueuePair* qp1 = fabric.connect(1, 0, 0);
 
   std::vector<std::byte> src(64, std::byte{5}), dst(64);
-  ASSERT_TRUE(qp0->post_send(MemoryView{src.data(), src.size()}, 1, 0));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{src.data(), src.size()}, 1, 0)));
   std::this_thread::sleep_for(10ms);
   EXPECT_TRUE(c1.snapshot().empty());  // nothing until a recv is posted
-  ASSERT_TRUE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 2));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 2)));
   ASSERT_TRUE(c1.wait_for(1));
   EXPECT_EQ(dst[0], std::byte{5});
 }
@@ -105,12 +105,11 @@ TEST(MemFabric, FifoOrderPerQp) {
   for (int i = 0; i < kCount; ++i) {
     src[i].assign(16, static_cast<std::byte>(i));
     dst[i].assign(16, std::byte{0xFF});
-    ASSERT_TRUE(
-        qp1->post_recv(MemoryView{dst[i].data(), dst[i].size()}, i));
+    ASSERT_TRUE(ok(qp1->post_recv(MemoryView{dst[i].data(), dst[i].size()}, i)));
   }
   for (int i = 0; i < kCount; ++i) {
-    ASSERT_TRUE(qp0->post_send(MemoryView{src[i].data(), src[i].size()},
-                               1000 + i, i));
+    ASSERT_TRUE(ok(qp0->post_send(MemoryView{src[i].data(), src[i].size()},
+                               1000 + i, i)));
   }
   ASSERT_TRUE(c1.wait_for(kCount));
   const auto r = c1.snapshot();
@@ -134,12 +133,12 @@ TEST(MemFabric, ChannelsAreIndependent) {
   std::vector<std::byte> x(8, std::byte{1}), y(8, std::byte{2});
   std::vector<std::byte> dx(8), dy(8);
   // Post the recv only on channel 7; channel 0's send must not consume it.
-  ASSERT_TRUE(b1->post_recv(MemoryView{dy.data(), dy.size()}, 1));
-  ASSERT_TRUE(a0->post_send(MemoryView{x.data(), x.size()}, 2, 0));
-  ASSERT_TRUE(b0->post_send(MemoryView{y.data(), y.size()}, 3, 0));
+  ASSERT_TRUE(ok(b1->post_recv(MemoryView{dy.data(), dy.size()}, 1)));
+  ASSERT_TRUE(ok(a0->post_send(MemoryView{x.data(), x.size()}, 2, 0)));
+  ASSERT_TRUE(ok(b0->post_send(MemoryView{y.data(), y.size()}, 3, 0)));
   ASSERT_TRUE(c1.wait_for(1));
   EXPECT_EQ(dy[0], std::byte{2});
-  ASSERT_TRUE(a1->post_recv(MemoryView{dx.data(), dx.size()}, 4));
+  ASSERT_TRUE(ok(a1->post_recv(MemoryView{dx.data(), dx.size()}, 4)));
   ASSERT_TRUE(c1.wait_for(2));
   EXPECT_EQ(dx[0], std::byte{1});
 }
@@ -148,7 +147,7 @@ TEST(MemFabric, WriteImmBypassesRecvQueue) {
   MemFabric fabric(2);
   Collector c0(fabric.endpoint(0)), c1(fabric.endpoint(1));
   QueuePair* qp0 = fabric.connect(0, 1, 0);
-  ASSERT_TRUE(qp0->post_write_imm(4242, 77));
+  ASSERT_TRUE(ok(qp0->post_write_imm(4242, 77)));
   ASSERT_TRUE(c1.wait_for(1));
   const auto r = c1.snapshot();
   EXPECT_EQ(r[0].opcode, WcOpcode::kRecvWriteImm);
@@ -163,8 +162,8 @@ TEST(MemFabric, PhantomBuffersMoveNoBytes) {
   Collector c1(fabric.endpoint(1));
   QueuePair* qp0 = fabric.connect(0, 1, 0);
   QueuePair* qp1 = fabric.connect(1, 0, 0);
-  ASSERT_TRUE(qp1->post_recv(MemoryView{nullptr, 4096}, 1));
-  ASSERT_TRUE(qp0->post_send(MemoryView{nullptr, 4096}, 2, 5));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{nullptr, 4096}, 1)));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{nullptr, 4096}, 2, 5)));
   ASSERT_TRUE(c1.wait_for(1));
   EXPECT_EQ(c1.snapshot()[0].byte_len, 4096u);
   EXPECT_EQ(c1.snapshot()[0].immediate, 5u);
@@ -178,10 +177,10 @@ TEST(MemFabric, BreakFlushesAndNotifies) {
 
   std::vector<std::byte> src(64), dst(64);
   // A send with no matching recv sits pending, then the link breaks.
-  ASSERT_TRUE(qp0->post_send(MemoryView{src.data(), src.size()}, 1, 0));
-  ASSERT_TRUE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 2));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{src.data(), src.size()}, 1, 0)));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 2)));
   ASSERT_TRUE(c1.wait_for(1));
-  ASSERT_TRUE(qp0->post_send(MemoryView{src.data(), src.size()}, 3, 0));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{src.data(), src.size()}, 3, 0)));
   fabric.break_link(0, 1);
 
   // Sender: completion for send 1, flush for send 3, disconnect.
@@ -201,8 +200,8 @@ TEST(MemFabric, BreakFlushesAndNotifies) {
   EXPECT_TRUE(recv_disc);
 
   // Posts after a break fail fast.
-  EXPECT_FALSE(qp0->post_send(MemoryView{src.data(), src.size()}, 9, 0));
-  EXPECT_FALSE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 9));
+  EXPECT_EQ(qp0->post_send(MemoryView{src.data(), src.size()}, 9, 0), PostResult::kQpBroken);
+  EXPECT_EQ(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 9), PostResult::kQpBroken);
   EXPECT_TRUE(qp0->broken());
 }
 
@@ -231,19 +230,19 @@ TEST(MemFabric, CloseRevokesPostedReceives) {
   QueuePair* qp0 = fabric.connect(0, 1, 0);
   QueuePair* qp1 = fabric.connect(1, 0, 0);
   std::vector<std::byte> dst(64, std::byte{0});
-  ASSERT_TRUE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 1));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 1)));
   qp1->close();
   std::vector<std::byte> src(64, std::byte{9});
   // The peer's send "succeeds" (bytes discarded), our buffer is untouched,
   // and no receive completion fires.
-  ASSERT_TRUE(qp0->post_send(MemoryView{src.data(), src.size()}, 2, 0));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{src.data(), src.size()}, 2, 0)));
   ASSERT_TRUE(c0.wait_for(1));
   EXPECT_EQ(c0.snapshot()[0].opcode, WcOpcode::kSend);
   std::this_thread::sleep_for(20ms);
   EXPECT_TRUE(c1.snapshot().empty());
   EXPECT_EQ(dst[0], std::byte{0});
   // Posting on a closed QP fails.
-  EXPECT_FALSE(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 3));
+  EXPECT_EQ(qp1->post_recv(MemoryView{dst.data(), dst.size()}, 3), PostResult::kQpBroken);
   EXPECT_TRUE(qp1->broken());
 }
 
@@ -257,8 +256,8 @@ TEST(MemFabric, UnregisterWindowFences) {
   fabric.endpoint(1).unregister_window(5);
   std::vector<std::byte> src(16, std::byte{7});
   // Writes to a deregistered window are dropped, not faults.
-  ASSERT_TRUE(qp0->post_window_write(
-      5, 0, MemoryView{src.data(), src.size()}, 0, 1, true));
+  ASSERT_TRUE(ok(qp0->post_window_write(
+      5, 0, MemoryView{src.data(), src.size()}, 0, 1, true)));
   ASSERT_TRUE(c0.wait_for(1));
   std::this_thread::sleep_for(20ms);
   EXPECT_EQ(window[0], std::byte{0});
@@ -296,8 +295,8 @@ TEST(MemFabric, RecvTooSmallBreaksQp) {
   QueuePair* qp0 = fabric.connect(0, 1, 0);
   QueuePair* qp1 = fabric.connect(1, 0, 0);
   std::vector<std::byte> big(128), small(32);
-  ASSERT_TRUE(qp1->post_recv(MemoryView{small.data(), small.size()}, 1));
-  ASSERT_TRUE(qp0->post_send(MemoryView{big.data(), big.size()}, 2, 0));
+  ASSERT_TRUE(ok(qp1->post_recv(MemoryView{small.data(), small.size()}, 1)));
+  ASSERT_TRUE(ok(qp0->post_send(MemoryView{big.data(), big.size()}, 2, 0)));
   ASSERT_TRUE(c0.wait_for(2));  // error completion + disconnect
   bool saw_error = false;
   for (const auto& c : c0.snapshot())

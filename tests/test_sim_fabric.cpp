@@ -200,7 +200,7 @@ TEST(SimFabric, BreakAbortsInFlightFlow) {
   for (const auto& c : r1) disc1 |= c.opcode == WcOpcode::kDisconnect;
   EXPECT_TRUE(disc0);
   EXPECT_TRUE(disc1);
-  EXPECT_FALSE(qp0->post_send(MemoryView{nullptr, 10}, 9, 0));
+  EXPECT_EQ(qp0->post_send(MemoryView{nullptr, 10}, 9, 0), PostResult::kQpBroken);
 }
 
 TEST(SimFabric, OobDelivery) {

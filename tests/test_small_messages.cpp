@@ -37,8 +37,8 @@ TEST(WindowWrite, MemFabricPlacesBytes) {
   fabric::QueuePair* qp = fabric.connect(0, 1, 9);
 
   std::vector<std::byte> payload(32, std::byte{0xAB});
-  ASSERT_TRUE(qp->post_window_write(
-      9, 64, fabric::MemoryView{payload.data(), payload.size()}, 777, 5));
+  ASSERT_TRUE(ok(qp->post_window_write(
+      9, 64, fabric::MemoryView{payload.data(), payload.size()}, 777, 5)));
   {
     std::unique_lock lock(m);
     ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return !at_target.empty(); }));
@@ -72,8 +72,8 @@ TEST(WindowWrite, OutOfBoundsBreaksQp) {
       1, fabric::MemoryView{window.data(), window.size()});
   fabric::QueuePair* qp = fabric.connect(0, 1, 1);
   std::vector<std::byte> payload(32);
-  ASSERT_TRUE(qp->post_window_write(
-      1, 48, fabric::MemoryView{payload.data(), payload.size()}, 0, 1));
+  ASSERT_TRUE(ok(qp->post_window_write(
+      1, 48, fabric::MemoryView{payload.data(), payload.size()}, 0, 1)));
   std::unique_lock lock(m);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return disconnected; }));
   EXPECT_TRUE(qp->broken());
@@ -100,16 +100,16 @@ TEST(WindowWrite, FifoWithTwoSidedSends) {
 
   std::vector<std::byte> data(16);
   // Send first (blocked: no recv posted), then a window write behind it.
-  ASSERT_TRUE(qp0->post_send(fabric::MemoryView{data.data(), 16}, 1, 0));
-  ASSERT_TRUE(qp0->post_window_write(
-      2, 0, fabric::MemoryView{data.data(), 16}, 0, 2));
+  ASSERT_TRUE(ok(qp0->post_send(fabric::MemoryView{data.data(), 16}, 1, 0)));
+  ASSERT_TRUE(ok(qp0->post_window_write(
+      2, 0, fabric::MemoryView{data.data(), 16}, 0, 2)));
   std::this_thread::sleep_for(20ms);
   {
     std::lock_guard lock(m);
     EXPECT_TRUE(order.empty()) << "window write overtook a blocked send";
   }
   std::vector<std::byte> rbuf(16);
-  ASSERT_TRUE(qp1->post_recv(fabric::MemoryView{rbuf.data(), 16}, 3));
+  ASSERT_TRUE(ok(qp1->post_recv(fabric::MemoryView{rbuf.data(), 16}, 3)));
   std::unique_lock lock(m);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() >= 2; }));
   EXPECT_EQ(order[0], fabric::WcOpcode::kRecv);
@@ -129,8 +129,8 @@ TEST(WindowWrite, SimFabricPlacesBytesInVirtualTime) {
       3, fabric::MemoryView{window.data(), window.size()});
   fabric::QueuePair* qp = fabric.connect(0, 1, 3);
   std::vector<std::byte> payload(64, std::byte{7});
-  ASSERT_TRUE(qp->post_window_write(
-      3, 32, fabric::MemoryView{payload.data(), payload.size()}, 42, 1));
+  ASSERT_TRUE(ok(qp->post_window_write(
+      3, 32, fabric::MemoryView{payload.data(), payload.size()}, 42, 1)));
   simulator.run();
   ASSERT_EQ(at_target.size(), 1u);
   EXPECT_EQ(at_target[0].opcode, fabric::WcOpcode::kRecvWindowWrite);

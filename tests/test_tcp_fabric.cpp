@@ -54,10 +54,9 @@ TEST(TcpFabric, BasicSendRecv) {
   fabric::QueuePair* qp1 = fabric.connect(1, 0, 3);
   auto payload = pattern(5000, 1);
   std::vector<std::byte> dst(5000);
-  ASSERT_TRUE(
-      qp1->post_recv(fabric::MemoryView{dst.data(), dst.size()}, 7));
-  ASSERT_TRUE(qp0->post_send(
-      fabric::MemoryView{payload.data(), payload.size()}, 8, 1234));
+  ASSERT_TRUE(ok(qp1->post_recv(fabric::MemoryView{dst.data(), dst.size()}, 7)));
+  ASSERT_TRUE(ok(qp0->post_send(
+      fabric::MemoryView{payload.data(), payload.size()}, 8, 1234)));
   std::unique_lock lock(m);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return !r1.empty(); }));
   EXPECT_EQ(r1[0].opcode, fabric::WcOpcode::kRecv);
@@ -81,16 +80,15 @@ TEST(TcpFabric, EarlySendParksUntilRecvPosted) {
   fabric::QueuePair* qp0 = fabric.connect(0, 1, 0);
   fabric::QueuePair* qp1 = fabric.connect(1, 0, 0);
   auto payload = pattern(100, 2);
-  ASSERT_TRUE(qp0->post_send(
-      fabric::MemoryView{payload.data(), payload.size()}, 1, 5));
+  ASSERT_TRUE(ok(qp0->post_send(
+      fabric::MemoryView{payload.data(), payload.size()}, 1, 5)));
   std::this_thread::sleep_for(30ms);
   {
     std::lock_guard lock(m);
     EXPECT_TRUE(r1.empty());
   }
   std::vector<std::byte> dst(100);
-  ASSERT_TRUE(
-      qp1->post_recv(fabric::MemoryView{dst.data(), dst.size()}, 2));
+  ASSERT_TRUE(ok(qp1->post_recv(fabric::MemoryView{dst.data(), dst.size()}, 2)));
   std::unique_lock lock(m);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return !r1.empty(); }));
   EXPECT_EQ(dst, payload);
@@ -113,10 +111,10 @@ TEST(TcpFabric, WindowWriteAndImm) {
       4, fabric::MemoryView{window.data(), window.size()});
   fabric::QueuePair* qp = fabric.connect(0, 1, 4);
   auto payload = pattern(40, 3);
-  ASSERT_TRUE(qp->post_window_write(
+  ASSERT_TRUE(ok(qp->post_window_write(
       4, 16, fabric::MemoryView{payload.data(), payload.size()}, 9, 1,
-      true));
-  ASSERT_TRUE(qp->post_write_imm(31337, 2));
+      true)));
+  ASSERT_TRUE(ok(qp->post_write_imm(31337, 2)));
   std::unique_lock lock(m);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return r1.size() >= 2; }));
   EXPECT_EQ(r1[0].opcode, fabric::WcOpcode::kRecvWindowWrite);
@@ -147,7 +145,7 @@ TEST(TcpFabric, BreakLinkNotifiesBothSides) {
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return disconnects >= 2; }));
   EXPECT_TRUE(qp0->broken());
   std::vector<std::byte> b(8);
-  EXPECT_FALSE(qp0->post_send(fabric::MemoryView{b.data(), 8}, 1, 0));
+  EXPECT_EQ(qp0->post_send(fabric::MemoryView{b.data(), 8}, 1, 0), fabric::PostResult::kQpBroken);
 }
 
 // ----------------------------------------------- full RDMC over TCP -------
