@@ -9,6 +9,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "util/bytes.hpp"
 #include "util/table.hpp"
 
@@ -18,6 +20,42 @@ inline bool quick_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) return true;
   return false;
+}
+
+/// `--trace out.json` (or `--trace=out.json`): where to write the unified
+/// trace, nullptr when the flag is absent.
+inline const char* trace_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      return argv[i + 1];
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) return argv[i] + 8;
+  }
+  return nullptr;
+}
+
+/// Enable the trace recorder when --trace was passed; returns the output
+/// path (nullptr = tracing stays off). Pair with write_trace(path).
+inline const char* maybe_enable_trace(int argc, char** argv) {
+  const char* path = trace_path(argc, argv);
+  if (path != nullptr) obs::TraceRecorder::instance().enable();
+  return path;
+}
+
+/// Dump the recorder to `path` as Chrome trace_event JSON (open in
+/// ui.perfetto.dev). No-op when path is null.
+inline void write_trace(const char* path) {
+  if (path == nullptr) return;
+  auto& rec = obs::TraceRecorder::instance();
+  const auto events = rec.snapshot();
+  if (!obs::write_chrome_json(path, events)) {
+    std::fprintf(stderr, "trace: failed to write %s\n", path);
+    return;
+  }
+  std::printf("trace: %zu events -> %s", events.size(), path);
+  if (rec.dropped() > 0)
+    std::printf(" (%llu oldest events dropped by ring wrap)",
+                static_cast<unsigned long long>(rec.dropped()));
+  std::printf("\n");
 }
 
 inline void header(const char* title, const char* paper_ref,

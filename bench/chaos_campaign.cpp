@@ -8,9 +8,13 @@
 // duplication, no corruption, failures reported to every survivor.
 //
 //   chaos_campaign [--seeds N] [--quick] [--replay SEED] [--first-seed S]
+//                  [--trace out.json]
 //
 // --replay re-runs a single seed with full plan + violation output; a seed
 // that failed in a campaign fails identically under --replay.
+// --trace records the unified trace (the ring keeps the most recent
+// window across seeds) and writes a Perfetto-loadable timeline — combine
+// with --replay SEED to get the full fault/recovery picture of one seed.
 #include <cstdlib>
 #include <cstring>
 
@@ -79,6 +83,7 @@ int replay(std::uint64_t seed, bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const char* trace_out = maybe_enable_trace(argc, argv);
   std::size_t seeds = quick ? 60 : 500;
   std::uint64_t first_seed = 1;
   for (int i = 1; i < argc; ++i) {
@@ -86,9 +91,12 @@ int main(int argc, char** argv) {
       seeds = static_cast<std::size_t>(std::atoll(argv[++i]));
     else if (std::strcmp(argv[i], "--first-seed") == 0 && i + 1 < argc)
       first_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc)
-      return replay(static_cast<std::uint64_t>(std::atoll(argv[++i])),
-                    quick);
+    else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      const int rc = replay(
+          static_cast<std::uint64_t>(std::atoll(argv[++i])), quick);
+      write_trace(trace_out);
+      return rc;
+    }
   }
 
   header("Chaos campaign — seeded faults vs §4.6 recovery",
@@ -128,5 +136,6 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\n%s\n", rc == 0 ? "ALL SEEDS PASSED" : "CAMPAIGN FAILED");
+  write_trace(trace_out);
   return rc;
 }

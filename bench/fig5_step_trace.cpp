@@ -1,53 +1,21 @@
 // Figure 5: per-step transfer vs wait time at the root sender and the
 // first relayer during a 256 MB transfer (group of 4, Stampede), including
 // the ~100 us OS-preemption anomaly the paper highlights.
+//
+// The per-step split comes from obs::step_profile over the unified trace:
+// each step's transfer time is the *exact* wire time of that completion's
+// fabric xfer span, and the remainder of the inter-completion gap is wait.
+// (Earlier versions reconstructed the split with a windowed-median
+// heuristic over completion gaps; the trace makes that unnecessary.)
 #include <algorithm>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/group.hpp"
 #include "harness/sim_harness.hpp"
+#include "obs/stall.hpp"
 
 using namespace rdmc;
 using namespace rdmc::bench;
-
-namespace {
-
-struct StepRow {
-  double transfer_us;
-  double wait_us;
-};
-
-/// Reconstruct per-step busy/wait from a node's completion timeline: the
-/// sender's cadence is its send completions, a relayer's its receive
-/// completions. Consecutive gaps are smoothed over a window of l steps
-/// (the engine legitimately bunches posts within a hypercube round-trip);
-/// the node's steady per-step period is the windowed median, and time
-/// beyond it is waiting (peer not ready / OS preemption).
-std::vector<StepRow> step_profile(const Group* g, bool sender,
-                                  std::size_t smooth) {
-  std::vector<double> events;
-  const auto kind = sender ? Group::TraceEvent::Kind::kSendCompleted
-                           : Group::TraceEvent::Kind::kRecvCompleted;
-  for (const auto& e : g->trace())
-    if (e.kind == kind) events.push_back(e.when);
-  std::sort(events.begin(), events.end());
-  std::vector<double> gaps;
-  for (std::size_t i = smooth; i < events.size(); i += smooth)
-    gaps.push_back((events[i] - events[i - smooth]) /
-                   static_cast<double>(smooth));
-  std::vector<double> sorted = gaps;
-  std::sort(sorted.begin(), sorted.end());
-  const double period = sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
-  std::vector<StepRow> rows;
-  for (double gap : gaps) {
-    const double transfer = std::min(gap, period);
-    rows.push_back({transfer * 1e6, (gap - transfer) * 1e6});
-  }
-  return rows;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
@@ -56,6 +24,11 @@ int main(int argc, char** argv) {
          "most steps are pure transfer; occasional long waits appear when "
          "the OS preempts a relayer (the paper's ~100 us anomaly), and the "
          "sender then stalls on the next not-ready target");
+
+  // The step profile is trace-driven, so the recorder is always on here;
+  // --trace additionally dumps the timeline for Perfetto.
+  const char* trace_out = trace_path(argc, argv);
+  obs::TraceRecorder::instance().enable();
 
   auto profile = sim::stampede_profile(4);
   // Make preemptions rare but present, as on the real batch system. Note
@@ -67,15 +40,15 @@ int main(int argc, char** argv) {
   harness::SimCluster cluster(profile);
   GroupOptions options;
   options.block_size = 1 << 20;
-  options.enable_trace = true;
   cluster.create_group(1, {0, 1, 2, 3}, options);
   const std::uint64_t bytes = quick ? (32ull << 20) : (256ull << 20);
   cluster.node(0).send(1, nullptr, bytes);
   cluster.sim().run();
 
-  // l = 2 for a 4-node hypercube: smooth over one full direction cycle.
-  const auto sender = step_profile(cluster.node(0).group(1), true, 2);
-  const auto relayer = step_profile(cluster.node(1).group(1), false, 2);
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  write_trace(trace_out);
+  const auto sender = obs::step_profile(events, 1, 0, /*sender_side=*/true);
+  const auto relayer = obs::step_profile(events, 1, 1, /*sender_side=*/false);
 
   util::TextTable table({"step", "sender transfer (us)", "sender wait (us)",
                          "relayer transfer (us)", "relayer wait (us)"});

@@ -2,11 +2,66 @@
 // Sierra (40 Gb/s QDR), binomial pipeline vs sequential send. Like the
 // paper, the largest sequential points are extrapolated (they scale
 // linearly and the full runs add nothing).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "harness/sim_harness.hpp"
+#include "obs/stall.hpp"
 
 using namespace rdmc;
 using namespace rdmc::bench;
+
+namespace {
+
+/// --trace extra: re-run the 16-node pipeline point with the unified trace
+/// recorder on, dump the Perfetto timeline, and print the critical-path
+/// stall decomposition for every receiver. The per-class segments tile
+/// [root msg start, delivery] exactly, so sum == latency is asserted here
+/// (within 1% is the acceptance bar; the analyzer delivers equality).
+void traced_run(const char* trace_out, std::uint64_t bytes) {
+  obs::TraceRecorder::instance().enable();
+  harness::MulticastConfig cfg;
+  cfg.profile = sim::sierra_profile(16);
+  cfg.group_size = 16;
+  cfg.message_bytes = bytes;
+  cfg.block_size = 1 << 20;
+  harness::run_multicast(cfg);
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  write_trace(trace_out);
+  obs::TraceRecorder::instance().disable();
+
+  std::vector<std::uint32_t> members(16);
+  for (std::uint32_t i = 0; i < 16; ++i) members[i] = i;
+  const auto analysis = obs::analyze_multicast(events, 1, members);
+  for (const auto& w : analysis.warnings)
+    std::printf("trace: warning: %s\n", w.c_str());
+
+  std::printf("\nCritical-path stall decomposition, 16-node traced run "
+              "(ms, per receiver):\n");
+  util::TextTable table({"node", "latency", "transfer", "wait", "software",
+                         "injected", "recovery", "hops", "sum/latency"});
+  double worst_rel = 0.0;
+  for (const auto& r : analysis.receivers) {
+    const double rel = r.latency_s > 0 ? r.sum() / r.latency_s : 1.0;
+    worst_rel = std::max(worst_rel, std::abs(rel - 1.0));
+    table.add_row({util::TextTable::integer(r.node),
+                   util::TextTable::num(r.latency_s * 1e3, 3),
+                   util::TextTable::num(r.transfer_s * 1e3, 3),
+                   util::TextTable::num(r.wait_s * 1e3, 3),
+                   util::TextTable::num(r.software_s * 1e3, 3),
+                   util::TextTable::num(r.injected_s * 1e3, 3),
+                   util::TextTable::num(r.recovery_s * 1e3, 3),
+                   util::TextTable::integer(r.hops),
+                   util::TextTable::num(rel, 6)});
+  }
+  table.print();
+  std::printf("decomposition closure: worst |sum/latency - 1| = %.2e %s\n",
+              worst_rel, worst_rel <= 0.01 ? "(within 1%)" : "(EXCEEDS 1%)");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
@@ -53,5 +108,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\n(*) extrapolated linearly, as in the paper\n");
+  if (const char* trace_out = trace_path(argc, argv))
+    traced_run(trace_out, bytes);
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
 #include "sched/hybrid.hpp"
 #include "util/logging.hpp"
 
@@ -121,7 +123,8 @@ std::size_t Group::block_bytes(std::size_t block) const {
 
 void Group::record(TraceEvent::Kind kind, std::uint32_t peer,
                    std::size_t block) {
-  if (options_.enable_trace)
+  if (options_.enable_trace &&
+      (options_.trace_limit == 0 || trace_.size() < options_.trace_limit))
     trace_.push_back(TraceEvent{node_.clock()(), kind, peer, block});
 }
 
@@ -148,6 +151,12 @@ void Group::start_next_outgoing() {
   stats_.setup_seconds += node_.clock()() - t0;
   stats_.last_transfer_start = node_.clock()();
   record(TraceEvent::Kind::kMessageStart, 0, num_blocks_);
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kCore, "msg", node_.id(),
+              obs::msg_span_id(id_, stats_.messages_sent),
+              stats_.last_transfer_start, "group,seq,blocks,bytes",
+              static_cast<std::uint32_t>(id_), stats_.messages_sent,
+              num_blocks_, size_);
   for (std::size_t p = 0; p < pairs_.size(); ++p) post_receives(p);
   pump_all_sends();
 }
@@ -220,6 +229,11 @@ void Group::activate_incoming(std::size_t pair_index,
   transfer_active_ = true;
   stats_.last_transfer_start = t0;
   record(TraceEvent::Kind::kMessageStart, 0, num_blocks_);
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kCore, "msg", node_.id(),
+              obs::msg_span_id(id_, stats_.messages_delivered), t0,
+              "group,seq,blocks,bytes", static_cast<std::uint32_t>(id_),
+              stats_.messages_delivered, num_blocks_, size_);
   stats_.setup_seconds += node_.clock()() - t0;
 
   for (std::size_t p = 0; p < pairs_.size(); ++p) post_receives(p);
@@ -265,13 +279,19 @@ void Group::pump_sends(std::size_t pair_index) {
     fabric::MemoryView buf{
         data_ != nullptr ? data_ + block_offset(block) : nullptr,
         block_bytes(block)};
-    if (!fabric::ok(pair.qp->post_send(buf, pair.next_send,
+    const std::uint64_t wr = pair.next_send;
+    if (!fabric::ok(pair.qp->post_send(buf, wr,
                                        static_cast<std::uint32_t>(size_))))
       return;
     ++pair.sends_posted;
     ++pair.next_send;
     ++stats_.blocks_sent;
     record(TraceEvent::Kind::kSendPosted, pair.peer_rank, block);
+    if (auto* tr = obs::tracer())
+      tr->begin(obs::Cat::kCore, "block", node_.id(),
+                obs::block_span_id(id_, block, node_.id(), pair.peer),
+                node_.clock()(), "block,dst,qp,wr", block, pair.peer,
+                pair.qp->id(), wr);
   }
 }
 
@@ -321,14 +341,39 @@ void Group::on_block_received(std::size_t pair_index, std::size_t block) {
   ++stats_.blocks_received;
   record(TraceEvent::Kind::kRecvCompleted, pairs_[pair_index].peer_rank,
          block);
+  if (auto* tr = obs::tracer())
+    tr->end(obs::Cat::kCore, "block", node_.id(),
+            obs::block_span_id(id_, block, pairs_[pair_index].peer,
+                               node_.id()),
+            node_.clock()(), "block,src", block, pairs_[pair_index].peer);
   post_receives(pair_index);
   pump_all_sends();
   check_message_done();
 }
 
-void Group::on_send_completed(std::size_t pair_index) {
+void Group::on_send_completed(std::size_t pair_index, std::uint64_t wr_id) {
   ++msg_sends_done_;
-  record(TraceEvent::Kind::kSendCompleted, pairs_[pair_index].peer_rank, 0);
+  Pair& pair = pairs_[pair_index];
+  const std::size_t block =
+      wr_id < pair.send_blocks.size() ? pair.send_blocks[wr_id] : 0;
+  record(TraceEvent::Kind::kSendCompleted, pair.peer_rank, block);
+  if (auto* tr = obs::tracer()) {
+    // A raw record: instants normally carry no id, but send completions
+    // need the block-span id so the analyzer can match them to their hop.
+    obs::TraceEvent e;
+    e.ts = node_.clock()();
+    e.name = "send.done";
+    e.keys = "block,dst,qp,wr";
+    e.phase = obs::Phase::kInstant;
+    e.cat = obs::Cat::kCore;
+    e.node = node_.id();
+    e.id = obs::block_span_id(id_, block, node_.id(), pair.peer);
+    e.a[0] = block;
+    e.a[1] = pair.peer;
+    e.a[2] = pair.qp->id();
+    e.a[3] = wr_id;
+    tr->record(e);
+  }
   check_message_done();
 }
 
@@ -344,6 +389,13 @@ void Group::finish_message() {
   transfer_active_ = false;
   stats_.last_transfer_end = node_.clock()();
   record(TraceEvent::Kind::kMessageDone, 0, 0);
+  if (auto* tr = obs::tracer()) {
+    const std::uint64_t seq =
+        rank_ == 0 ? stats_.messages_sent : stats_.messages_delivered;
+    tr->end(obs::Cat::kCore, "msg", node_.id(), obs::msg_span_id(id_, seq),
+            stats_.last_transfer_end, "group,seq",
+            static_cast<std::uint32_t>(id_), seq);
+  }
   std::byte* data = data_;
   const std::size_t size = size_;
   if (rank_ == 0) {
@@ -381,7 +433,7 @@ void Group::on_completion(const fabric::Completion& c,
         fail(pair.peer, /*relay=*/true);
         return;
       }
-      on_send_completed(pair_index);
+      on_send_completed(pair_index, c.wr_id);
       break;
     }
     case fabric::WcOpcode::kRecvWriteImm: {
@@ -390,6 +442,9 @@ void Group::on_completion(const fabric::Completion& c,
           std::max<std::uint64_t>(pair.credits_from_peer, c.immediate);
       record(TraceEvent::Kind::kCreditReceived, pair.peer_rank,
              c.immediate);
+      if (auto* tr = obs::tracer())
+        tr->instant(obs::Cat::kCore, "credit.rx", node_.id(),
+                    node_.clock()(), "peer,count", pair.peer, c.immediate);
       pump_sends(pair_index);
       break;
     }

@@ -149,7 +149,7 @@ class Group : public QpSink {
                           const fabric::Completion& c);
   /// A block of the active message was received.
   void on_block_received(std::size_t pair_index, std::size_t block);
-  void on_send_completed(std::size_t pair_index);
+  void on_send_completed(std::size_t pair_index, std::uint64_t wr_id);
   void check_message_done();
   void finish_message();
   void fail(NodeId suspect, bool relay);

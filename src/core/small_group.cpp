@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace rdmc {
@@ -82,6 +84,10 @@ bool SmallMessageGroup::send(const std::byte* data, std::size_t size) {
     if (next_seq_ >= peer.consumed + options_.ring_depth) return false;
   }
   const std::uint64_t seq = next_seq_++;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kCore, "smsg", node_.id(),
+              obs::msg_span_id(id_, seq), node_.clock()(),
+              "group,seq,bytes", static_cast<std::uint32_t>(id_), seq, size);
   const std::uint64_t offset = (seq % options_.ring_depth) *
                                options_.slot_size;
   const std::uint32_t channel =
@@ -137,6 +143,11 @@ void SmallMessageGroup::on_completion(const fabric::Completion& c,
       assert(c.wr_id == expect_offset && "ring sequence out of order");
       (void)expect_offset;
       if (deliver_) deliver_(ring_.data() + c.wr_id, c.byte_len);
+      if (auto* tr = obs::tracer())
+        tr->end(obs::Cat::kCore, "smsg", node_.id(),
+                obs::msg_span_id(id_, delivered_), node_.clock()(),
+                "group,seq,bytes", static_cast<std::uint32_t>(id_),
+                delivered_, c.byte_len);
       ++delivered_;
       // Return consumption credits in batches (a real receiver bumps a
       // polled counter; per-message acks would cost a completion each).

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace rdmc::fabric {
@@ -272,6 +274,10 @@ struct MemFabric::Connection {
       PostedRecv recv = std::move(dir.recvs.front());
       dir.recvs.pop_front();
 
+      if (auto* tr = obs::tracer())
+        tr->end(obs::Cat::kFabric, "xfer", sender_qp->self_,
+                obs::xfer_span_id(sender_qp->id(), send.wr_id),
+                obs::wall_seconds(), "qp,wr", sender_qp->id(), send.wr_id);
       Completion send_c{send.wr_id, WcOpcode::kSend, WcStatus::kSuccess,
                         static_cast<std::uint32_t>(send.buf.size),
                         send.immediate, sender_qp->id(), sender_qp->peer()};
@@ -304,6 +310,10 @@ struct MemFabric::Connection {
   bool execute_window_write(MemQueuePair* sender_qp,
                             MemQueuePair* receiver_qp,
                             const PendingSend& send) {
+    if (auto* tr = obs::tracer())
+      tr->end(obs::Cat::kFabric, "xferw", sender_qp->self_,
+              obs::xfer_span_id(sender_qp->id(), send.wr_id),
+              obs::wall_seconds(), "qp,wr", sender_qp->id(), send.wr_id);
     const auto result = fabric.apply_endpoint_window_write(
         receiver_qp->self_, send.window_id, send.window_offset, send.buf);
     if (result == MemFabric::WindowApply::kOutOfBounds) {
@@ -400,6 +410,10 @@ PostResult MemFabric::MemQueuePair::post_send(MemoryView buf,
   std::lock_guard lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kFabric, "xfer", self_,
+              obs::xfer_span_id(id_, wr_id), obs::wall_seconds(),
+              "dst,bytes,qp,wr", peer_, buf.size, id_, wr_id);
   auto& dir = conn_.direction_from(self_);
   dir.sends.push_back({buf, wr_id, immediate});
   conn_.try_match(self_, dir);
@@ -452,6 +466,10 @@ PostResult MemFabric::MemQueuePair::post_window_write(
   if (local.data && local.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   if (local.size > 0 && offset > ~std::uint64_t{0} - local.size)
     return PostResult::kWindowViolation;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kFabric, "xferw", self_,
+              obs::xfer_span_id(id_, wr_id), obs::wall_seconds(),
+              "dst,bytes,qp,wr", peer_, local.size, id_, wr_id);
   auto& dir = conn_.direction_from(self_);
   Connection::PendingSend send;
   send.buf = local;

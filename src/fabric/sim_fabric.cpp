@@ -4,6 +4,8 @@
 #include <cstring>
 #include <map>
 
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace rdmc::fabric {
@@ -158,6 +160,14 @@ void SimFabric::Connection::maybe_start(NodeId src, Direction& dir) {
   const double bytes = static_cast<double>(send.buf.size);
   sim.at(start, [this, src, &dir, bytes] {
     if (broken || !dir.in_flight) return;
+    if (auto* tr = obs::tracer()) {
+      const PendingSend& s = dir.sends.front();
+      const QpId qp = side_for(src)->id();
+      tr->begin(obs::Cat::kFabric, s.is_window_write ? "xferw" : "xfer",
+                src, obs::xfer_span_id(qp, s.wr_id), fabric.sim_.now(),
+                "dst,bytes,qp,wr", side_for(src)->peer(), s.buf.size, qp,
+                s.wr_id);
+    }
     dir.flow = fabric.flows_.start_flow(
         src, side_for(src)->peer(), bytes,
         [this, src](sim::SimTime t) { on_flow_done(src, t); });
@@ -169,6 +179,12 @@ void SimFabric::Connection::on_flow_done(NodeId src, sim::SimTime t) {
   dir.flow = sim::kInvalidFlow;
   if (broken) return;
   assert(dir.in_flight && !dir.sends.empty());
+  if (auto* tr = obs::tracer()) {
+    const PendingSend& s = dir.sends.front();
+    const QpId qp = side_for(src)->id();
+    tr->end(obs::Cat::kFabric, s.is_window_write ? "xferw" : "xfer", src,
+            obs::xfer_span_id(qp, s.wr_id), t, "qp,wr", qp, s.wr_id);
+  }
   SimQueuePair* sqp = side_for(src);
   SimQueuePair* rqp = side_for(sqp->peer());
 
@@ -452,6 +468,8 @@ QueuePair* SimFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
 }
 
 void SimFabric::break_link(NodeId a, NodeId b) {
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Cat::kFabric, "fault.break", a, sim_.now(), "a,b", a, b);
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
   for (auto& [key, conn] : connections_) {
@@ -461,6 +479,9 @@ void SimFabric::break_link(NodeId a, NodeId b) {
 }
 
 void SimFabric::crash_node(NodeId node) {
+  if (auto* tr = obs::tracer())
+    tr->instant(obs::Cat::kFabric, "fault.crash", node, sim_.now(), "node",
+                node);
   if (crashed_.insert(node).second) fault_counters_.crashes++;
   for (auto& [key, conn] : connections_) {
     if ((std::get<0>(key) == node || std::get<1>(key) == node) &&
@@ -514,13 +535,22 @@ bool SimFabric::degrade_link(NodeId a, NodeId b, double factor,
                              double duration_s) {
   if (factor <= 0.0 || duration_s < 0.0) return false;
   fault_counters_.degrades++;
+  const std::uint64_t span =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kFabric, "fault.degrade", a, span, sim_.now(),
+              "a,b,permille", a, b,
+              static_cast<std::uint64_t>(factor * 1000.0));
   apply_degrade(a, b, factor);
   apply_degrade(b, a, factor);
   flows_.topology_changed();
-  sim_.after(duration_s, [this, a, b, factor] {
+  sim_.after(duration_s, [this, a, b, factor, span] {
     expire_degrade(a, b, factor);
     expire_degrade(b, a, factor);
     flows_.topology_changed();
+    if (auto* tr = obs::tracer())
+      tr->end(obs::Cat::kFabric, "fault.degrade", a, span, sim_.now(),
+              "a,b", a, b);
   });
   return true;
 }
@@ -529,9 +559,16 @@ bool SimFabric::slow_node(NodeId node, double factor, double duration_s) {
   if (factor <= 0.0 || duration_s < 0.0 || node >= node_state_.size())
     return false;
   fault_counters_.slowdowns++;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kFabric, "fault.slow", node, node, sim_.now(),
+              "node,permille", node,
+              static_cast<std::uint64_t>(factor * 1000.0));
   node_state_[node].software_factor *= factor;
   sim_.after(duration_s, [this, node, factor] {
     node_state_[node].software_factor /= factor;
+    if (auto* tr = obs::tracer())
+      tr->end(obs::Cat::kFabric, "fault.slow", node, node, sim_.now(),
+              "node", node);
   });
   return true;
 }

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace rdmc::fabric {
@@ -633,8 +635,16 @@ PostResult TcpFabric::TcpQueuePair::post_send(MemoryView buf,
   header.channel = channel_;
   header.immediate = immediate;
   header.length = buf.size;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kFabric, "xfer", owner_.id(),
+              obs::xfer_span_id(id(), wr_id), obs::wall_seconds(),
+              "dst,bytes,qp,wr", peer_, buf.size, id(), wr_id);
   if (!owner_.send_frame(peer_, header, buf)) return PostResult::kQpBroken;
   // TCP semantics: the kernel accepted the bytes; completion now.
+  if (auto* tr = obs::tracer())
+    tr->end(obs::Cat::kFabric, "xfer", owner_.id(),
+            obs::xfer_span_id(id(), wr_id), obs::wall_seconds(), "qp,wr",
+            id(), wr_id);
   owner_.push(Completion{wr_id, WcOpcode::kSend, WcStatus::kSuccess,
                          static_cast<std::uint32_t>(buf.size), immediate,
                          id(), peer_});

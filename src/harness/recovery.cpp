@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/random.hpp"
 
 namespace rdmc::harness {
@@ -103,6 +104,11 @@ RecoveryResult RecoveryDriver::run() {
     const NodeId root = e.members.front();
     const std::size_t expect =
         config_.messages - e.base_seq;  // deliveries per receiver
+    if (auto* tr = obs::tracer())
+      tr->begin(obs::Cat::kRecovery, "epoch", root,
+                static_cast<std::uint64_t>(e.gid), cluster_.sim().now(),
+                "gid,members,base_seq", static_cast<std::uint32_t>(e.gid),
+                e.members.size(), e.base_seq);
 
     // -- Create the group on every member (§4.6: the application layer
     // re-creates after each failure; ids are never recycled). ------------
@@ -158,6 +164,18 @@ RecoveryResult RecoveryDriver::run() {
         if (m.epoch_failures > 1) {
           note_violation(res, "failure reported twice to node " +
                                   std::to_string(m.node));
+        }
+        if (auto* tr = obs::tracer()) {
+          tr->instant(obs::Cat::kRecovery, "failure", m.node,
+                      cluster_.sim().now(), "gid,suspect",
+                      static_cast<std::uint32_t>(e.gid), suspect);
+          // The §4.6 recovery window opens at the first observation; it
+          // closes at the reform (or never, if the run ends degraded).
+          if (!e.failure_seen)
+            tr->begin(obs::Cat::kRecovery, "recovery", e.members.front(),
+                      static_cast<std::uint64_t>(e.gid),
+                      cluster_.sim().now(), "gid",
+                      static_cast<std::uint32_t>(e.gid));
         }
         e.failure_seen = true;
         e.failure_log.push_back({cluster_.sim().now(), m.node, suspect});
@@ -238,6 +256,10 @@ RecoveryResult RecoveryDriver::run() {
     // -- Tear down this epoch's group everywhere. --------------------------
     for (NodeId n : e.members) cluster_.node(n).destroy_group(e.gid);
     for (NodeId n : e.members) state[n].rx.clear();
+    if (auto* tr = obs::tracer())
+      tr->end(obs::Cat::kRecovery, "epoch", root,
+              static_cast<std::uint64_t>(e.gid), cluster_.sim().now(),
+              "gid", static_cast<std::uint32_t>(e.gid));
 
     if (!epoch_failed || finished) {
       finished = true;
@@ -300,6 +322,13 @@ RecoveryResult RecoveryDriver::run() {
     base_seq = resume;
     ++res.reforms;
     cluster_.note_reform();
+    if (auto* tr = obs::tracer()) {
+      tr->end(obs::Cat::kRecovery, "recovery", root,
+              static_cast<std::uint64_t>(e.gid), cluster_.sim().now(),
+              "gid", static_cast<std::uint32_t>(e.gid));
+      tr->instant(obs::Cat::kRecovery, "reform", root, cluster_.sim().now(),
+                  "epoch,survivors", epoch_i + 1, current.size());
+    }
   }
 
   // -- Final invariants over the surviving membership. ---------------------

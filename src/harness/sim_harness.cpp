@@ -68,23 +68,54 @@ bool SimCluster::run_slice(double dt) {
   return more;
 }
 
-PerfStats SimCluster::perf_stats() const {
-  const auto& c = fabric_->flows().counters();
+PerfStats PerfStats::from(const obs::MetricsRegistry& registry) {
+  auto get = [&registry](const char* name) -> std::uint64_t {
+    const obs::Counter* c = registry.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+  };
   PerfStats s;
-  s.wall_seconds = wall_seconds_;
-  s.events_processed = sim_.events_processed();
-  s.reallocations = c.reallocations;
-  s.filling_rounds = c.filling_rounds;
-  s.flows_touched = c.flows_touched;
-  s.max_component = c.max_component;
-  s.expand_rounds = c.expand_rounds;
-  s.full_recomputes = c.full_recomputes;
-  s.flow_starts = c.flow_starts;
-  const auto& f = fabric_->fault_counters();
-  s.breaks_delivered = f.disconnects_delivered;
-  s.flushed_completions = f.flushed_completions;
-  s.reforms = reforms_;
+  s.wall_seconds = static_cast<double>(get("harness.wall_ns")) / 1e9;
+  s.events_processed = get("sim.events");
+  s.reallocations = get("sim.reallocations");
+  s.filling_rounds = get("sim.filling_rounds");
+  s.flows_touched = get("sim.flows_touched");
+  s.max_component = get("sim.max_component");
+  s.expand_rounds = get("sim.expand_rounds");
+  s.full_recomputes = get("sim.full_recomputes");
+  s.flow_starts = get("sim.flow_starts");
+  s.breaks_delivered = get("fault.disconnects");
+  s.flushed_completions = get("fault.flushed");
+  s.reforms = get("harness.reforms");
   return s;
+}
+
+void SimCluster::sync_metrics() const {
+  const auto& c = fabric_->flows().counters();
+  metrics_.counter("harness.wall_ns")
+      .set(static_cast<std::uint64_t>(wall_seconds_ * 1e9));
+  metrics_.counter("sim.events").set(sim_.events_processed());
+  metrics_.counter("sim.reallocations").set(c.reallocations);
+  metrics_.counter("sim.filling_rounds").set(c.filling_rounds);
+  metrics_.counter("sim.flows_touched").set(c.flows_touched);
+  metrics_.counter("sim.max_component").set(c.max_component);
+  metrics_.counter("sim.expand_rounds").set(c.expand_rounds);
+  metrics_.counter("sim.full_recomputes").set(c.full_recomputes);
+  metrics_.counter("sim.flow_starts").set(c.flow_starts);
+  metrics_.counter("sim.flow_completions").set(c.flow_completions);
+  metrics_.counter("sim.flow_aborts").set(c.flow_aborts);
+  const auto& f = fabric_->fault_counters();
+  metrics_.counter("fault.disconnects").set(f.disconnects_delivered);
+  metrics_.counter("fault.flushed").set(f.flushed_completions);
+  metrics_.counter("fault.breaks").set(f.links_broken);
+  metrics_.counter("fault.crashes").set(f.crashes);
+  metrics_.counter("fault.degrades").set(f.degrades);
+  metrics_.counter("fault.slowdowns").set(f.slowdowns);
+  metrics_.counter("harness.reforms").set(reforms_);
+}
+
+PerfStats SimCluster::perf_stats() const {
+  sync_metrics();
+  return PerfStats::from(metrics_);
 }
 
 const SimCluster::GroupRecord& SimCluster::record(GroupId id) const {
@@ -155,12 +186,15 @@ MulticastResult run_multicast(const MulticastConfig& config) {
   MulticastResult result;
   double last_delivery = start;
   double first_last = 1e300, max_last = 0.0;
+  auto& latency_hist =
+      cluster.metrics().histogram("multicast.delivery_latency_s");
   for (std::size_t m = 1; m < rec.members.size(); ++m) {
     const auto& times = rec.delivery_times[m];
     assert(times.size() == config.messages && "receiver missed messages");
     last_delivery = std::max(last_delivery, times.back());
     first_last = std::min(first_last, times.back());
     max_last = std::max(max_last, times.back());
+    latency_hist.add(times.back() - start);
   }
   result.total_seconds = last_delivery - start;
   result.latency_seconds =

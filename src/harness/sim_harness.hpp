@@ -17,6 +17,7 @@
 #include "core/group.hpp"
 #include "core/rdmc.hpp"
 #include "fabric/sim_fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cluster_profiles.hpp"
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
@@ -27,20 +28,29 @@ namespace rdmc::harness {
 /// (and dumped into BENCH_core.json by bench/perf_core). `wall_seconds` is
 /// host time spent inside Simulator::run; the rest are FlowNetwork /
 /// Simulator counters over the experiment.
+///
+/// This struct is a *typed view* over an obs::MetricsRegistry: SimCluster
+/// publishes its counters under the registry names listed per field and
+/// `from()` materialises the struct from any registry holding them. New
+/// counters can flow from a layer to consumers through the registry alone;
+/// this struct only grows a field when a stable name deserves one.
 struct PerfStats {
-  double wall_seconds = 0.0;
-  std::uint64_t events_processed = 0;
-  std::uint64_t reallocations = 0;
-  std::uint64_t filling_rounds = 0;
-  std::uint64_t flows_touched = 0;
-  std::uint64_t max_component = 0;
-  std::uint64_t expand_rounds = 0;
-  std::uint64_t full_recomputes = 0;
-  std::uint64_t flow_starts = 0;
+  double wall_seconds = 0.0;              // harness.wall_ns / 1e9
+  std::uint64_t events_processed = 0;     // sim.events
+  std::uint64_t reallocations = 0;        // sim.reallocations
+  std::uint64_t filling_rounds = 0;       // sim.filling_rounds
+  std::uint64_t flows_touched = 0;        // sim.flows_touched
+  std::uint64_t max_component = 0;        // sim.max_component
+  std::uint64_t expand_rounds = 0;        // sim.expand_rounds
+  std::uint64_t full_recomputes = 0;      // sim.full_recomputes
+  std::uint64_t flow_starts = 0;          // sim.flow_starts
   // Fault-path counters (SimFabric::FaultCounters + harness bookkeeping).
-  std::uint64_t breaks_delivered = 0;     // kDisconnect completions
-  std::uint64_t flushed_completions = 0;  // kFlushed completions
-  std::uint64_t reforms = 0;              // §4.6 group re-creations
+  std::uint64_t breaks_delivered = 0;     // fault.disconnects
+  std::uint64_t flushed_completions = 0;  // fault.flushed
+  std::uint64_t reforms = 0;              // harness.reforms
+
+  /// Materialise the view from a registry (absent names read as zero).
+  static PerfStats from(const obs::MetricsRegistry& registry);
 };
 
 /// A simulated cluster with one rdmc::Node per machine.
@@ -85,8 +95,15 @@ class SimCluster {
   double run_one(GroupId group, std::uint64_t bytes);
 
   /// Counter snapshot (cumulative since construction); wall_seconds covers
-  /// the Simulator::run calls made through this cluster.
+  /// the Simulator::run calls made through this cluster. Implemented as
+  /// sync_metrics() + PerfStats::from(metrics()).
   PerfStats perf_stats() const;
+
+  /// The cluster's metrics registry. sync_metrics() refreshes it from the
+  /// simulator/flow-network/fault counters; layers may also publish into
+  /// it directly (histograms, extra counters) without touching PerfStats.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+  void sync_metrics() const;
 
   /// sim().run() wrapped with host-clock accounting into the wall_seconds
   /// reported by perf_stats().
@@ -111,6 +128,7 @@ class SimCluster {
   std::vector<std::unique_ptr<GroupRecord>> records_;
   double wall_seconds_ = 0.0;
   std::uint64_t reforms_ = 0;
+  mutable obs::MetricsRegistry metrics_;
 };
 
 /// One-shot multicast experiment (most figures).

@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rdmc::obs {
+
+Log2Histogram::Log2Histogram(int min_exp, int max_exp)
+    : min_exp_(min_exp), max_exp_(max_exp) {
+  assert(max_exp_ >= min_exp_);
+  counts_.assign(static_cast<std::size_t>(max_exp_ - min_exp_ + 1), 0);
+}
+
+void Log2Histogram::add(double value) {
+  ++total_;
+  if (value > 0.0) {
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+  if (!(value > 0.0)) {  // zero, negative, NaN
+    ++underflow_;
+    return;
+  }
+  // floor(log2(value)) without rounding surprises at exact powers of two:
+  // frexp(v) = m * 2^e with m in [0.5, 1), so floor(log2(v)) == e - 1 and
+  // v == 2^k maps to exponent k exactly (m == 0.5, e == k + 1).
+  int e = 0;
+  (void)std::frexp(value, &e);
+  const int exp = e - 1;
+  if (exp < min_exp_) {
+    ++underflow_;
+  } else if (exp > max_exp_) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>(exp - min_exp_)];
+  }
+}
+
+double Log2Histogram::bucket_lo(std::size_t i) const {
+  return std::ldexp(1.0, min_exp_ + static_cast<int>(i));
+}
+
+double Log2Histogram::bucket_hi(std::size_t i) const {
+  return std::ldexp(1.0, min_exp_ + static_cast<int>(i) + 1);
+}
+
+double Log2Histogram::approx_quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total_ - 1);
+  std::uint64_t seen = underflow_;
+  if (rank < static_cast<double>(seen)) return 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank < static_cast<double>(seen)) {
+      // Geometric midpoint of the bucket: sqrt(lo * hi) = lo * sqrt(2).
+      return bucket_lo(i) * 1.4142135623730951;
+    }
+  }
+  return max_;  // overflow bucket
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Log2Histogram& MetricsRegistry::histogram(const std::string& name,
+                                          int min_exp, int max_exp) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Log2Histogram>(min_exp, max_exp);
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Log2Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":";
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":{\"total\":";
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(h->total()));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"mean\":%.9g", h->mean());
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"max\":%.9g", h->max());
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"p50\":%.9g", h->approx_quantile(0.5));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"p99\":%.9g",
+                  h->approx_quantile(0.99));
+    out += buf;
+    out += ",\"buckets\":[";
+    // Sparse: [exponent, count] pairs for non-empty buckets only.
+    bool bfirst = true;
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      if (h->count_at(i) == 0) continue;
+      if (!bfirst) out.push_back(',');
+      bfirst = false;
+      std::snprintf(buf, sizeof buf, "[%d,%llu]",
+                    h->min_exp() + static_cast<int>(i),
+                    static_cast<unsigned long long>(h->count_at(i)));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rdmc::obs

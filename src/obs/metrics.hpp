@@ -1,0 +1,111 @@
+// Metrics registry: named counters and log2-bucketed histograms.
+//
+// Ends the one-struct-edit-per-counter plumbing around PerfStats: a layer
+// that wants a new counter calls registry.counter("sim.flow_starts") and
+// bumps it; consumers iterate the registry (or read the typed PerfStats
+// view harness/sim_harness builds over it) without every intermediate
+// struct learning the new field.
+//
+// Counters are atomic (MemFabric/TcpFabric bump them from completion
+// threads). Histograms bucket by powers of two — bucket i of a histogram
+// with min_exp m covers [2^(m+i), 2^(m+i+1)) — which spans nanoseconds to
+// kiloseconds in ~40 buckets at a fixed 2x resolution, the right shape for
+// latency tails.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rdmc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram over positive values with power-of-two buckets. Values below
+/// 2^min_exp land in the underflow bucket, values >= 2^(max_exp+1) in the
+/// overflow bucket; zero/negative values count as underflow.
+class Log2Histogram {
+ public:
+  Log2Histogram(int min_exp, int max_exp);
+
+  void add(double value);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  /// Inclusive lower bound of bucket i: 2^(min_exp + i).
+  double bucket_lo(std::size_t i) const;
+  /// Exclusive upper bound of bucket i: 2^(min_exp + i + 1).
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t count_at(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
+  double max() const { return max_; }
+
+  /// Value at quantile q in [0, 1], approximated as the geometric midpoint
+  /// of the bucket holding that rank (exact for the min/max of a bucket).
+  double approx_quantile(double q) const;
+
+  int min_exp() const { return min_exp_; }
+  int max_exp() const { return max_exp_; }
+
+ private:
+  int min_exp_;
+  int max_exp_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  /// Exponent bounds apply on creation only; later lookups reuse the
+  /// existing histogram. Defaults cover ~1 ns .. ~1100 s (seconds units).
+  Log2Histogram& histogram(const std::string& name, int min_exp = -30,
+                           int max_exp = 10);
+
+  /// Null if the name is unknown (lookup without creation).
+  const Counter* find_counter(const std::string& name) const;
+  const Log2Histogram* find_histogram(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// {"counters":{name:value,...},"histograms":{name:{...},...}} —
+  /// deterministic (names sorted by the underlying map).
+  std::string to_json() const;
+
+  void reset();
+
+  /// Process-wide registry used by layers without an injection path.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
+};
+
+}  // namespace rdmc::obs

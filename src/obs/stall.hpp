@@ -1,0 +1,106 @@
+// Critical-path stall analyzer.
+//
+// Walks the block dependency graph of a finished multicast, reconstructed
+// from the unified trace, and attributes each receiver's delivery latency
+// to where the time actually went. This replaces fig5's windowed-median
+// heuristic with an exact answer: the chain of events that *caused* a
+// receiver's delivery is walked backwards hop by hop — delivery <- last
+// block/send completion <- wire transfer <- sender's post <- sender's own
+// acquisition of that block <- ... <- the root's message start — and every
+// interval on that chain is classified. The segments tile the interval
+// [root message start, receiver delivery] exactly, so the per-class sums
+// add up to the measured delivery latency by construction.
+//
+// Classes:
+//   * transfer — a block's bytes were on the wire (fabric xfer spans);
+//   * wait     — the sender held the block but had not handed it to the
+//                NIC (peer-not-ready: missing ready-for-block credit, or
+//                per-QP FIFO behind earlier blocks);
+//   * software — post-to-wire queueing at the NIC plus completion pickup
+//                and handler execution (Table 1's "Waiting"/CPU rows);
+//   * injected — portions of the above that fall inside an injected fault
+//                window (degrade_link on the hop's link, slow_node on the
+//                hop's node) — the chaos campaigns' "which link degrade
+//                stalled which block" question;
+//   * recovery — portions inside a §4.6 recovery epoch (failure detected
+//                to group re-formed).
+//
+// Scope: one group, one message (pass the sequence number for multi-message
+// runs). The trace must cover the whole message — size the recorder ring
+// accordingly (a dropped-events warning is emitted otherwise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rdmc::obs {
+
+struct StallBreakdown {
+  std::uint32_t node = 0;  // receiver
+  double latency_s = 0.0;  // root message start -> this node's delivery
+  double transfer_s = 0.0;
+  double wait_s = 0.0;
+  double software_s = 0.0;
+  double injected_s = 0.0;
+  double recovery_s = 0.0;
+  std::size_t hops = 0;  // chain length (blocks crossed)
+  double sum() const {
+    return transfer_s + wait_s + software_s + injected_s + recovery_s;
+  }
+};
+
+struct MulticastAnalysis {
+  double msg_start = 0.0;  // root's message-start instant
+  std::vector<StallBreakdown> receivers;
+  std::vector<std::string> warnings;  // missing/unmatched trace events
+  bool ok() const { return warnings.empty(); }
+};
+
+/// Attribute delivery latency for every non-root member of `members` for
+/// message `seq` of `group`. `events` is a TraceRecorder snapshot.
+MulticastAnalysis analyze_multicast(const std::vector<TraceEvent>& events,
+                                    std::int32_t group,
+                                    const std::vector<std::uint32_t>& members,
+                                    std::size_t seq = 0);
+
+/// Per-step transfer/wait profile for one node (Fig 5): the exact wire
+/// time of each successive completion on the node's cadence (send
+/// completions for the sender, block arrivals for a relayer), with the
+/// remainder of each inter-completion gap reported as wait.
+struct StepRow {
+  double when_s = 0.0;
+  double transfer_us = 0.0;
+  double wait_us = 0.0;
+};
+std::vector<StepRow> step_profile(const std::vector<TraceEvent>& events,
+                                  std::int32_t group, std::uint32_t node,
+                                  bool sender_side);
+
+// -- Trace schema helpers (shared by the emitting hook points) -------------
+
+/// Span id for one block's hop src -> dst within a group.
+inline std::uint64_t block_span_id(std::int32_t group, std::uint64_t block,
+                                   std::uint32_t src, std::uint32_t dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(group))
+          << 48) |
+         ((block & 0xFFFFull) << 32) |
+         (static_cast<std::uint64_t>(src & 0xFFFFu) << 16) |
+         (dst & 0xFFFFu);
+}
+
+/// Span id for one message of a group.
+inline std::uint64_t msg_span_id(std::int32_t group, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(group))
+          << 32) |
+         (seq & 0xFFFFFFFFull);
+}
+
+/// Span id for one fabric-level transfer (sender-side qp + wr).
+inline std::uint64_t xfer_span_id(std::uint64_t qp, std::uint64_t wr) {
+  return (qp << 24) ^ (wr & 0xFFFFFFull);
+}
+
+}  // namespace rdmc::obs

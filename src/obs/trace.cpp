@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace rdmc::obs {
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kCore: return "core";
+    case Cat::kFabric: return "fabric";
+    case Cat::kSim: return "sim";
+    case Cat::kRecovery: return "recovery";
+    case Cat::kApp: return "app";
+  }
+  return "?";
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(Options options) {
+  std::lock_guard lock(mutex_);
+  capacity_ = options.capacity > 0 ? options.capacity : 1;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  recorded_ = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void TraceRecorder::record(const TraceEvent& e) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_).
+  for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+void TraceRecorder::begin(Cat cat, const char* name, std::uint32_t node,
+                          std::uint64_t id, double ts, const char* keys,
+                          std::uint64_t a0, std::uint64_t a1,
+                          std::uint64_t a2, std::uint64_t a3) {
+  record(TraceEvent{ts, name, keys, Phase::kBegin, cat, node, id,
+                    {a0, a1, a2, a3}, 0.0});
+}
+
+void TraceRecorder::end(Cat cat, const char* name, std::uint32_t node,
+                        std::uint64_t id, double ts, const char* keys,
+                        std::uint64_t a0, std::uint64_t a1, std::uint64_t a2,
+                        std::uint64_t a3) {
+  record(TraceEvent{ts, name, keys, Phase::kEnd, cat, node, id,
+                    {a0, a1, a2, a3}, 0.0});
+}
+
+void TraceRecorder::instant(Cat cat, const char* name, std::uint32_t node,
+                            double ts, const char* keys, std::uint64_t a0,
+                            std::uint64_t a1, std::uint64_t a2,
+                            std::uint64_t a3) {
+  record(TraceEvent{ts, name, keys, Phase::kInstant, cat, node, 0,
+                    {a0, a1, a2, a3}, 0.0});
+}
+
+void TraceRecorder::counter(Cat cat, const char* name, std::uint32_t node,
+                            double ts, double value) {
+  record(TraceEvent{ts, name, nullptr, Phase::kCounter, cat, node, 0,
+                    {0, 0, 0, 0}, value});
+}
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+}  // namespace rdmc::obs

@@ -1,0 +1,116 @@
+// Unified trace recorder: low-overhead structured events from every layer.
+//
+// One process-wide ring buffer of timestamped events with span support.
+// Hook points in the core engine, all three fabrics, the simulator's flow
+// network and the recovery driver emit here when tracing is enabled; the
+// recorder is off by default and a disabled hook costs one relaxed atomic
+// load. Events carry the timestamp their emitter lives in — virtual time on
+// SimFabric (which makes traces bit-identical across same-seed runs), host
+// wall time on MemFabric/TcpFabric.
+//
+// The buffer is a fixed-capacity ring that overwrites the oldest events
+// (dropped() reports how many), so a 512 MB transfer or a 500-seed chaos
+// campaign cannot grow it without bound — the failure mode the old
+// Group::trace_ vector had.
+//
+// Consumers: obs::to_chrome_json (ui.perfetto.dev timelines) and
+// obs::analyze_multicast (exact critical-path stall attribution).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rdmc::obs {
+
+/// Event phase, mirroring the Chrome trace_event phases we export to:
+/// begin/end delimit an async span (correlated by `id`), instants mark a
+/// point, counters carry a sampled value.
+enum class Phase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+/// Layer the event came from; becomes the Perfetto process row.
+enum class Cat : std::uint8_t { kCore, kFabric, kSim, kRecovery, kApp };
+
+const char* cat_name(Cat cat);
+
+struct TraceEvent {
+  double ts = 0.0;            // seconds (virtual or wall, emitter's clock)
+  const char* name = "";      // static string literal
+  const char* keys = nullptr; // comma-separated arg names for a[], or null
+  Phase phase = Phase::kInstant;
+  Cat cat = Cat::kCore;
+  std::uint32_t node = 0;     // track (thread row) within the layer
+  std::uint64_t id = 0;       // span correlation id
+  std::uint64_t a[4] = {0, 0, 0, 0};  // args, named by `keys`
+  double value = 0.0;         // counter phase only
+};
+
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Ring capacity in events (64 B each). 2^20 holds a full traced
+    /// fig8-512 run; chaos campaigns keep the most recent window.
+    std::size_t capacity = std::size_t{1} << 20;
+  };
+
+  static TraceRecorder& instance();
+
+  /// Enable recording (clears any previous events).
+  void enable(Options options);
+  void enable() { enable(Options{}); }
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+  void record(const TraceEvent& e);
+
+  /// Events in record order (oldest surviving first). Safe while enabled.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total events recorded since enable()/clear().
+  std::uint64_t recorded() const;
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const;
+
+  // -- Convenience emitters (no-ops while disabled) ------------------------
+
+  void begin(Cat cat, const char* name, std::uint32_t node, std::uint64_t id,
+             double ts, const char* keys = nullptr, std::uint64_t a0 = 0,
+             std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+             std::uint64_t a3 = 0);
+  void end(Cat cat, const char* name, std::uint32_t node, std::uint64_t id,
+           double ts, const char* keys = nullptr, std::uint64_t a0 = 0,
+           std::uint64_t a1 = 0, std::uint64_t a2 = 0, std::uint64_t a3 = 0);
+  void instant(Cat cat, const char* name, std::uint32_t node, double ts,
+               const char* keys = nullptr, std::uint64_t a0 = 0,
+               std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+               std::uint64_t a3 = 0);
+  void counter(Cat cat, const char* name, std::uint32_t node, double ts,
+               double value);
+
+ private:
+  TraceRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;      // next write position
+  std::uint64_t recorded_ = 0;
+};
+
+/// The recorder if tracing is on, nullptr otherwise. The usual hook shape:
+///   if (auto* tr = obs::tracer()) tr->instant(...);
+inline TraceRecorder* tracer() {
+  TraceRecorder& r = TraceRecorder::instance();
+  return r.enabled() ? &r : nullptr;
+}
+
+/// Monotonic host seconds (for fabrics that live in real time).
+double wall_seconds();
+
+}  // namespace rdmc::obs

@@ -1,0 +1,150 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace rdmc::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }  // control characters are dropped (never appear in our literals)
+  }
+}
+
+void append_f(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Comma-separated `keys` plus values from a[] -> {"k0":v0,...}.
+void append_args(std::string& out, const TraceEvent& e) {
+  out += "\"args\":{";
+  const char* k = e.keys;
+  std::size_t i = 0;
+  bool first = true;
+  while (k != nullptr && *k != '\0' && i < 4) {
+    const char* start = k;
+    while (*k != '\0' && *k != ',') ++k;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(start, static_cast<std::size_t>(k - start));
+    out += "\":";
+    append_u64(out, e.a[i]);
+    ++i;
+    if (*k == ',') ++k;
+  }
+  out.push_back('}');
+}
+
+int pid_of(Cat cat) { return static_cast<int>(cat) + 1; }
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 128 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Metadata: name each layer's process row and each node's thread row.
+  std::set<Cat> cats;
+  std::set<std::pair<Cat, std::uint32_t>> tracks;
+  for (const TraceEvent& e : events) {
+    cats.insert(e.cat);
+    tracks.insert({e.cat, e.node});
+  }
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (Cat cat : cats) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_u64(out, static_cast<std::uint64_t>(pid_of(cat)));
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(out, cat_name(cat));
+    out += "\"}}";
+  }
+  for (const auto& [cat, node] : tracks) {
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    append_u64(out, static_cast<std::uint64_t>(pid_of(cat)));
+    out += ",\"tid\":";
+    append_u64(out, node);
+    out += ",\"args\":{\"name\":\"node ";
+    append_u64(out, node);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, cat_name(e.cat));
+    out += "\",\"ph\":\"";
+    switch (e.phase) {
+      case Phase::kBegin: out += "b"; break;
+      case Phase::kEnd: out += "e"; break;
+      case Phase::kInstant: out += "i"; break;
+      case Phase::kCounter: out += "C"; break;
+    }
+    out += "\",\"pid\":";
+    append_u64(out, static_cast<std::uint64_t>(pid_of(e.cat)));
+    out += ",\"tid\":";
+    append_u64(out, e.node);
+    out += ",\"ts\":";
+    // Seconds -> microseconds; 0.1 ns print resolution keeps distinct
+    // virtual instants distinct while staying byte-deterministic.
+    append_f(out, "%.4f", e.ts * 1e6);
+    if (e.phase == Phase::kBegin || e.phase == Phase::kEnd) {
+      out += ",\"id\":\"0x";
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%llx",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+      out += "\"";
+    }
+    if (e.phase == Phase::kInstant) out += ",\"s\":\"t\"";
+    out.push_back(',');
+    if (e.phase == Phase::kCounter) {
+      out += "\"args\":{\"value\":";
+      append_f(out, "%.9g", e.value);
+      out += "}";
+    } else {
+      append_args(out, e);
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path,
+                       const std::vector<TraceEvent>& events) {
+  const std::string json = to_chrome_json(events);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+}  // namespace rdmc::obs

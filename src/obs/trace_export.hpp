@@ -1,0 +1,27 @@
+// Chrome trace_event ("Trace Event Format") JSON export.
+//
+// The emitted file loads directly in ui.perfetto.dev (and legacy
+// chrome://tracing): each obs::Cat becomes a named process row, each node a
+// thread row inside it; begin/end pairs render as async spans correlated by
+// id, instants as marks, counters as counter tracks. Timestamps convert
+// from seconds to the format's microseconds.
+//
+// Output is byte-deterministic for a given event sequence (fixed field
+// order, fixed float formatting), which the determinism tests rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rdmc::obs {
+
+/// Serialize events to a Chrome trace_event JSON document.
+std::string to_chrome_json(const std::vector<TraceEvent>& events);
+
+/// Write to_chrome_json(events) to `path`. Returns false on I/O failure.
+bool write_chrome_json(const std::string& path,
+                       const std::vector<TraceEvent>& events);
+
+}  // namespace rdmc::obs

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace rdmc::sim {
 
 FlowNetwork::FlowNetwork(Simulator& sim, Topology& topology)
@@ -194,6 +196,9 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes,
   id_to_slot_.emplace(id, slot);
   pending_new_.push_back(slot);
   ++counters_.flow_starts;
+  if (auto* tr = obs::tracer())
+    tr->begin(obs::Cat::kSim, "flow", src, id, sim_.now(),
+              "dst,bytes", dst, static_cast<std::uint64_t>(size));
   mark_dirty();
   return id;
 }
@@ -202,6 +207,9 @@ void FlowNetwork::abort_flow(FlowId id) {
   auto it = id_to_slot_.find(id);
   if (it == id_to_slot_.end()) return;
   ++counters_.flow_aborts;
+  if (auto* tr = obs::tracer())
+    tr->end(obs::Cat::kSim, "flow", slab_[it->second].src, id, sim_.now(),
+            "aborted", 1);
   remove_flow(it->second);
   mark_dirty();
 }
@@ -675,6 +683,8 @@ void FlowNetwork::on_next_completion() {
     Flow& f = slab_[slot];
     bytes_completed_ += f.total;
     ++counters_.flow_completions;
+    if (auto* tr = obs::tracer())
+      tr->end(obs::Cat::kSim, "flow", f.src, f.id, now, "aborted", 0);
     done.push_back(std::move(f.on_complete));
     remove_flow(slot);
   }

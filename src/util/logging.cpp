@@ -9,7 +9,15 @@ namespace rdmc::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // empty = default stderr sink; guarded by g_emit_mutex
 }  // namespace
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
 
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
@@ -36,7 +44,11 @@ void log(LogLevel level, const char* tag, const char* fmt, ...) {
   std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, body);
+  if (g_sink) {
+    g_sink(level, tag, body);
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag, body);
+  }
 }
 
 }  // namespace rdmc::util

@@ -7,6 +7,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace rdmc::util {
@@ -16,6 +17,17 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
 /// Process-wide minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Where formatted log lines go. `body` is the formatted message without
+/// the "[LEVEL] tag: " prefix the default stderr sink adds.
+using LogSink =
+    std::function<void(LogLevel level, const char* tag, const char* body)>;
+
+/// Replace the sink (nullptr restores the default stderr sink). Returns
+/// the previous sink so tests can capture warnings and then restore it.
+/// The sink is invoked under the emit lock: lines arrive serialized, and
+/// the sink must not log re-entrantly.
+LogSink set_log_sink(LogSink sink);
 
 /// printf-style logging. `tag` names the subsystem (e.g. "core", "sim").
 void log(LogLevel level, const char* tag, const char* fmt, ...)

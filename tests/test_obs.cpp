@@ -1,0 +1,340 @@
+// Unified observability layer: trace recorder + Chrome JSON export,
+// metrics registry, critical-path stall analyzer, pluggable log sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness/sim_harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stall.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "util/logging.hpp"
+
+using namespace rdmc;
+
+namespace {
+
+// -- Minimal JSON well-formedness checker (no external parser available) ---
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+
+  bool whole_document() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    ws();
+    if (peek('}')) { ++i_; return true; }
+    while (true) {
+      ws();
+      if (!string_lit()) return false;
+      ws();
+      if (!peek(':')) return false;
+      ++i_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++i_; continue; }
+      if (peek('}')) { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    ws();
+    if (peek(']')) { ++i_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++i_; continue; }
+      if (peek(']')) { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string_lit() {
+    if (!peek('"')) return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek('-')) ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-'))
+      ++i_;
+    return i_ > start;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::char_traits<char>::length(t);
+    if (s_.compare(i_, n, t) != 0) return false;
+    i_ += n;
+    return true;
+  }
+  bool peek(char c) const { return i_ < s_.size() && s_[i_] == c; }
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+// Run one traced pipeline multicast on SimFabric; returns the snapshot.
+std::vector<obs::TraceEvent> traced_multicast(std::size_t nodes,
+                                              std::uint64_t bytes) {
+  obs::TraceRecorder::instance().enable();
+  harness::MulticastConfig cfg;
+  cfg.profile = sim::fractus_profile(nodes);
+  cfg.group_size = nodes;
+  cfg.message_bytes = bytes;
+  cfg.block_size = 64 << 10;
+  harness::run_multicast(cfg);
+  auto events = obs::TraceRecorder::instance().snapshot();
+  obs::TraceRecorder::instance().disable();
+  return events;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+TEST(TraceExport, JsonWellFormedAndSchemaStable) {
+  const auto events = traced_multicast(4, 1u << 20);
+  ASSERT_FALSE(events.empty());
+  const std::string json = obs::to_chrome_json(events);
+
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.whole_document()) << "export is not valid JSON";
+
+  // Chrome trace_event required keys.
+  EXPECT_TRUE(contains(json, "\"traceEvents\""));
+  EXPECT_TRUE(contains(json, "\"ph\""));
+  EXPECT_TRUE(contains(json, "\"ts\""));
+  EXPECT_TRUE(contains(json, "\"pid\""));
+  EXPECT_TRUE(contains(json, "\"tid\""));
+  // Process rows exist for the layers that emitted.
+  EXPECT_TRUE(contains(json, "process_name"));
+  EXPECT_TRUE(contains(json, "thread_name"));
+
+  // Spans from all three layers: core engine, fabric, simulator.
+  EXPECT_TRUE(contains(json, "\"name\":\"msg\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"block\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"xfer\""));
+  EXPECT_TRUE(contains(json, "\"name\":\"flow\""));
+}
+
+TEST(TraceExport, DeterministicAcrossSameSeedRuns) {
+  const auto a = traced_multicast(4, 1u << 20);
+  const auto b = traced_multicast(4, 1u << 20);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(obs::to_chrome_json(a), obs::to_chrome_json(b));
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  auto& rec = obs::TraceRecorder::instance();
+  rec.enable(obs::TraceRecorder::Options{8});
+  for (std::uint64_t i = 0; i < 20; ++i)
+    rec.instant(obs::Cat::kApp, "tick", 0, static_cast<double>(i));
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest surviving first.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(events[i].ts, static_cast<double>(12 + i));
+  rec.disable();
+}
+
+TEST(Metrics, Log2HistogramBucketBoundaries) {
+  obs::Log2Histogram h(-4, 3);  // buckets cover [2^-4, 2^4)
+  EXPECT_EQ(h.bucket_count(), 8u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0625);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(7), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(7), 16.0);
+
+  // An exact power of two is the *inclusive* lower bound of its bucket.
+  h.add(1.0);                       // bucket of [1, 2) -> index 4
+  h.add(std::nextafter(2.0, 0.0));  // still [1, 2)
+  h.add(2.0);                       // [2, 4) -> index 5
+  EXPECT_EQ(h.count_at(4), 2u);
+  EXPECT_EQ(h.count_at(5), 1u);
+
+  // Range edges.
+  h.add(0.0625);  // == 2^min_exp -> first bucket, not underflow
+  EXPECT_EQ(h.count_at(0), 1u);
+  h.add(0.03);  // < 2^min_exp
+  h.add(0.0);
+  h.add(-1.0);
+  EXPECT_EQ(h.underflow(), 3u);
+  h.add(16.0);  // == 2^(max_exp+1) -> overflow
+  h.add(1e9);
+  EXPECT_EQ(h.overflow(), 2u);
+
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Metrics, RegistryRoundTripAndPerfStatsView) {
+  obs::MetricsRegistry registry;
+  registry.counter("sim.events").set(42);
+  registry.counter("harness.wall_ns").set(1500000000);
+  registry.histogram("lat").add(0.5);
+
+  const harness::PerfStats stats = harness::PerfStats::from(registry);
+  EXPECT_EQ(stats.events_processed, 42u);
+  EXPECT_DOUBLE_EQ(stats.wall_seconds, 1.5);
+  EXPECT_EQ(stats.flow_starts, 0u);  // absent names read as zero
+
+  const std::string json = registry.to_json();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.whole_document());
+  EXPECT_TRUE(contains(json, "\"sim.events\":42"));
+}
+
+TEST(Stall, ChainAttributionWithInjectedDegrade) {
+  obs::TraceRecorder::instance().enable();
+
+  auto profile = sim::fractus_profile(3);
+  harness::SimCluster cluster(profile);
+  GroupOptions options;
+  options.block_size = 64 << 10;
+  options.algorithm = sched::Algorithm::kChain;
+  cluster.create_group(1, {0, 1, 2}, options);
+
+  const std::uint64_t bytes = 4u << 20;
+  // Calibrate an undisturbed run first so the fault lands mid-transfer.
+  ASSERT_TRUE(cluster.node(0).send(1, nullptr, bytes));
+  cluster.run_to_quiescence();
+  const double clean = cluster.sim().now();
+  ASSERT_GT(clean, 0.0);
+
+  obs::TraceRecorder::instance().enable();  // clear, trace the faulty run
+  harness::SimCluster faulty(profile);
+  faulty.create_group(1, {0, 1, 2}, options);
+  // Degrade the chain's 1 -> 2 hop to 25% bandwidth from 30% of the clean
+  // runtime until past the (now much later) end, so the tail receiver's
+  // final wire transfer provably overlaps the fault window.
+  faulty.sim().at(clean * 0.3, [&] {
+    ASSERT_TRUE(faulty.fabric().degrade_link(1, 2, 0.25, clean * 10.0));
+  });
+  ASSERT_TRUE(faulty.node(0).send(1, nullptr, bytes));
+  faulty.run_to_quiescence();
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  obs::TraceRecorder::instance().disable();
+
+  const auto analysis = obs::analyze_multicast(events, 1, {0, 1, 2});
+  for (const auto& w : analysis.warnings) ADD_FAILURE() << w;
+  ASSERT_EQ(analysis.receivers.size(), 2u);
+
+  for (const auto& r : analysis.receivers) {
+    EXPECT_GT(r.latency_s, 0.0);
+    EXPECT_GT(r.hops, 0u);
+    // The per-class segments tile [msg start, delivery]: sums are exact.
+    EXPECT_NEAR(r.sum(), r.latency_s, 1e-12 + r.latency_s * 1e-9);
+    EXPECT_GE(r.transfer_s, 0.0);
+    EXPECT_GE(r.wait_s, 0.0);
+    EXPECT_GE(r.software_s, 0.0);
+    EXPECT_GE(r.injected_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.recovery_s, 0.0);
+  }
+
+  // Node 2 sits behind the degraded hop: it must see injected stall time,
+  // and the degrade must have actually slowed the run.
+  const auto& tail = analysis.receivers.back();
+  EXPECT_EQ(tail.node, 2u);
+  EXPECT_GT(tail.injected_s, 0.0);
+  EXPECT_GT(tail.latency_s, clean);
+}
+
+TEST(Stall, DecompositionClosesWithinOnePercent) {
+  const auto events = traced_multicast(8, 2u << 20);
+  std::vector<std::uint32_t> members(8);
+  for (std::uint32_t i = 0; i < 8; ++i) members[i] = i;
+  const auto analysis = obs::analyze_multicast(events, 1, members);
+  for (const auto& w : analysis.warnings) ADD_FAILURE() << w;
+  ASSERT_EQ(analysis.receivers.size(), 7u);
+  for (const auto& r : analysis.receivers) {
+    ASSERT_GT(r.latency_s, 0.0);
+    EXPECT_LE(std::abs(r.sum() / r.latency_s - 1.0), 0.01);
+  }
+}
+
+TEST(Stall, StepProfileTransfersBoundedByGaps) {
+  const auto events = traced_multicast(4, 1u << 20);
+  const auto sender = obs::step_profile(events, 1, 0, /*sender_side=*/true);
+  const auto relay = obs::step_profile(events, 1, 1, /*sender_side=*/false);
+  EXPECT_GT(sender.size(), 4u);
+  EXPECT_GT(relay.size(), 4u);
+  for (const auto& row : sender) {
+    EXPECT_GE(row.transfer_us, 0.0);
+    EXPECT_GE(row.wait_us, 0.0);
+  }
+}
+
+TEST(Logging, PluggableSinkCapturesWarnings) {
+  std::vector<std::string> lines;
+  auto previous = util::set_log_sink(
+      [&lines](util::LogLevel level, const char* tag, const char* body) {
+        lines.push_back(std::string(util::level_name(level)) + "/" + tag +
+                        ": " + body);
+      });
+  RDMC_LOG_WARN("test", "disk %d%% full", 93);
+  RDMC_LOG_ERROR("core", "oops");
+  RDMC_LOG_DEBUG("test", "invisible at default level");
+  util::set_log_sink(std::move(previous));
+  RDMC_LOG_WARN("test", "back on stderr, not captured");
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "WARN/test: disk 93% full");
+  EXPECT_EQ(lines[1], "ERROR/core: oops");
+}
+
+TEST(GroupTrace, LegacyTraceRespectsLimit) {
+  auto profile = sim::fractus_profile(4);
+  harness::SimCluster cluster(profile);
+  GroupOptions options;
+  options.block_size = 64 << 10;
+  options.enable_trace = true;
+  options.trace_limit = 16;
+  cluster.create_group(1, {0, 1, 2, 3}, options);
+  ASSERT_TRUE(cluster.node(0).send(1, nullptr, 4u << 20));
+  cluster.run_to_quiescence();
+  // 64 blocks produce far more than 16 events; the cap must hold.
+  EXPECT_EQ(cluster.node(0).group(1)->trace().size(), 16u);
+}
