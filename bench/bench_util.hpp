@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "harness/parallel.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "util/bytes.hpp"
@@ -20,6 +22,22 @@ inline bool quick_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) return true;
   return false;
+}
+
+/// `--jobs N` (or `--jobs=N`): worker threads for sweeps that support the
+/// parallel executor. Absent -> 1 (serial, the bit-identical reference);
+/// 0 -> one per hardware thread. Results are independent of N by
+/// construction (see harness/parallel.hpp).
+inline std::size_t jobs_arg(int argc, char** argv) {
+  long long n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      n = std::atoll(argv[i + 1]);
+    else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      n = std::atoll(argv[i] + 7);
+  }
+  if (n < 0) n = 1;
+  return n == 0 ? harness::default_jobs() : static_cast<std::size_t>(n);
 }
 
 /// `--trace out.json` (or `--trace=out.json`): where to write the unified

@@ -8,7 +8,11 @@
 // duplication, no corruption, failures reported to every survivor.
 //
 //   chaos_campaign [--seeds N] [--quick] [--replay SEED] [--first-seed S]
-//                  [--trace out.json]
+//                  [--trace out.json] [--jobs N]
+//
+// --jobs fans the seeds of each campaign over a thread pool; verdicts,
+// failure reports and the exported trace are identical for any job count
+// (seeds are independent simulations, merged back in seed order).
 //
 // --replay re-runs a single seed with full plan + violation output; a seed
 // that failed in a campaign fails identically under --replay.
@@ -84,6 +88,7 @@ int replay(std::uint64_t seed, bool quick) {
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
   const char* trace_out = maybe_enable_trace(argc, argv);
+  const std::size_t jobs = jobs_arg(argc, argv);
   std::size_t seeds = quick ? 60 : 500;
   std::uint64_t first_seed = 1;
   for (int i = 1; i < argc; ++i) {
@@ -115,7 +120,7 @@ int main(int argc, char** argv) {
         Campaign{"hybrid", sched::Algorithm::kBinomialPipeline, true}}) {
     const harness::ChaosSpec spec = spec_for(campaign, quick);
     const harness::ChaosCampaignResult result =
-        harness::run_chaos_campaign(first_seed, per_campaign, spec);
+        harness::run_chaos_campaign(first_seed, per_campaign, spec, jobs);
     table.add_row({campaign.name, std::to_string(result.seeds_run),
                    std::to_string(result.passed),
                    std::to_string(result.fault_hit),

@@ -78,22 +78,41 @@ int main(int argc, char** argv) {
   const double scale = 256.0 * (1ull << 20) / static_cast<double>(bytes);
   util::TextTable table({"nodes", "pipeline (s)", "pipeline 256MB-equiv (s)",
                          "sequential 256MB-equiv (s)", "speedup"});
+  // Every point is an independent simulation; run them on the sweep
+  // executor and assemble the table (including the sequential
+  // extrapolation off the 128-node point) in input order afterwards.
+  const std::vector<std::size_t> node_counts{2, 4, 8, 16, 32, 64, 128, 256,
+                                             512};
+  struct Point {
+    double pipe = 0.0;
+    double seq = 0.0;  // 0: extrapolated below
+  };
+  std::vector<Point> points(node_counts.size());
+  harness::parallel_for(
+      node_counts.size(), jobs_arg(argc, argv), [&](std::size_t i) {
+        const std::size_t n = node_counts[i];
+        harness::MulticastConfig cfg;
+        cfg.profile = sim::sierra_profile(n);
+        cfg.group_size = n;
+        cfg.message_bytes = bytes;
+        cfg.block_size = 1 << 20;
+        points[i].pipe = harness::run_multicast(cfg).total_seconds;
+        if (n <= 128) {
+          auto scfg = cfg;
+          scfg.algorithm = sched::Algorithm::kSequential;
+          points[i].seq = harness::run_multicast(scfg).total_seconds;
+        }
+      });
   double seq128 = 0.0;
-  for (std::size_t n : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
-    harness::MulticastConfig cfg;
-    cfg.profile = sim::sierra_profile(n);
-    cfg.group_size = n;
-    cfg.message_bytes = bytes;
-    cfg.block_size = 1 << 20;
-    const double pipe = harness::run_multicast(cfg).total_seconds;
-
+  for (std::size_t i = 0; i < node_counts.size(); ++i)
+    if (node_counts[i] == 128) seq128 = points[i].seq;
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const std::size_t n = node_counts[i];
+    const double pipe = points[i].pipe;
     double seq;
     std::string seq_note;
     if (n <= 128) {
-      auto scfg = cfg;
-      scfg.algorithm = sched::Algorithm::kSequential;
-      seq = harness::run_multicast(scfg).total_seconds;
-      if (n == 128) seq128 = seq;
+      seq = points[i].seq;
       seq_note = util::TextTable::num(seq * scale, 3);
     } else {
       // Extrapolated (the paper does the same for its 512-node point).

@@ -31,11 +31,7 @@ struct Point {
 };
 
 void append_json(std::string& out, const Point& p) {
-  char buf[1024];
-  const double speedup =
-      p.seed_wall_seconds > 0.0 && p.perf.wall_seconds > 0.0
-          ? p.seed_wall_seconds / p.perf.wall_seconds
-          : 0.0;
+  char buf[1280];
   std::snprintf(
       buf, sizeof(buf),
       "    {\n"
@@ -50,9 +46,8 @@ void append_json(std::string& out, const Point& p) {
       "      \"expand_rounds\": %llu,\n"
       "      \"full_recomputes\": %llu,\n"
       "      \"flow_starts\": %llu,\n"
-      "      \"seed_wall_seconds\": %.3f,\n"
-      "      \"speedup_vs_seed\": %.3f\n"
-      "    }",
+      "      \"memo_hits\": %llu,\n"
+      "      \"memo_misses\": %llu,\n",
       p.name.c_str(), p.perf.wall_seconds, p.virtual_seconds,
       (unsigned long long)p.perf.events_processed,
       (unsigned long long)p.perf.reallocations,
@@ -61,7 +56,24 @@ void append_json(std::string& out, const Point& p) {
       (unsigned long long)p.perf.max_component,
       (unsigned long long)p.perf.expand_rounds,
       (unsigned long long)p.perf.full_recomputes,
-      (unsigned long long)p.perf.flow_starts, p.seed_wall_seconds, speedup);
+      (unsigned long long)p.perf.flow_starts,
+      (unsigned long long)p.perf.memo_hits,
+      (unsigned long long)p.perf.memo_misses);
+  out += buf;
+  // No recorded seed reference: emit null, not a misleading 0.000.
+  if (p.seed_wall_seconds > 0.0 && p.perf.wall_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "      \"seed_wall_seconds\": %.3f,\n"
+                  "      \"speedup_vs_seed\": %.3f\n"
+                  "    }",
+                  p.seed_wall_seconds,
+                  p.seed_wall_seconds / p.perf.wall_seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "      \"seed_wall_seconds\": null,\n"
+                  "      \"speedup_vs_seed\": null\n"
+                  "    }");
+  }
   out += buf;
 }
 

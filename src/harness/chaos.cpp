@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "harness/parallel.hpp"
 #include "harness/recovery.hpp"
+#include "obs/trace.hpp"
 
 namespace rdmc::harness {
 
@@ -78,15 +80,35 @@ ChaosSeedResult run_chaos_seed(std::uint64_t seed, const ChaosSpec& spec,
 
 ChaosCampaignResult run_chaos_campaign(std::uint64_t first_seed,
                                        std::size_t count,
-                                       const ChaosSpec& spec) {
+                                       const ChaosSpec& spec,
+                                       std::size_t jobs) {
   ChaosCampaignResult result;
   // Spread fault events over 1.5x the fault-free makespan: most plans then
   // strike mid-transfer, some strike near/after completion (both matter —
   // late breaks exercise the post-delivery failure report).
   result.window_s = 1.5 * calibrate(spec);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t seed = first_seed + i;
-    ChaosSeedResult r = run_chaos_seed(seed, spec, result.window_s);
+
+  // Seeds are independent experiments; fan them out and aggregate in seed
+  // order afterwards so the verdict table, the failure list and (with
+  // tracing on) the exported trace are identical for any job count.
+  std::vector<ChaosSeedResult> results(count);
+  const bool tracing = obs::TraceRecorder::instance().enabled();
+  std::vector<std::vector<obs::TraceEvent>> shards(tracing ? count : 0);
+  parallel_for(count, jobs, [&](std::size_t i) {
+    if (tracing) {
+      obs::TraceRecorder::ThreadShard shard;
+      results[i] = run_chaos_seed(first_seed + i, spec, result.window_s);
+      shards[i] = shard.take();
+    } else {
+      results[i] = run_chaos_seed(first_seed + i, spec, result.window_s);
+    }
+  });
+  if (tracing) {
+    auto& recorder = obs::TraceRecorder::instance();
+    for (const auto& shard : shards) recorder.absorb(shard);
+  }
+
+  for (ChaosSeedResult& r : results) {
     ++result.seeds_run;
     if (r.ok) ++result.passed;
     if (r.root_lost) ++result.root_lost;

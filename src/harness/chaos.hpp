@@ -71,8 +71,15 @@ struct ChaosCampaignResult {
   std::vector<ChaosSeedResult> failures;  // failing seeds only
 };
 
+/// Sweep `count` seeds starting at `first_seed`. `jobs` > 1 fans the seeds
+/// out over a thread pool (harness/parallel.hpp); every per-seed result is
+/// bit-identical to a serial run regardless of job count — each seed builds
+/// its own cluster, and when tracing is on, per-seed trace shards are merged
+/// into the process recorder in seed order, so the exported trace matches
+/// serial execution too.
 ChaosCampaignResult run_chaos_campaign(std::uint64_t first_seed,
                                        std::size_t count,
-                                       const ChaosSpec& spec);
+                                       const ChaosSpec& spec,
+                                       std::size_t jobs = 1);
 
 }  // namespace rdmc::harness

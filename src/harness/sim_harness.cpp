@@ -83,6 +83,8 @@ PerfStats PerfStats::from(const obs::MetricsRegistry& registry) {
   s.expand_rounds = get("sim.expand_rounds");
   s.full_recomputes = get("sim.full_recomputes");
   s.flow_starts = get("sim.flow_starts");
+  s.memo_hits = get("sim.memo_hits");
+  s.memo_misses = get("sim.memo_misses");
   s.breaks_delivered = get("fault.disconnects");
   s.flushed_completions = get("fault.flushed");
   s.reforms = get("harness.reforms");
@@ -103,6 +105,8 @@ void SimCluster::sync_metrics() const {
   metrics_.counter("sim.flow_starts").set(c.flow_starts);
   metrics_.counter("sim.flow_completions").set(c.flow_completions);
   metrics_.counter("sim.flow_aborts").set(c.flow_aborts);
+  metrics_.counter("sim.memo_hits").set(c.memo_hits);
+  metrics_.counter("sim.memo_misses").set(c.memo_misses);
   const auto& f = fabric_->fault_counters();
   metrics_.counter("fault.disconnects").set(f.disconnects_delivered);
   metrics_.counter("fault.flushed").set(f.flushed_completions);

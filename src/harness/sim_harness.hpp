@@ -44,6 +44,8 @@ struct PerfStats {
   std::uint64_t expand_rounds = 0;        // sim.expand_rounds
   std::uint64_t full_recomputes = 0;      // sim.full_recomputes
   std::uint64_t flow_starts = 0;          // sim.flow_starts
+  std::uint64_t memo_hits = 0;            // sim.memo_hits
+  std::uint64_t memo_misses = 0;          // sim.memo_misses
   // Fault-path counters (SimFabric::FaultCounters + harness bookkeeping).
   std::uint64_t breaks_delivered = 0;     // fault.disconnects
   std::uint64_t flushed_completions = 0;  // fault.flushed

@@ -15,9 +15,47 @@ const char* cat_name(Cat cat) {
   return "?";
 }
 
-TraceRecorder& TraceRecorder::instance() {
+thread_local TraceRecorder* TraceRecorder::tls_override_ = nullptr;
+
+TraceRecorder& TraceRecorder::process_instance() {
   static TraceRecorder recorder;
   return recorder;
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  TraceRecorder* local = tls_override_;
+  return local != nullptr ? *local : process_instance();
+}
+
+TraceRecorder::ThreadShard::ThreadShard() {
+  TraceRecorder& process = process_instance();
+  if (!process.enabled()) return;  // untraced runs: stay zero-overhead
+  local_.reset(new TraceRecorder());
+  Options options;
+  options.capacity = process.capacity();
+  local_->enable(options);
+  prev_ = tls_override_;
+  tls_override_ = local_.get();
+}
+
+TraceRecorder::ThreadShard::~ThreadShard() {
+  if (local_) tls_override_ = prev_;
+}
+
+std::vector<TraceEvent> TraceRecorder::ThreadShard::take() {
+  if (!local_) return {};
+  std::vector<TraceEvent> out = local_->snapshot();
+  local_->clear();
+  return out;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::absorb(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) record(e);
 }
 
 void TraceRecorder::enable(Options options) {

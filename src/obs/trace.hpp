@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -54,6 +55,10 @@ class TraceRecorder {
     std::size_t capacity = std::size_t{1} << 20;
   };
 
+  /// The calling thread's recorder: the innermost live ThreadShard's
+  /// private ring if one is installed, the process-wide singleton
+  /// otherwise. Hooks always go through here, so redirecting a worker
+  /// thread costs one thread-local load on the hot path.
   static TraceRecorder& instance();
 
   /// Enable recording (clears any previous events).
@@ -75,6 +80,40 @@ class TraceRecorder {
   std::uint64_t recorded() const;
   /// Events overwritten by ring wrap-around.
   std::uint64_t dropped() const;
+  /// Ring capacity set by the last enable() (0 while never enabled).
+  std::size_t capacity() const;
+
+  /// Replay `events` into this recorder in order, as if record() had been
+  /// called for each. Used to merge per-thread shards back deterministically.
+  void absorb(const std::vector<TraceEvent>& events);
+
+  /// RAII redirection of the calling thread's TraceRecorder::instance() to
+  /// a private ring. A parallel sweep wraps each work item in a shard, so
+  /// concurrent simulations never interleave events in the shared ring;
+  /// after the item completes, take() hands back its events and the caller
+  /// absorb()s them into the process recorder in input order — making the
+  /// merged trace identical to a serial run (as long as no single item
+  /// overflows the shard ring).
+  ///
+  /// The shard only arms itself when the process recorder is enabled (its
+  /// capacity is inherited), so untraced runs stay zero-overhead. Shards
+  /// nest (innermost wins) and must be destroyed on the thread that made
+  /// them.
+  class ThreadShard {
+   public:
+    ThreadShard();
+    ~ThreadShard();
+    ThreadShard(const ThreadShard&) = delete;
+    ThreadShard& operator=(const ThreadShard&) = delete;
+
+    /// Events recorded through this shard so far, oldest first; clears the
+    /// shard ring.
+    std::vector<TraceEvent> take();
+
+   private:
+    std::unique_ptr<TraceRecorder> local_;  // null when recording is off
+    TraceRecorder* prev_ = nullptr;
+  };
 
   // -- Convenience emitters (no-ops while disabled) ------------------------
 
@@ -94,6 +133,9 @@ class TraceRecorder {
 
  private:
   TraceRecorder() = default;
+
+  static TraceRecorder& process_instance();
+  static thread_local TraceRecorder* tls_override_;
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;

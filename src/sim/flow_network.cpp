@@ -1,6 +1,7 @@
 #include "sim/flow_network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -53,19 +54,31 @@ std::uint32_t FlowNetwork::alloc_slot() {
     return slot;
   }
   slab_.emplace_back();
+  rate_.push_back(0.0);
+  visit_epoch_.push_back(0);
+  freeze_epoch_.push_back(0);
+  bn_applied_.push_back(nullptr);
+  rates_scratch_.push_back(0.0);
+  bottleneck_scratch_.push_back(nullptr);
   return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
 void FlowNetwork::free_slot(std::uint32_t slot) {
   Flow& f = slab_[slot];
   f.id = kInvalidFlow;
+  if (++f.generation == 0) f.generation = 1;  // keep ids nonzero
   f.on_complete = nullptr;
   f.placed = false;
   f.res_count = 0;
-  f.rate = 0.0;
-  f.bottleneck = nullptr;
+  rate_[slot] = 0.0;
   f.next_free = free_head_;
   free_head_ = slot;
+}
+
+std::uint32_t FlowNetwork::slot_of(FlowId id) const {
+  const auto slot = static_cast<std::uint32_t>(id);
+  if (slot >= slab_.size() || slab_[slot].id != id) return kNone;
+  return slot;
 }
 
 void FlowNetwork::remove_flow(std::uint32_t slot) {
@@ -95,7 +108,11 @@ void FlowNetwork::remove_flow(std::uint32_t slot) {
         std::find(pending_new_.begin(), pending_new_.end(), slot));
   }
   if (f.heap_pos != kNone) heap_remove(slot);
-  id_to_slot_.erase(f.id);
+  if (bn_applied_[slot] != nullptr) {
+    --bn_applied_[slot]->bn_count;
+    bn_applied_[slot] = nullptr;
+  }
+  --active_count_;
   free_slot(slot);
 }
 
@@ -143,7 +160,9 @@ void FlowNetwork::rebuild_all_membership() {
   // Topology capacities changed under us (set_pair_cap / set_node_nic after
   // flows were established): the cached membership may now be wrong — e.g. a
   // pair cap appeared on a path an existing flow uses. Rewire everything and
-  // recompute all rates once; this is the cold path.
+  // recompute all rates once; this is the cold path. Memoized fills keyed on
+  // the old capacities are stale too.
+  memo_clear();
   auto reset = [&](Resource& r) {
     r.members.clear();
     r.cap = resource_capacity(r);
@@ -158,7 +177,7 @@ void FlowNetwork::rebuild_all_membership() {
     if (f.id == kInvalidFlow || !f.placed) continue;
     // Charge progress at the old rate first: build_membership stamps
     // last_update = now, which would otherwise swallow the elapsed window.
-    settle(f);
+    settle(slot);
     f.placed = false;
     f.res_count = 0;
     build_membership(slot);
@@ -166,10 +185,11 @@ void FlowNetwork::rebuild_all_membership() {
   recompute_all_ = true;
 }
 
-void FlowNetwork::settle(Flow& flow) {
+void FlowNetwork::settle(std::uint32_t slot) {
+  Flow& flow = slab_[slot];
   const SimTime now = sim_.now();
   if (now <= flow.last_update) return;
-  flow.remaining -= flow.rate * (now - flow.last_update);
+  flow.remaining -= rate_[slot] * (now - flow.last_update);
   if (flow.remaining < 0.0) flow.remaining = 0.0;
   flow.last_update = now;
 }
@@ -180,44 +200,45 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes,
                                std::function<void(SimTime)> on_complete) {
   assert(src < topology_.num_nodes() && dst < topology_.num_nodes());
   assert(src != dst);
-  const FlowId id = next_id_++;
   const double size = std::max(bytes, 1.0);
   const std::uint32_t slot = alloc_slot();
   Flow& f = slab_[slot];
+  const FlowId id = (static_cast<FlowId>(f.generation) << 32) | slot;
   f.src = src;
   f.dst = dst;
   f.total = size;
   f.remaining = size;
-  f.rate = 0.0;
+  rate_[slot] = 0.0;
   f.last_update = sim_.now();
   f.id = id;
+  f.seq = next_seq_++;
   f.on_complete = std::move(on_complete);
   assert(f.heap_pos == kNone && f.res_count == 0 && !f.placed);
-  id_to_slot_.emplace(id, slot);
+  ++active_count_;
   pending_new_.push_back(slot);
   ++counters_.flow_starts;
   if (auto* tr = obs::tracer())
-    tr->begin(obs::Cat::kSim, "flow", src, id, sim_.now(),
+    tr->begin(obs::Cat::kSim, "flow", src, f.seq, sim_.now(),
               "dst,bytes", dst, static_cast<std::uint64_t>(size));
   mark_dirty();
   return id;
 }
 
 void FlowNetwork::abort_flow(FlowId id) {
-  auto it = id_to_slot_.find(id);
-  if (it == id_to_slot_.end()) return;
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNone) return;
   ++counters_.flow_aborts;
   if (auto* tr = obs::tracer())
-    tr->end(obs::Cat::kSim, "flow", slab_[it->second].src, id, sim_.now(),
-            "aborted", 1);
-  remove_flow(it->second);
+    tr->end(obs::Cat::kSim, "flow", slab_[slot].src, slab_[slot].seq,
+            sim_.now(), "aborted", 1);
+  remove_flow(slot);
   mark_dirty();
 }
 
 double FlowNetwork::flow_rate(FlowId id) const {
   const_cast<FlowNetwork*>(this)->flush_dirty();
-  auto it = id_to_slot_.find(id);
-  return it == id_to_slot_.end() ? 0.0 : slab_[it->second].rate;
+  const std::uint32_t slot = slot_of(id);
+  return slot == kNone ? 0.0 : rate_[slot];
 }
 
 // ------------------------------------------------------------ reallocation --
@@ -284,16 +305,21 @@ void FlowNetwork::apply_rates(const std::vector<std::uint32_t>& flows) {
   for (const std::uint32_t slot : flows) {
     Flow& f = slab_[slot];
     const double new_rate = rates_scratch_[slot];
-    f.bottleneck = bottleneck_scratch_[slot];
-    if (f.heap_pos != kNone && new_rate == f.rate) {
+    Resource* nb = bottleneck_scratch_[slot];
+    if (bn_applied_[slot] != nb) {
+      if (bn_applied_[slot] != nullptr) --bn_applied_[slot]->bn_count;
+      ++nb->bn_count;
+      bn_applied_[slot] = nb;
+    }
+    if (f.heap_pos != kNone && new_rate == rate_[slot]) {
       // Rate unchanged: (last_update, remaining, rate) stays consistent and
       // the projected completion is bit-identical — skip the heap traffic.
       continue;
     }
-    settle(f);
-    f.rate = new_rate;
-    assert(f.rate > 0.0 && "every flow crosses a finite resource");
-    f.proj_done = f.last_update + f.remaining / f.rate;
+    settle(slot);
+    rate_[slot] = new_rate;
+    assert(new_rate > 0.0 && "every flow crosses a finite resource");
+    f.proj_done = f.last_update + f.remaining / new_rate;
     if (f.heap_pos == kNone)
       heap_push(slot);
     else
@@ -301,7 +327,7 @@ void FlowNetwork::apply_rates(const std::vector<std::uint32_t>& flows) {
   }
 }
 
-void FlowNetwork::validate_boundary(std::uint64_t mark) {
+void FlowNetwork::validate_boundary(std::uint64_t mark, std::uint64_t fill) {
   // The combined allocation (fresh rates for local flows, old rates for
   // everyone else) is THE max-min allocation iff it is feasible and every
   // flow has a bottleneck: a saturated resource where its rate is maximal.
@@ -316,32 +342,47 @@ void FlowNetwork::validate_boundary(std::uint64_t mark) {
   // A boundary flow whose bottleneck lies outside comp_resources_ is
   // untouched by construction, and its bottleneck is checked when that
   // resource's turn comes if it is inside.
+  //
+  // The per-member conditions only reference per-resource aggregates that
+  // fill_prepare (boundary side) and fill_exact (local side) maintained, so
+  // each resource is gated in O(1) first: if no boundary rate exceeds the
+  // local freeze level and no boundary flow can have lost its bottleneck
+  // here, no member of r can trigger and the member scan is skipped. In
+  // steady state (all rates equal, everything saturated) every gate fails
+  // and validation costs O(resources), not O(membership).
   for (Resource* r : comp_resources_) {
-    double usage = 0.0;
-    double max_rate = 0.0;
-    double lambda_local = -1.0;
-    for (const std::uint32_t slot : r->members) {
-      const Flow& h = slab_[slot];
-      const bool local = h.visit_epoch == mark;
-      const double rate = local ? rates_scratch_[slot] : h.rate;
-      usage += rate;
-      if (rate > max_rate) max_rate = rate;
-      if (local && bottleneck_scratch_[slot] == r && rate > lambda_local)
-        lambda_local = rate;
-    }
+    if (r->bmem_cnt == 0) continue;  // purely local: nothing to expand
+    const double usage = r->usage_b + r->usage_local;
     const bool saturated = usage >= r->cap * (1.0 - kExpandTol);
-    for (const std::uint32_t slot : r->members) {
-      Flow& h = slab_[slot];
-      if (h.visit_epoch == mark) continue;
+    const double max_rate = std::max(r->max_b, r->max_local);
+    // Every local flow bottlenecked at r froze exactly at its saturation
+    // level, so the old max-over-scratch scan reduces to sat_lambda.
+    const double lambda_local = r->sat_fill == fill ? r->sat_lambda : -1.0;
+    // Condition 1 needs a boundary rate strictly above lambda_local;
+    // condition 2 needs a boundary flow bottlenecked at r (bn_count
+    // over-approximates: it counts local flows' previous bottlenecks too)
+    // that is either unsaturated here or below the member maximum.
+    const bool may_hog = lambda_local >= 0.0 && r->max_b > lambda_local;
+    const bool may_lose_bn =
+        r->bn_count > 0 &&
+        (!saturated || r->min_b < max_rate * (1.0 - kExpandTol));
+    if (!may_hog && !may_lose_bn) continue;
+    const std::uint32_t* bmem = boundary_arena_.data() + r->bmem_off;
+    for (std::uint32_t i = 0; i < r->bmem_cnt; ++i) {
+      const std::uint32_t slot = bmem[i];
+      // May already have joined the local set via an earlier resource in
+      // this pass.
+      if (visit_epoch_[slot] == mark) continue;
+      const double hr = rate_[slot];
       bool expand = false;
-      if (lambda_local >= 0.0 && h.rate > lambda_local + kExpandTol * h.rate) {
+      if (lambda_local >= 0.0 && hr > lambda_local + kExpandTol * hr) {
         expand = true;
-      } else if (h.bottleneck == r &&
-                 (!saturated || h.rate < max_rate * (1.0 - kExpandTol))) {
+      } else if (bn_applied_[slot] == r &&
+                 (!saturated || hr < max_rate * (1.0 - kExpandTol))) {
         expand = true;
       }
       if (expand) {
-        h.visit_epoch = mark;
+        visit_epoch_[slot] = mark;
         comp_flows_.push_back(slot);
       }
     }
@@ -371,7 +412,7 @@ void FlowNetwork::reallocate_dirty() {
       counters_.flows_touched += comp_flows_.size();
       counters_.max_component =
           std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
-      water_fill(comp_flows_, comp_resources_, /*count=*/true);
+      fill_with_memo(comp_flows_, comp_resources_, 0);
       apply_rates(comp_flows_);
     }
   } else {
@@ -380,9 +421,8 @@ void FlowNetwork::reallocate_dirty() {
     const std::uint64_t mark = ++epoch_;
     for (Resource* seed : dirty_seeds_) {
       for (const std::uint32_t slot : seed->members) {
-        Flow& f = slab_[slot];
-        if (f.visit_epoch == mark) continue;
-        f.visit_epoch = mark;
+        if (visit_epoch_[slot] == mark) continue;
+        visit_epoch_[slot] = mark;
         comp_flows_.push_back(slot);
       }
     }
@@ -405,9 +445,9 @@ void FlowNetwork::reallocate_dirty() {
           comp_resources_.push_back(r);
         }
       }
-      water_fill(comp_flows_, comp_resources_, /*count=*/true, mark);
+      const std::uint64_t fill = fill_with_memo(comp_flows_, comp_resources_, mark);
       const std::size_t before = comp_flows_.size();
-      validate_boundary(mark);
+      validate_boundary(mark, fill);
       if (comp_flows_.size() == before) {
         converged = true;
         break;
@@ -432,10 +472,10 @@ void FlowNetwork::reallocate_dirty() {
       for (std::size_t i = 0; i < comp_resources_.size(); ++i) {
         Resource* r = comp_resources_[i];
         for (const std::uint32_t slot : r->members) {
-          Flow& f = slab_[slot];
-          if (f.visit_epoch == visit) continue;
-          f.visit_epoch = visit;
+          if (visit_epoch_[slot] == visit) continue;
+          visit_epoch_[slot] = visit;
           comp_flows_.push_back(slot);
+          Flow& f = slab_[slot];
           for (std::uint32_t j = 0; j < f.res_count; ++j) {
             Resource* r2 = f.res[j];
             if (r2->visit_epoch == visit) continue;
@@ -448,7 +488,7 @@ void FlowNetwork::reallocate_dirty() {
       counters_.flows_touched += comp_flows_.size();
       counters_.max_component =
           std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
-      water_fill(comp_flows_, comp_resources_, /*count=*/true);
+      fill_with_memo(comp_flows_, comp_resources_, 0);
       apply_rates(comp_flows_);
     }
   }
@@ -466,22 +506,377 @@ void FlowNetwork::reallocate_dirty() {
   schedule_next_completion();
 }
 
-void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
+// ---------------------------------------------------- exact bottleneck fill --
+
+std::uint64_t FlowNetwork::fill_prepare(
+    const std::vector<std::uint32_t>& comp_flows,
+    const std::vector<Resource*>& comp_resources, std::uint64_t local_mark) {
+  const std::uint64_t fill = ++epoch_;
+  std::uint32_t ordinal = 0;
+  if (local_mark != 0) {
+    // One pass over each member list: split it into local/boundary arena
+    // slices, subtract boundary rates from capacity, and collect the
+    // boundary-side validation aggregates.
+    local_arena_.clear();
+    boundary_arena_.clear();
+    for (Resource* r : comp_resources) {
+      assert(!r->members.empty());
+      double rem = r->cap;
+      double usage_b = 0.0, max_b = 0.0;
+      double min_b = std::numeric_limits<double>::infinity();
+      r->lmem_off = static_cast<std::uint32_t>(local_arena_.size());
+      r->bmem_off = static_cast<std::uint32_t>(boundary_arena_.size());
+      for (const std::uint32_t slot : r->members) {
+        if (visit_epoch_[slot] == local_mark) {
+          local_arena_.push_back(slot);
+        } else {
+          const double hr = rate_[slot];
+          rem -= hr;
+          usage_b += hr;
+          if (hr > max_b) max_b = hr;
+          if (hr < min_b) min_b = hr;
+          boundary_arena_.push_back(slot);
+        }
+      }
+      r->lmem_cnt =
+          static_cast<std::uint32_t>(local_arena_.size()) - r->lmem_off;
+      r->bmem_cnt =
+          static_cast<std::uint32_t>(boundary_arena_.size()) - r->bmem_off;
+      if (rem < 0.0) rem = 0.0;
+      assert(r->lmem_cnt > 0 && "every local resource carries a local flow");
+      r->rem = rem;
+      r->last_lambda = 0.0;
+      r->live = r->lmem_cnt;
+      r->fill_epoch = fill;
+      r->comp_index = ordinal++;
+      r->usage_b = usage_b;
+      r->max_b = max_b;
+      r->min_b = min_b;
+      r->usage_local = 0.0;
+      r->max_local = 0.0;
+    }
+  } else {
+    for (Resource* r : comp_resources) {
+      assert(!r->members.empty());
+      r->rem = r->cap;
+      r->last_lambda = 0.0;
+      r->live = static_cast<std::uint32_t>(r->members.size());
+      r->fill_epoch = fill;
+      r->comp_index = ordinal++;
+      r->lmem_cnt = 0;  // fill_exact walks members directly
+    }
+  }
+  (void)comp_flows;
+  return fill;
+}
+
+void FlowNetwork::res_heap_sift_up(std::uint32_t pos) {
+  Resource* r = res_heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 2;
+    if (!res_heap_less(r, res_heap_[parent])) break;
+    res_heap_[pos] = res_heap_[parent];
+    res_heap_[pos]->fill_pos = pos;
+    pos = parent;
+  }
+  res_heap_[pos] = r;
+  r->fill_pos = pos;
+}
+
+void FlowNetwork::res_heap_sift_down(std::uint32_t pos) {
+  const auto size = static_cast<std::uint32_t>(res_heap_.size());
+  Resource* r = res_heap_[pos];
+  while (true) {
+    std::uint32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        res_heap_less(res_heap_[child + 1], res_heap_[child]))
+      ++child;
+    if (!res_heap_less(res_heap_[child], r)) break;
+    res_heap_[pos] = res_heap_[child];
+    res_heap_[pos]->fill_pos = pos;
+    pos = child;
+  }
+  res_heap_[pos] = r;
+  r->fill_pos = pos;
+}
+
+void FlowNetwork::res_heap_remove(Resource* r) {
+  const std::uint32_t pos = r->fill_pos;
+  Resource* last = res_heap_.back();
+  res_heap_.pop_back();
+  r->fill_pos = kNone;
+  if (last != r) {
+    res_heap_[pos] = last;
+    last->fill_pos = pos;
+    res_heap_sift_down(pos);
+    res_heap_sift_up(last->fill_pos);
+  }
+}
+
+void FlowNetwork::fill_exact(const std::vector<std::uint32_t>& comp_flows,
                              const std::vector<Resource*>& comp_resources,
-                             bool count, std::uint64_t local_mark) {
-  // --- Max-min fairness by lazy-heap water filling. The fill level lambda
-  // rises; a resource r exhausts at lambda_r = lambda + rem/live. A
-  // min-heap orders resources by estimated exhaust level; stale entries
-  // (whose live count dropped since insertion) are re-pushed on pop. Every
-  // flow crossing an exhausting resource freezes at rate lambda. Rates
-  // land in rates_scratch_ and the freeze resource (the flow's max-min
-  // bottleneck) in bottleneck_scratch_, both indexed by flow slot; the
-  // caller applies them.
+                             bool count, std::uint64_t local_mark,
+                             std::uint64_t fill) {
+  // --- Max-min fairness by exact bottleneck elimination. Every resource
+  // sits in an indexed min-heap keyed by its estimated exhaust level
+  // lambda + rem/live (ties by id). Each round pops the true minimum — the
+  // next resource to saturate — freezes its remaining participating flows
+  // at the fair share, and updates each neighbouring resource's residual
+  // capacity/degree and heap position in place. Unlike the progressive
+  // lazy-heap filling (water_fill_progressive below, kept as the oracle),
+  // no stale entries exist: the number of pops equals the number of
+  // saturating resources, so a fill is O((F + R) log R).
   //
   // With a nonzero local_mark, only flows stamped with it are filled; the
   // other members of each resource are boundary flows held at their
-  // current rates, which are subtracted from the resource's capacity up
-  // front.
+  // current rates, already subtracted from capacity by fill_prepare.
+  res_heap_.clear();
+  for (Resource* r : comp_resources) {
+    r->fill_key = r->rem / r->live;
+    r->fill_pos = static_cast<std::uint32_t>(res_heap_.size());
+    res_heap_.push_back(r);
+  }
+  if (res_heap_.size() > 1) {
+    for (auto i = static_cast<std::int64_t>(res_heap_.size() / 2) - 1; i >= 0;
+         --i)
+      res_heap_sift_down(static_cast<std::uint32_t>(i));
+  }
+
+  double lambda = 0.0;
+  const auto refresh = [&lambda](Resource* r) {
+    r->rem -= (lambda - r->last_lambda) * r->live;
+    if (r->rem < 0.0) r->rem = 0.0;
+    r->last_lambda = lambda;
+  };
+
+  std::size_t unfrozen = comp_flows.size();
+  while (unfrozen > 0 && !res_heap_.empty()) {
+    if (count) ++counters_.filling_rounds;
+    Resource* r = res_heap_.front();
+    res_heap_remove(r);
+    assert(r->live > 0);
+    refresh(r);
+    const double exhaust = lambda + r->rem / r->live;
+    lambda = exhaust;
+    r->rem = 0.0;
+    r->last_lambda = lambda;
+    r->sat_lambda = lambda;
+    r->sat_fill = fill;
+    // Freeze every remaining participating flow crossing this resource.
+    // For a local fill the arena slice holds exactly the local members, so
+    // no boundary member is even visited.
+    const std::uint32_t* fmem = local_mark != 0
+                                    ? local_arena_.data() + r->lmem_off
+                                    : r->members.data();
+    const std::uint32_t fcnt =
+        local_mark != 0 ? r->lmem_cnt
+                        : static_cast<std::uint32_t>(r->members.size());
+    for (std::uint32_t m = 0; m < fcnt; ++m) {
+      const std::uint32_t slot = fmem[m];
+      if (freeze_epoch_[slot] == fill) continue;
+      freeze_epoch_[slot] = fill;
+      rates_scratch_[slot] = lambda;
+      bottleneck_scratch_[slot] = r;
+      --unfrozen;
+      const Flow& af = slab_[slot];
+      for (std::uint32_t i = 0; i < af.res_count; ++i) {
+        Resource* r2 = af.res[i];
+        assert(r2->fill_epoch == fill);
+        refresh(r2);
+        assert(r2->live > 0);
+        --r2->live;
+        r2->usage_local += lambda;
+        r2->max_local = lambda;  // freeze levels are non-decreasing
+        if (r2 == r) continue;
+        if (r2->live == 0) {
+          // Drained without saturating: all its participants froze
+          // elsewhere. Out of the heap — it can never pop.
+          res_heap_remove(r2);
+        } else {
+          r2->fill_key = lambda + r2->rem / r2->live;
+          const std::uint32_t pos = r2->fill_pos;
+          res_heap_sift_down(pos);
+          res_heap_sift_up(r2->fill_pos);
+        }
+      }
+    }
+    assert(r->live == 0);
+  }
+  assert(unfrozen == 0 && "every flow crosses a finite resource");
+}
+
+// ------------------------------------------------------- fill memoization --
+
+std::uint64_t FlowNetwork::memo_fingerprint(
+    const std::vector<std::uint32_t>& comp_flows,
+    const std::vector<Resource*>& comp_resources) {
+  // Canonical component description in discovery order: the discovery walk
+  // is deterministic, so a steady-state schedule re-creating the same
+  // component produces the same word sequence. Residual capacities are
+  // compared as raw bit patterns — a hit must reproduce a fresh fill
+  // bit-for-bit, so "close" capacities must not collide.
+  auto& key = memo_key_scratch_;
+  key.clear();
+  key.reserve(2 + 2 * comp_resources.size() + comp_flows.size());
+  key.push_back(topo_version_);
+  key.push_back((static_cast<std::uint64_t>(comp_resources.size()) << 32) |
+                comp_flows.size());
+  for (const Resource* r : comp_resources) {
+    key.push_back((static_cast<std::uint64_t>(r->id) << 32) | r->live);
+    key.push_back(std::bit_cast<std::uint64_t>(r->rem));
+  }
+  for (const std::uint32_t slot : comp_flows) {
+    const Flow& f = slab_[slot];
+    key.push_back((static_cast<std::uint64_t>(f.src) << 32) | f.dst);
+  }
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (const std::uint64_t w : key) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+FlowNetwork::MemoEntry* FlowNetwork::memo_find(std::uint64_t hash) {
+  const auto it = memo_index_.find(hash);
+  if (it == memo_index_.end()) return nullptr;
+  MemoEntry& e = memo_entries_[it->second];
+  return e.key == memo_key_scratch_ ? &e : nullptr;
+}
+
+void FlowNetwork::memo_store(std::uint64_t hash,
+                             const std::vector<std::uint32_t>& comp_flows,
+                             const std::vector<Resource*>& comp_resources) {
+  std::uint32_t idx;
+  MemoEntry* e;
+  if (memo_entries_.size() < kMemoCapacity) {
+    idx = static_cast<std::uint32_t>(memo_entries_.size());
+    e = &memo_entries_.emplace_back();
+  } else {
+    // Round-robin ring: deterministic FIFO replacement with no per-hit
+    // bookkeeping. Steady-state schedules cycle through a bounded set of
+    // component shapes, so recency information buys nothing here while an
+    // LRU scan costs O(capacity) per store.
+    idx = static_cast<std::uint32_t>(memo_cursor_);
+    memo_cursor_ = (memo_cursor_ + 1) % kMemoCapacity;
+    e = &memo_entries_[idx];
+    memo_index_.erase(e->hash);
+  }
+  e->key = memo_key_scratch_;
+  e->hash = hash;
+  e->rates.resize(comp_flows.size());
+  e->bottlenecks.resize(comp_flows.size());
+  for (std::size_t i = 0; i < comp_flows.size(); ++i) {
+    const std::uint32_t slot = comp_flows[i];
+    e->rates[i] = rates_scratch_[slot];
+    e->bottlenecks[i] = bottleneck_scratch_[slot]->comp_index;
+  }
+  e->res_aggregates.resize(3 * comp_resources.size());
+  for (std::size_t i = 0; i < comp_resources.size(); ++i) {
+    const Resource* r = comp_resources[i];
+    e->res_aggregates[3 * i] = r->usage_local;
+    e->res_aggregates[3 * i + 1] = r->max_local;
+    // sat_fill == fill_epoch: popped (saturated) during this fill.
+    e->res_aggregates[3 * i + 2] =
+        r->sat_fill == r->fill_epoch
+            ? r->sat_lambda
+            : std::numeric_limits<double>::quiet_NaN();
+  }
+  memo_index_[hash] = idx;  // collisions: newest entry wins the slot
+}
+
+void FlowNetwork::memo_clear() {
+  memo_entries_.clear();
+  memo_index_.clear();
+  memo_cursor_ = 0;
+}
+
+std::uint64_t FlowNetwork::fill_with_memo(
+    const std::vector<std::uint32_t>& comp_flows,
+    const std::vector<Resource*>& comp_resources, std::uint64_t local_mark) {
+  const std::uint64_t fill =
+      fill_prepare(comp_flows, comp_resources, local_mark);
+  if (!memoize_ || memo_auto_off_ || comp_flows.size() < memo_min_flows_) {
+    fill_exact(comp_flows, comp_resources, /*count=*/true, local_mark, fill);
+    return fill;
+  }
+  const std::uint64_t hash = memo_fingerprint(comp_flows, comp_resources);
+  if (MemoEntry* e = memo_find(hash)) {
+    ++counters_.memo_hits;
+    if (cross_check_) {
+      // Replay the fill (uncounted: it is validation, not production work)
+      // and demand the cached vector bit-for-bit — any divergence means the
+      // fingerprint missed state the fill depends on. The replay leaves
+      // rates/bottlenecks/aggregates exactly as the hit would.
+      fill_exact(comp_flows, comp_resources, /*count=*/false, local_mark,
+                 fill);
+      for (std::size_t i = 0; i < comp_flows.size(); ++i) {
+        const std::uint32_t slot = comp_flows[i];
+        if (rates_scratch_[slot] != e->rates[i] ||
+            bottleneck_scratch_[slot] !=
+                comp_resources[e->bottlenecks[i]]) {
+          std::fprintf(stderr,
+                       "FlowNetwork: memoized fill diverged from fresh fill "
+                       "(t=%.9f, comp=%zu flows)\n",
+                       sim_.now(), comp_flows.size());
+          std::abort();
+        }
+      }
+      return fill;
+    }
+    for (std::size_t i = 0; i < comp_flows.size(); ++i) {
+      const std::uint32_t slot = comp_flows[i];
+      rates_scratch_[slot] = e->rates[i];
+      bottleneck_scratch_[slot] = comp_resources[e->bottlenecks[i]];
+    }
+    // Replay the local-side validation aggregates so validate_boundary sees
+    // exactly the state a fresh fill would have left.
+    for (std::size_t i = 0; i < comp_resources.size(); ++i) {
+      Resource* r = comp_resources[i];
+      r->usage_local = e->res_aggregates[3 * i];
+      r->max_local = e->res_aggregates[3 * i + 1];
+      const double lam = e->res_aggregates[3 * i + 2];
+      if (!std::isnan(lam)) {
+        r->sat_lambda = lam;
+        r->sat_fill = fill;
+      }
+      // NaN: drained unsaturated; sat_fill keeps an older epoch and can
+      // never equal the strictly increasing current fill.
+    }
+    return fill;
+  }
+  ++counters_.memo_misses;
+  fill_exact(comp_flows, comp_resources, /*count=*/true, local_mark, fill);
+  memo_store(hash, comp_flows, comp_resources);
+  // Workloads whose boundary residuals churn every reallocation never
+  // repeat a fingerprint; fingerprinting them is pure overhead. After a
+  // deterministic probation period with almost no hits, switch the memo off
+  // for the rest of the run (set_memoize(true) re-arms it and starts a
+  // fresh probation window).
+  const std::uint64_t window_misses = counters_.memo_misses - memo_miss_mark_;
+  const std::uint64_t window_hits = counters_.memo_hits - memo_hit_mark_;
+  if (window_misses >= kMemoProbation &&
+      window_hits * kMemoMinHitRatio < window_misses) {
+    memo_auto_off_ = true;
+    memo_clear();
+  }
+  return fill;
+}
+
+// --------------------------------------------------- progressive oracle --
+
+void FlowNetwork::water_fill_progressive(
+    const std::vector<std::uint32_t>& comp_flows,
+    const std::vector<Resource*>& comp_resources, std::uint64_t local_mark) {
+  // The original progressive lazy-heap water filling, kept verbatim as the
+  // independent oracle for set_cross_check and the property tests. The fill
+  // level lambda rises; a resource r exhausts at lambda_r = lambda +
+  // rem/live. A min-heap orders resources by estimated exhaust level; stale
+  // entries (whose live count dropped since insertion) are re-pushed on
+  // pop. Every flow crossing an exhausting resource freezes at rate lambda.
+  // Rates land in rates_scratch_ and the freeze resource in
+  // bottleneck_scratch_, both indexed by flow slot.
   if (rates_scratch_.size() < slab_.size()) {
     rates_scratch_.resize(slab_.size());
     bottleneck_scratch_.resize(slab_.size());
@@ -500,11 +895,10 @@ void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
     if (local_mark != 0) {
       live = 0;
       for (const std::uint32_t slot : r->members) {
-        const Flow& h = slab_[slot];
-        if (h.visit_epoch == local_mark)
+        if (visit_epoch_[slot] == local_mark)
           ++live;
         else
-          rem -= h.rate;
+          rem -= rate_[slot];
       }
       if (rem < 0.0) rem = 0.0;
       assert(live > 0 && "every local resource carries a local flow");
@@ -528,7 +922,6 @@ void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
 
   std::size_t unfrozen = comp_flows.size();
   while (unfrozen > 0 && !fill_heap_.empty()) {
-    if (count) ++counters_.filling_rounds;
     std::pop_heap(fill_heap_.begin(), fill_heap_.end(), entry_later);
     const FillEntry top = fill_heap_.back();
     fill_heap_.pop_back();
@@ -547,13 +940,13 @@ void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
     r->last_lambda = lambda;
     // Freeze every remaining participating flow crossing this resource.
     for (const std::uint32_t slot : r->members) {
-      Flow& af = slab_[slot];
-      if (local_mark != 0 && af.visit_epoch != local_mark) continue;
-      if (af.freeze_epoch == fill) continue;
-      af.freeze_epoch = fill;
+      if (local_mark != 0 && visit_epoch_[slot] != local_mark) continue;
+      if (freeze_epoch_[slot] == fill) continue;
+      freeze_epoch_[slot] = fill;
       rates_scratch_[slot] = lambda;
       bottleneck_scratch_[slot] = r;
       --unfrozen;
+      const Flow& af = slab_[slot];
       for (std::uint32_t i = 0; i < af.res_count; ++i) {
         Resource* r2 = af.res[i];
         assert(r2->fill_epoch == fill);
@@ -571,14 +964,20 @@ void FlowNetwork::water_fill(const std::vector<std::uint32_t>& comp_flows,
   assert(unfrozen == 0 && "every flow crosses a finite resource");
 }
 
-bool FlowNetwork::rates_match_full_recompute(double rel_tol) {
+bool FlowNetwork::rates_match_full_recompute(double rel_tol,
+                                             bool use_exact_fill) {
   flush_dirty();
   std::vector<std::uint32_t> all_flows;
   std::vector<Resource*> all_resources;
   gather_all_active(all_flows, all_resources);
-  water_fill(all_flows, all_resources, /*count=*/false);
+  if (use_exact_fill) {
+    const std::uint64_t fill = fill_prepare(all_flows, all_resources, 0);
+    fill_exact(all_flows, all_resources, /*count=*/false, 0, fill);
+  } else {
+    water_fill_progressive(all_flows, all_resources);
+  }
   for (const std::uint32_t slot : all_flows) {
-    const double incremental = slab_[slot].rate;
+    const double incremental = rate_[slot];
     const double full = rates_scratch_[slot];
     const double denom = std::max(std::abs(incremental), std::abs(full));
     if (denom > 0.0 && std::abs(incremental - full) > rel_tol * denom)
@@ -593,7 +992,7 @@ bool FlowNetwork::heap_less(std::uint32_t a, std::uint32_t b) const {
   const Flow& fa = slab_[a];
   const Flow& fb = slab_[b];
   if (fa.proj_done != fb.proj_done) return fa.proj_done < fb.proj_done;
-  return fa.id < fb.id;
+  return fa.seq < fb.seq;
 }
 
 void FlowNetwork::heap_sift_up(std::uint32_t pos) {
@@ -684,7 +1083,7 @@ void FlowNetwork::on_next_completion() {
     bytes_completed_ += f.total;
     ++counters_.flow_completions;
     if (auto* tr = obs::tracer())
-      tr->end(obs::Cat::kSim, "flow", f.src, f.id, now, "aborted", 0);
+      tr->end(obs::Cat::kSim, "flow", f.src, f.seq, now, "aborted", 0);
     done.push_back(std::move(f.on_complete));
     remove_flow(slot);
   }

@@ -1,12 +1,10 @@
 // Flow-level network model with max-min fair bandwidth sharing.
 //
 // Each in-flight unicast transfer is a fluid flow. Whenever the set of
-// active flows changes, rates are re-allocated by progressive filling
-// (water-filling): all flows grow at the same rate until a resource
-// saturates, the flows crossing it freeze at their fair share, and the rest
-// keep growing. This is the standard fluid approximation of the fair
-// sharing that RDMA hardware (and DCQCN/TIMELY) provides — the property the
-// paper leans on in §3 item 5 and exercises in Figs 9-10.
+// active flows changes, rates are re-allocated to the max-min fair
+// allocation — the standard fluid approximation of the fair sharing that
+// RDMA hardware (and DCQCN/TIMELY) provides, the property the paper leans
+// on in §3 item 5 and exercises in Figs 9-10.
 //
 // Resources: per-node NIC tx and rx ports, per-rack uplink/downlink, and
 // optional per-directed-pair caps (slow links, §4.5 item 2).
@@ -26,15 +24,51 @@
 //     change into O(k log k) for k ≈ the flows whose rates actually change.
 //     If expansion fails to settle quickly the code falls back to a full
 //     recomputation of the affected connected component;
+//   * each fill runs the *exact bottleneck-elimination* algorithm: every
+//     resource sits in an indexed min-heap keyed by its saturation level
+//     (residual capacity / unfrozen degree); the minimum pops, its flows
+//     freeze at the fair share, and each neighbouring resource's residual
+//     capacity and degree are decremented in place (one sift per incidence,
+//     no stale entries). A fill costs O((F + R) log R) and the number of
+//     heap pops equals the number of saturating resources — not, as in the
+//     earlier progressive lazy-heap filling, the number of membership
+//     updates (which made fig10-class fills ~30x more expensive);
+//   * steady-state fills are memoized: pipelined schedules (binomial
+//     pipeline, chain) re-create the same component over and over, one
+//     block step after another. Each fill's input is fingerprinted —
+//     component flows as (src, dst) pairs, resources as (id, residual
+//     capacity, unfrozen degree), all in discovery order, plus the topology
+//     version — and the resulting rate/bottleneck vector is cached in a
+//     hash-indexed exact-key ring. A hit replays the vector in O(F) and
+//     skips the heap entirely; the cache is dropped on topology mutations
+//     (including fault-injection degrades), tiny components bypass it, and
+//     a workload whose fingerprints never repeat deterministically disables
+//     the cache so it stops paying for fingerprinting;
+//   * the incidence-bound loops (residual-capacity prepare, freeze
+//     propagation, boundary validation) read current rate, visit/freeze
+//     epoch and applied bottleneck from dense slot-indexed vectors rather
+//     than the ~200-byte Flow records, each fill splits every resource's
+//     member list into local/boundary arenas once so no loop re-filters by
+//     epoch, and boundary validation runs off per-resource aggregates
+//     (boundary usage/max/min, local usage/max, saturation level)
+//     maintained by the fill itself — a resource whose aggregates prove no
+//     boundary member can violate the bottleneck conditions is skipped in
+//     O(1) without touching its members;
 //   * flow progress uses virtual-work accounting: each flow carries a
 //     last-update timestamp and is only settled when its rate changes, so
 //     there is no all-flows scan per event;
 //   * projected completion times live in an indexed min-heap, replacing the
-//     O(F) next-completion scan;
+//     O(F) next-completion scan; FlowId encodes (generation, slab slot), so
+//     id→flow lookups (flow_rate, abort_flow) are O(1) bit math with a
+//     liveness check instead of a hash probe;
 //   * in assert-enabled builds (or via set_cross_check) every incremental
-//     recomputation is validated against a from-scratch full water-filling.
+//     recomputation is validated against a from-scratch full water-filling
+//     by the *old progressive* algorithm, which is kept, unoptimized, as
+//     the independent oracle; memo hits are additionally replayed against a
+//     fresh exact fill and must match bit-for-bit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -69,7 +103,7 @@ class FlowNetwork {
   /// injected before the run, wrong for failure injection at time t.
   void topology_changed() { mark_dirty(); }
 
-  std::size_t active_flows() const { return id_to_slot_.size(); }
+  std::size_t active_flows() const { return active_count_; }
 
   /// Current fair-share rate of a flow in bytes/sec (0 if unknown).
   double flow_rate(FlowId id) const;
@@ -80,7 +114,7 @@ class FlowNetwork {
   /// Profiling counters for perf tracking (BENCH_core.json).
   struct Counters {
     std::uint64_t reallocations = 0;   // rate recomputations (any scope)
-    std::uint64_t filling_rounds = 0;  // water-filling heap pops
+    std::uint64_t filling_rounds = 0;  // bottleneck saturations (heap pops)
     std::uint64_t flows_touched = 0;   // sum of recomputed set sizes
     std::uint64_t max_component = 0;   // largest single recompute
     std::uint64_t expand_rounds = 0;   // local-set growth iterations
@@ -89,20 +123,40 @@ class FlowNetwork {
     std::uint64_t flow_completions = 0;
     std::uint64_t flow_aborts = 0;
     std::uint64_t cross_checks = 0;    // debug full-recompute validations
+    std::uint64_t memo_hits = 0;       // fills answered from the LRU
+    std::uint64_t memo_misses = 0;     // memo-eligible fills computed fresh
   };
   const Counters& counters() const { return counters_; }
   std::uint64_t reallocations() const { return counters_.reallocations; }
   std::uint64_t filling_rounds() const { return counters_.filling_rounds; }
 
   /// When enabled, every incremental recomputation is cross-checked against
-  /// a from-scratch full water-filling and aborts on divergence. Defaults
-  /// to on in assert-enabled builds, off in NDEBUG builds.
+  /// a from-scratch full water-filling by the progressive (oracle)
+  /// algorithm, and every memo hit against a fresh exact fill; divergence
+  /// aborts. Defaults to on in assert-enabled builds, off in NDEBUG builds.
   void set_cross_check(bool on) { cross_check_ = on; }
+
+  /// Steady-state fill memoization (default on). Components smaller than
+  /// `min_flows` bypass the cache — fingerprinting a two-flow fill costs
+  /// more than filling it. Also re-arms the deterministic auto-disable
+  /// (a workload whose fingerprints never repeat stops paying for them).
+  void set_memoize(bool on) {
+    memoize_ = on;
+    memo_auto_off_ = false;
+    memo_hit_mark_ = counters_.memo_hits;
+    memo_miss_mark_ = counters_.memo_misses;
+  }
+  void set_memo_min_flows(std::size_t min_flows) {
+    memo_min_flows_ = min_flows;
+  }
 
   /// Recompute every rate from scratch (ignoring the incremental state) and
   /// compare with the incrementally maintained rates. True when every flow
-  /// matches within `rel_tol` relative tolerance.
-  bool rates_match_full_recompute(double rel_tol = 1e-9);
+  /// matches within `rel_tol` relative tolerance. `use_exact_fill` selects
+  /// the production bottleneck-elimination algorithm for the recompute;
+  /// the default runs the independent progressive oracle.
+  bool rates_match_full_recompute(double rel_tol = 1e-9,
+                                  bool use_exact_fill = false);
 
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
@@ -112,9 +166,9 @@ class FlowNetwork {
 
   /// One capacity constraint. Lives for the whole simulation; `members`
   /// is the persistently maintained set of active flows crossing it.
-  /// `rem`/`last_lambda`/`live` are per-water-filling scratch implementing
-  /// lazy water-level accounting: the capacity remaining at global fill
-  /// level lambda is rem - (lambda - last_lambda) * live.
+  /// `rem`/`last_lambda`/`live` are per-fill scratch implementing lazy
+  /// water-level accounting: the capacity remaining at global fill level
+  /// lambda is rem - (lambda - last_lambda) * live.
   struct Resource {
     enum class Kind : std::uint8_t { kTx, kRx, kRackUp, kRackDown, kPair };
     Kind kind = Kind::kTx;
@@ -129,21 +183,51 @@ class FlowNetwork {
     std::uint32_t live = 0;
     std::uint64_t fill_epoch = 0;
     std::uint64_t visit_epoch = 0;
+    // Exact-fill scratch: indexed-heap position/key and the resource's
+    // ordinal in the component being filled (memo bottleneck encoding).
+    std::uint32_t fill_pos = kNone;
+    double fill_key = 0.0;
+    std::uint32_t comp_index = 0;
+    /// Active flows whose *applied* bottleneck is this resource — lets
+    /// boundary validation skip resources nobody's rate depends on.
+    std::uint32_t bn_count = 0;
+    // Per-fill validation aggregates, maintained by fill_prepare (boundary
+    // side) and fill_exact (local side) so validate_boundary no longer
+    // needs a usage/max pass over every member list:
+    //   usage_b / max_b / min_b — sum/max/min of boundary member rates;
+    //   usage_local / max_local — sum/max of freshly filled local rates;
+    //   sat_lambda (valid when sat_fill matches the fill epoch) — the level
+    //     this resource saturated at, i.e. the rate of every local flow
+    //     bottlenecked here.
+    double usage_b = 0.0;
+    double max_b = 0.0;
+    double min_b = 0.0;
+    double usage_local = 0.0;
+    double max_local = 0.0;
+    double sat_lambda = 0.0;
+    std::uint64_t sat_fill = 0;
+    // Slices of local_arena_/boundary_arena_ holding this resource's
+    // members split by side, rebuilt by each fill_prepare.
+    std::uint32_t lmem_off = 0, lmem_cnt = 0;
+    std::uint32_t bmem_off = 0, bmem_cnt = 0;
   };
 
+  /// Cold per-flow state. The fields the fill/validate inner loops read
+  /// per *membership incidence* (current rate, visit/freeze epochs, applied
+  /// bottleneck) live in dense slot-indexed vectors instead — one Flow is
+  /// ~200 bytes with the std::function, so scanning a member list through
+  /// the slab costs a cache miss per member, while the hot vectors pack 8
+  /// slots per line.
   struct Flow {
     NodeId src = 0;
     NodeId dst = 0;
     double total = 0.0;
     double remaining = 0.0;  // bytes left as of last_update
-    double rate = 0.0;
     SimTime last_update = 0.0;
     SimTime proj_done = 0.0;  // last_update + remaining / rate
-    FlowId id = kInvalidFlow;
-    /// The saturated resource this flow was frozen at in the last fill that
-    /// touched it — its max-min bottleneck. Lets the incremental pass decide
-    /// in O(1) whether an untouched neighbour's rate is still justified.
-    Resource* bottleneck = nullptr;
+    FlowId id = kInvalidFlow;    // (generation << 32) | slot
+    std::uint64_t seq = 0;       // start order: heap ties, trace span ids
+    std::uint32_t generation = 1;
     std::function<void(SimTime)> on_complete;
     // Persistent membership: resources crossed, and this flow's position in
     // each resource's member list (for O(1) swap-removal).
@@ -153,14 +237,14 @@ class FlowNetwork {
     bool placed = false;  // membership built (happens at first flush)
     std::uint32_t heap_pos = kNone;  // completion-heap index
     std::uint32_t next_free = kNone;
-    // Water-filling / component-BFS scratch (epoch-stamped).
-    std::uint64_t freeze_epoch = 0;
-    std::uint64_t visit_epoch = 0;
   };
 
   // -- flow slab ----------------------------------------------------------
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t slot);
+  /// Slot for a live id, kNone otherwise — O(1): the id names its slot and
+  /// the generation check rejects stale/unknown ids.
+  std::uint32_t slot_of(FlowId id) const;
   /// Unwire a flow from its resources (seeding the dirty set), drop it from
   /// the completion heap, and release its slot.
   void remove_flow(std::uint32_t slot);
@@ -169,7 +253,7 @@ class FlowNetwork {
   void build_membership(std::uint32_t slot);
   void rebuild_all_membership();
   /// Charge elapsed virtual time against one flow's remaining bytes.
-  void settle(Flow& flow);
+  void settle(std::uint32_t slot);
 
   // -- reallocation -------------------------------------------------------
   /// Flow-set changes within one virtual instant are coalesced into a
@@ -186,20 +270,70 @@ class FlowNetwork {
   /// completion, and fix up the completion heap.
   void apply_rates(const std::vector<std::uint32_t>& flows);
   /// Check the max-min bottleneck conditions for boundary flows adjacent to
-  /// the just-filled local set (marked with `mark`); flows whose rates can
-  /// no longer be justified are stamped and appended to comp_flows_.
-  void validate_boundary(std::uint64_t mark);
-  /// Progressive filling over the given flows/resources; writes per-slot
-  /// rates into rates_scratch_ and freeze resources into bottleneck_scratch_.
-  /// Counts filling rounds only when `count`. When `local_mark` is nonzero,
-  /// only flows stamped with it participate; other members are boundary
-  /// flows whose current rates are subtracted from capacity up front.
-  void water_fill(const std::vector<std::uint32_t>& comp_flows,
+  /// the just-filled local set (marked with `mark`, filled under epoch
+  /// `fill`); flows whose rates can no longer be justified are stamped and
+  /// appended to comp_flows_. Runs off the per-resource aggregates and the
+  /// boundary arena the fill left behind: each resource is first gated in
+  /// O(1) (can any boundary member possibly trigger?) and only gate
+  /// failures scan their boundary members.
+  void validate_boundary(std::uint64_t mark, std::uint64_t fill);
+
+  /// Stamp the component with a fresh fill epoch and compute each
+  /// resource's residual capacity (boundary rates subtracted when
+  /// `local_mark` is nonzero) and unfrozen degree. Returns the epoch.
+  std::uint64_t fill_prepare(const std::vector<std::uint32_t>& comp_flows,
+                             const std::vector<Resource*>& comp_resources,
+                             std::uint64_t local_mark);
+  /// Exact bottleneck elimination over a prepared component; writes
+  /// per-slot rates into rates_scratch_ and freeze resources into
+  /// bottleneck_scratch_. Counts filling rounds only when `count`.
+  void fill_exact(const std::vector<std::uint32_t>& comp_flows,
                   const std::vector<Resource*>& comp_resources, bool count,
-                  std::uint64_t local_mark = 0);
+                  std::uint64_t local_mark, std::uint64_t fill);
+  /// fill_prepare + memo lookup + fill_exact on miss (production path).
+  /// Returns the fill epoch (validate_boundary keys sat_lambda off it).
+  std::uint64_t fill_with_memo(const std::vector<std::uint32_t>& comp_flows,
+                               const std::vector<Resource*>& comp_resources,
+                               std::uint64_t local_mark);
+  /// The pre-optimization progressive lazy-heap water filling, kept as the
+  /// independent oracle behind set_cross_check / the property tests.
+  void water_fill_progressive(const std::vector<std::uint32_t>& comp_flows,
+                              const std::vector<Resource*>& comp_resources,
+                              std::uint64_t local_mark = 0);
   double resource_capacity(const Resource& r) const;
 
-  /// Water-filling heap entry: (estimated exhaust level, stable id).
+  // -- exact-fill indexed resource heap -----------------------------------
+  bool res_heap_less(const Resource* a, const Resource* b) const {
+    if (a->fill_key != b->fill_key) return a->fill_key < b->fill_key;
+    return a->id < b->id;
+  }
+  void res_heap_sift_up(std::uint32_t pos);
+  void res_heap_sift_down(std::uint32_t pos);
+  void res_heap_remove(Resource* r);
+
+  // -- fill memoization ----------------------------------------------------
+  struct MemoEntry {
+    std::vector<std::uint64_t> key;
+    std::vector<double> rates;               // comp_flows discovery order
+    std::vector<std::uint32_t> bottlenecks;  // comp_resources ordinals
+    /// Validation aggregates per comp resource, replayed on a hit so
+    /// validate_boundary sees exactly what a fresh fill would have left:
+    /// (usage_local, max_local, sat_lambda); sat_lambda is NaN when the
+    /// resource drained without saturating.
+    std::vector<double> res_aggregates;
+    std::uint64_t hash = 0;
+  };
+  /// Fingerprint the prepared component into memo_key_scratch_; returns its
+  /// 64-bit hash.
+  std::uint64_t memo_fingerprint(const std::vector<std::uint32_t>& comp_flows,
+                                 const std::vector<Resource*>& comp_resources);
+  MemoEntry* memo_find(std::uint64_t hash);
+  void memo_store(std::uint64_t hash,
+                  const std::vector<std::uint32_t>& comp_flows,
+                  const std::vector<Resource*>& comp_resources);
+  void memo_clear();
+
+  /// Progressive-oracle heap entry: (estimated exhaust level, stable id).
   struct FillEntry {
     double lambda_est;
     std::uint32_t id;
@@ -220,9 +354,15 @@ class FlowNetwork {
   Topology& topology_;
 
   std::vector<Flow> slab_;
+  // Hot per-flow state in dense slot-indexed vectors (see Flow comment):
+  // sized in lockstep with slab_ by alloc_slot.
+  std::vector<double> rate_;              // current applied rate
+  std::vector<std::uint64_t> visit_epoch_;
+  std::vector<std::uint64_t> freeze_epoch_;
+  std::vector<Resource*> bn_applied_;     // applied max-min bottleneck
   std::uint32_t free_head_ = kNone;
-  std::unordered_map<FlowId, std::uint32_t> id_to_slot_;
-  FlowId next_id_ = 1;
+  std::size_t active_count_ = 0;
+  std::uint64_t next_seq_ = 1;
 
   std::vector<Resource> tx_, rx_, rack_up_, rack_down_;
   std::unordered_map<std::uint64_t, Resource> pair_res_;
@@ -245,7 +385,38 @@ class FlowNetwork {
   std::vector<Resource*> comp_resources_;
   std::vector<double> rates_scratch_;
   std::vector<Resource*> bottleneck_scratch_;
-  std::vector<FillEntry> fill_heap_;
+  std::vector<Resource*> res_heap_;      // exact fill, indexed by fill_pos
+  std::vector<FillEntry> fill_heap_;     // progressive oracle (lazy)
+  // Per-fill member split (slices per resource via lmem_off/bmem_off):
+  // fill_exact's freeze loops walk exactly the local members and
+  // validate_boundary exactly the boundary members, instead of filtering
+  // full member lists by epoch on every visit.
+  std::vector<std::uint32_t> local_arena_;
+  std::vector<std::uint32_t> boundary_arena_;
+
+  /// Ring of cached fills with a hash index. Replacement is round-robin
+  /// (deterministic FIFO): a steady-state pipeline cycles through one
+  /// component shape per chain/pipeline position, so the working set is
+  /// ~the node count and recency gives no extra signal worth the
+  /// bookkeeping. When a workload keeps missing (boundary rates never
+  /// bit-repeat), the cache deterministically disables itself — see
+  /// fill_with_memo — so non-repeating runs stop paying the fingerprint.
+  std::vector<MemoEntry> memo_entries_;
+  std::unordered_map<std::uint64_t, std::uint32_t> memo_index_;
+  std::vector<std::uint64_t> memo_key_scratch_;
+  std::size_t memo_cursor_ = 0;
+  bool memoize_ = true;
+  bool memo_auto_off_ = false;
+  /// Counter values at the last (re-)arming: the auto-off policy judges the
+  /// hit rate of the current probation window, not the process lifetime.
+  std::uint64_t memo_hit_mark_ = 0;
+  std::uint64_t memo_miss_mark_ = 0;
+  std::size_t memo_min_flows_ = 8;
+  static constexpr std::size_t kMemoCapacity = 1024;
+  /// Auto-disable policy: after this many misses with a hit rate below
+  /// 1/kMemoMinHitRatio, stop fingerprinting (re-armed by set_memoize).
+  static constexpr std::uint64_t kMemoProbation = 4096;
+  static constexpr std::uint64_t kMemoMinHitRatio = 16;
 
   /// Local-set growth rounds before giving up and recomputing the whole
   /// connected component from scratch.

@@ -1,0 +1,235 @@
+// Exact fill + memoization properties of the FlowNetwork allocator.
+//
+// Three algorithms can compute the same max-min allocation: the exact
+// bottleneck-elimination fill (production), the progressive lazy-heap
+// water filling (kept as the oracle) and a from-scratch full fill over
+// every active flow. This suite drives randomized churn — flow starts,
+// aborts, pair-cap and NIC mutations via topology_changed() — and demands
+// all three agree at every checkpoint; with cross-checking on, every
+// incremental step is additionally validated inside the allocator itself
+// (divergence aborts the process).
+//
+// The memoization layer is tested separately on workloads constructed to
+// repeat allocation states exactly: hits must be served (and, under
+// cross-check, replayed bit-identically against a fresh fill), a link
+// degradation must invalidate the cache, and the deterministic auto-off
+// must disarm a memo whose fingerprints never repeat — then re-arm via
+// set_memoize.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "util/random.hpp"
+
+namespace rdmc::sim {
+namespace {
+
+TopologyConfig racked_config(std::size_t nodes) {
+  TopologyConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.nic_gbps = 100.0;
+  cfg.nodes_per_rack = nodes >= 8 ? nodes / 2 : 0;
+  cfg.rack_uplink_gbps = 150.0;
+  return cfg;
+}
+
+// Randomized churn: starts, aborts and capacity mutations interleaved,
+// with the incremental allocation checked against both full-recompute
+// algorithms after every step.
+TEST(FlowMemoProperty, ExactMatchesProgressiveAndFullUnderChurn) {
+  for (const std::uint64_t seed : {11ull, 23ull, 47ull, 91ull}) {
+    util::Rng rng(seed);
+    const std::size_t nodes = 6 + seed % 7;
+    Simulator sim;
+    Topology topo(racked_config(nodes));
+    FlowNetwork net(sim, topo);
+    net.set_cross_check(true);
+    net.set_memo_min_flows(1);  // every fill goes through the memo path
+
+    std::vector<FlowId> live;
+    for (int step = 0; step < 120; ++step) {
+      const double dice = rng.uniform01();
+      if (dice < 0.5 || live.empty()) {
+        NodeId src = static_cast<NodeId>(rng.uniform(0, nodes - 1));
+        NodeId dst = static_cast<NodeId>(rng.uniform(0, nodes - 1));
+        if (src == dst) dst = (dst + 1) % nodes;
+        live.push_back(net.start_flow(src, dst, 1e13, [](SimTime) {}));
+      } else if (dice < 0.75) {
+        const std::size_t victim = rng.uniform(0, live.size() - 1);
+        net.abort_flow(live[victim]);
+        live.erase(live.begin() + victim);
+      } else if (dice < 0.9) {
+        NodeId a = static_cast<NodeId>(rng.uniform(0, nodes - 1));
+        NodeId b = static_cast<NodeId>(rng.uniform(0, nodes - 1));
+        if (a == b) b = (b + 1) % nodes;
+        if (rng.uniform01() < 0.5)
+          topo.set_pair_cap(a, b, 2.0 + 60.0 * rng.uniform01());
+        else
+          topo.clear_pair_cap(a, b);
+        net.topology_changed();
+      } else {
+        NodeId n = static_cast<NodeId>(rng.uniform(0, nodes - 1));
+        topo.set_node_nic(n, 40.0 + 80.0 * rng.uniform01());
+        net.topology_changed();
+      }
+      // Forces the pending reallocation, then compares the incremental
+      // rates against from-scratch fills by both algorithms.
+      ASSERT_TRUE(net.rates_match_full_recompute(1e-9, /*exact=*/false))
+          << "progressive oracle diverged (seed " << seed << ", step "
+          << step << ")";
+      ASSERT_TRUE(net.rates_match_full_recompute(1e-9, /*exact=*/true))
+          << "exact fill diverged (seed " << seed << ", step " << step
+          << ")";
+    }
+    for (const FlowId id : live) net.abort_flow(id);
+    sim.run();
+  }
+}
+
+// A start/abort cycle that returns the network to the identical state must
+// be answered from the memo, and (cross-check on) every hit is replayed
+// against a fresh fill bit-for-bit inside the allocator.
+TEST(FlowMemo, HitsOnRepeatingStates) {
+  Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nic_gbps = 100.0;
+  Topology topo(cfg);
+  FlowNetwork net(sim, topo);
+  net.set_cross_check(true);
+  net.set_memo_min_flows(1);
+
+  // Four flows sharing the tx capacity of node 0: a stable component.
+  std::vector<FlowId> base;
+  for (NodeId dst = 1; dst <= 4; ++dst)
+    base.push_back(net.start_flow(0, dst, 1e13, [](SimTime) {}));
+  (void)net.flow_rate(base.front());
+
+  const std::uint64_t misses_before = net.counters().memo_misses;
+  const int cycles = 20;
+  for (int i = 0; i < cycles; ++i) {
+    // Start a fifth flow into the same bottleneck, then remove it: both
+    // reallocations after the first cycle re-create states already seen.
+    const FlowId extra = net.start_flow(0, 5, 1e13, [](SimTime) {});
+    ASSERT_GT(net.flow_rate(extra), 0.0);
+    net.abort_flow(extra);
+    ASSERT_GT(net.flow_rate(base.front()), 0.0);
+  }
+  const auto& c = net.counters();
+  // First cycle fills fresh (2 misses); every later cycle hits both states.
+  EXPECT_GE(c.memo_hits, static_cast<std::uint64_t>(2 * (cycles - 1)));
+  EXPECT_LE(c.memo_misses - misses_before, 4u);
+
+  for (const FlowId id : base) net.abort_flow(id);
+  sim.run();
+}
+
+// A capacity mutation invalidates the cache: the same component shape must
+// be refilled fresh (and re-cached) after a link degrade.
+TEST(FlowMemo, LinkDegradeInvalidates) {
+  Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nic_gbps = 100.0;
+  Topology topo(cfg);
+  FlowNetwork net(sim, topo);
+  net.set_cross_check(true);
+  net.set_memo_min_flows(1);
+
+  std::vector<FlowId> base;
+  for (NodeId dst = 1; dst <= 4; ++dst)
+    base.push_back(net.start_flow(0, dst, 1e13, [](SimTime) {}));
+  (void)net.flow_rate(base.front());
+
+  // Warm the cache with a repeating start/abort cycle.
+  for (int i = 0; i < 4; ++i) {
+    const FlowId extra = net.start_flow(0, 5, 1e13, [](SimTime) {});
+    (void)net.flow_rate(extra);
+    net.abort_flow(extra);
+    (void)net.flow_rate(base.front());
+  }
+  ASSERT_GT(net.counters().memo_hits, 0u);
+  const std::uint64_t hits_before = net.counters().memo_hits;
+  const std::uint64_t misses_before = net.counters().memo_misses;
+
+  // Degrade the 0->5 link and replay the cycle: the old cached rates are
+  // for the undegraded capacities, so the first post-degrade fills must be
+  // misses, and the allocation must still verify against a full recompute.
+  topo.set_pair_cap(0, 5, 10.0);
+  net.topology_changed();
+  const FlowId extra = net.start_flow(0, 5, 1e13, [](SimTime) {});
+  ASSERT_GT(net.flow_rate(extra), 0.0);
+  ASSERT_TRUE(net.rates_match_full_recompute(1e-9));
+  EXPECT_EQ(net.counters().memo_hits, hits_before);
+  EXPECT_GT(net.counters().memo_misses, misses_before);
+
+  // The degraded states now repeat and are cacheable again.
+  net.abort_flow(extra);
+  (void)net.flow_rate(base.front());
+  for (int i = 0; i < 3; ++i) {
+    const FlowId e2 = net.start_flow(0, 5, 1e13, [](SimTime) {});
+    (void)net.flow_rate(e2);
+    net.abort_flow(e2);
+    (void)net.flow_rate(base.front());
+  }
+  EXPECT_GT(net.counters().memo_hits, hits_before);
+
+  for (const FlowId id : base) net.abort_flow(id);
+  sim.run();
+}
+
+// The deterministic auto-off: a workload whose fingerprints never repeat
+// stops paying for fingerprinting after the probation window, and
+// set_memoize(true) re-arms the cache.
+TEST(FlowMemo, AutoDisableAfterProbationAndRearm) {
+  Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 72;  // 72*71 = 5112 distinct pairs > the probation window
+  cfg.nic_gbps = 100.0;
+  Topology topo(cfg);
+  FlowNetwork net(sim, topo);
+  net.set_cross_check(false);  // 5k full validations would dominate runtime
+  net.set_memo_min_flows(1);
+
+  // Every (src, dst) pair is a distinct single-flow component: all misses.
+  std::uint64_t last_misses = 0;
+  for (NodeId src = 0; src < 72; ++src) {
+    for (NodeId dst = 0; dst < 72; ++dst) {
+      if (src == dst) continue;
+      const FlowId id = net.start_flow(src, dst, 1e13, [](SimTime) {});
+      (void)net.flow_rate(id);
+      net.abort_flow(id);
+      (void)net.active_flows();
+    }
+    last_misses = net.counters().memo_misses;
+  }
+  EXPECT_EQ(net.counters().memo_hits, 0u);
+  // The miss counter froze at the probation threshold: fills after the
+  // auto-off bypass fingerprinting entirely.
+  EXPECT_LT(last_misses, 5112u);
+  const std::uint64_t frozen = net.counters().memo_misses;
+  const FlowId a = net.start_flow(0, 1, 1e13, [](SimTime) {});
+  (void)net.flow_rate(a);
+  net.abort_flow(a);
+  const FlowId b = net.start_flow(0, 1, 1e13, [](SimTime) {});
+  (void)net.flow_rate(b);
+  EXPECT_EQ(net.counters().memo_misses, frozen);
+  EXPECT_EQ(net.counters().memo_hits, 0u);
+
+  // Re-arm: repeating states are served from the cache again.
+  net.set_memoize(true);
+  net.abort_flow(b);
+  for (int i = 0; i < 3; ++i) {
+    const FlowId id = net.start_flow(0, 1, 1e13, [](SimTime) {});
+    (void)net.flow_rate(id);
+    net.abort_flow(id);
+  }
+  EXPECT_GT(net.counters().memo_hits, 0u);
+  sim.run();
+}
+
+}  // namespace
+}  // namespace rdmc::sim

@@ -1,0 +1,57 @@
+// Counters-based performance regression smoke.
+//
+// Wall-clock thresholds are useless in CI (shared, throttled runners), but
+// the FlowNetwork work counters are deterministic for a fixed
+// configuration: filling_rounds counts bottleneck saturations and
+// flows_touched the sizes of recomputed sets. An algorithmic regression —
+// losing incrementality, the exact fill degenerating toward the
+// progressive O(rounds * touch) behaviour, the expansion loop failing to
+// converge — inflates them by integer factors, far above the ceilings
+// here, while legitimate changes move them by percents. The ceilings sit
+// ~2x above the values measured when the exact fill landed (the
+// pre-optimization progressive allocator exceeded them by ~10x).
+#include <gtest/gtest.h>
+
+#include "harness/sim_harness.hpp"
+#include "sim/cluster_profiles.hpp"
+
+namespace rdmc::harness {
+namespace {
+
+PerfStats run_fixed_fig8() {
+  MulticastConfig cfg;
+  cfg.profile = sim::sierra_profile(128);
+  cfg.group_size = 128;
+  cfg.message_bytes = 8ull << 20;
+  cfg.block_size = 1 << 20;
+  return run_multicast(cfg).perf;
+}
+
+TEST(PerfCounters, Fig8WorkCountersUnderCeilings) {
+  const PerfStats p = run_fixed_fig8();
+  // Measured at the exact-fill landing: 9485 rounds, 9754 touched, 1977
+  // reallocations over 12233 events.
+  EXPECT_LE(p.filling_rounds, 20000u);
+  EXPECT_LE(p.flows_touched, 25000u);
+  EXPECT_LE(p.reallocations, 4500u);
+  EXPECT_LE(p.full_recomputes, 10u);
+  // Locality: the average recomputed set stays far below the 127 active
+  // flows of the steady-state pipeline.
+  ASSERT_GT(p.reallocations, 0u);
+  EXPECT_LE(p.flows_touched / p.reallocations, 25u);
+}
+
+TEST(PerfCounters, Fig8Deterministic) {
+  const PerfStats a = run_fixed_fig8();
+  const PerfStats b = run_fixed_fig8();
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.reallocations, b.reallocations);
+  EXPECT_EQ(a.filling_rounds, b.filling_rounds);
+  EXPECT_EQ(a.flows_touched, b.flows_touched);
+  EXPECT_EQ(a.expand_rounds, b.expand_rounds);
+  EXPECT_EQ(a.memo_hits, b.memo_hits);
+  EXPECT_EQ(a.memo_misses, b.memo_misses);
+}
+
+}  // namespace
+}  // namespace rdmc::harness
