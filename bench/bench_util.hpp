@@ -40,6 +40,23 @@ inline std::size_t jobs_arg(int argc, char** argv) {
   return n == 0 ? harness::default_jobs() : static_cast<std::size_t>(n);
 }
 
+/// `--fill-jobs N` (or `--fill-jobs=N`): worker threads for
+/// component-parallel max-min fills *inside* one simulation
+/// (FlowNetwork::set_fill_jobs), as opposed to --jobs which parallelises
+/// across independent sweep points. Absent -> 1 (serial); 0 -> one per
+/// hardware thread. Byte-identical results for any N.
+inline std::size_t fill_jobs_arg(int argc, char** argv) {
+  long long n = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fill-jobs") == 0 && i + 1 < argc)
+      n = std::atoll(argv[i + 1]);
+    else if (std::strncmp(argv[i], "--fill-jobs=", 12) == 0)
+      n = std::atoll(argv[i] + 12);
+  }
+  if (n < 0) n = 1;
+  return n == 0 ? harness::default_jobs() : static_cast<std::size_t>(n);
+}
+
 /// `--trace out.json` (or `--trace=out.json`): where to write the unified
 /// trace, nullptr when the flag is absent.
 inline const char* trace_path(int argc, char** argv) {

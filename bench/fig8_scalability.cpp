@@ -81,8 +81,14 @@ int main(int argc, char** argv) {
   // Every point is an independent simulation; run them on the sweep
   // executor and assemble the table (including the sequential
   // extrapolation off the 128-node point) in input order afterwards.
-  const std::vector<std::size_t> node_counts{2, 4, 8, 16, 32, 64, 128, 256,
-                                             512};
+  // Full mode extends past the paper's 512-node axis to 16K nodes — the
+  // flat curve continuing is the "replication is almost free" claim at
+  // datacenter scale (and the stress test for the incremental max-min
+  // solver; see DESIGN.md "Hierarchical water-fill").
+  std::vector<std::size_t> node_counts{2, 4, 8, 16, 32, 64, 128, 256, 512};
+  if (!quick)
+    for (const std::size_t n : {1024, 4096, 16384}) node_counts.push_back(n);
+  const std::size_t fill_jobs = fill_jobs_arg(argc, argv);
   struct Point {
     double pipe = 0.0;
     double seq = 0.0;  // 0: extrapolated below
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
         cfg.group_size = n;
         cfg.message_bytes = bytes;
         cfg.block_size = 1 << 20;
+        cfg.fill_jobs = fill_jobs;
         points[i].pipe = harness::run_multicast(cfg).total_seconds;
         if (n <= 128) {
           auto scfg = cfg;

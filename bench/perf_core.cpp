@@ -30,8 +30,22 @@ struct Point {
   harness::PerfStats perf;
 };
 
+/// "hierarchical" when any fill in the run went through the rack-island
+/// solver; "flat" otherwise (rackless topologies, or components below the
+/// engagement threshold). Per-point, so a sweep shows which sizes the
+/// decomposition actually kicks in for.
+const char* solver_mode(const harness::PerfStats& perf) {
+  return perf.hier_fills > 0 ? "hierarchical" : "flat";
+}
+
+double memo_hit_rate(const harness::PerfStats& perf) {
+  const double total =
+      static_cast<double>(perf.memo_hits + perf.memo_misses);
+  return total > 0 ? static_cast<double>(perf.memo_hits) / total : 0.0;
+}
+
 void append_json(std::string& out, const Point& p) {
-  char buf[1280];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "    {\n"
@@ -47,7 +61,13 @@ void append_json(std::string& out, const Point& p) {
       "      \"full_recomputes\": %llu,\n"
       "      \"flow_starts\": %llu,\n"
       "      \"memo_hits\": %llu,\n"
-      "      \"memo_misses\": %llu,\n",
+      "      \"memo_misses\": %llu,\n"
+      "      \"memo_hit_rate\": %.6f,\n"
+      "      \"component_fills\": %llu,\n"
+      "      \"hier_fills\": %llu,\n"
+      "      \"hier_rounds\": %llu,\n"
+      "      \"hier_fallbacks\": %llu,\n"
+      "      \"solver_mode\": \"%s\",\n",
       p.name.c_str(), p.perf.wall_seconds, p.virtual_seconds,
       (unsigned long long)p.perf.events_processed,
       (unsigned long long)p.perf.reallocations,
@@ -58,7 +78,11 @@ void append_json(std::string& out, const Point& p) {
       (unsigned long long)p.perf.full_recomputes,
       (unsigned long long)p.perf.flow_starts,
       (unsigned long long)p.perf.memo_hits,
-      (unsigned long long)p.perf.memo_misses);
+      (unsigned long long)p.perf.memo_misses, memo_hit_rate(p.perf),
+      (unsigned long long)p.perf.component_fills,
+      (unsigned long long)p.perf.hier_fills,
+      (unsigned long long)p.perf.hier_rounds,
+      (unsigned long long)p.perf.hier_fallbacks, solver_mode(p.perf));
   out += buf;
   // No recorded seed reference: emit null, not a misleading 0.000.
   if (p.seed_wall_seconds > 0.0 && p.perf.wall_seconds > 0.0) {
@@ -110,6 +134,28 @@ Point run_fig10(std::size_t groups, std::size_t size, std::uint64_t bytes,
   return p;
 }
 
+/// Fig 10b-shaped oversubscribed-rack point: concurrent rotated-root
+/// groups on the parameterized racked profile. This is the configuration
+/// the hierarchical island solver exists for — components span racks and
+/// couple only through the shared uplinks.
+Point run_racked(std::size_t groups, std::size_t size, std::uint64_t bytes,
+                 std::size_t messages, double seed_wall) {
+  harness::ConcurrentConfig cfg;
+  cfg.profile = sim::racked_profile(size, 16, 3.5);
+  cfg.group_size = size;
+  cfg.senders = groups;
+  cfg.message_bytes = bytes;
+  cfg.messages = messages;
+  const auto result = harness::run_concurrent(cfg);
+  Point p;
+  p.name = "fig10b_" + std::to_string(groups) + "x" + std::to_string(size) +
+           "_racked";
+  p.virtual_seconds = result.makespan_seconds;
+  p.seed_wall_seconds = seed_wall;
+  p.perf = result.perf;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,7 +167,10 @@ int main(int argc, char** argv) {
 
   // Seed references: wall times of the pre-optimization tree for the
   // identical configurations (measured where this bench was developed;
-  // 0 means no reference recorded for that point).
+  // 0 means no reference recorded for that point). The 512-node and
+  // fig10 seeds are the original growth-seed tree; the 1024/4096 seeds
+  // are the pre-hierarchical tree (the growth-seed solver is quadratic
+  // in active flows and those points would not finish in useful time).
   std::vector<Point> points;
   if (quick) {
     points.push_back(run_fig8(128, 8ull << 20, 0.0));
@@ -129,11 +178,15 @@ int main(int argc, char** argv) {
   } else {
     points.push_back(run_fig8(128, 32ull << 20, 0.0));
     points.push_back(run_fig8(512, 32ull << 20, 14.57));
+    points.push_back(run_fig8(1024, 32ull << 20, 1.42));
+    points.push_back(run_fig8(4096, 32ull << 20, 10.62));
     points.push_back(run_fig10(16, 16, 100ull << 20, 2, 16.7));
+    points.push_back(run_racked(8, 128, 8ull << 20, 1, 0.0));
   }
 
-  std::printf("%-24s %10s %12s %12s %12s %10s %9s\n", "point", "wall_s",
-              "events", "reallocs", "fill_rounds", "avg_touch", "speedup");
+  std::printf("%-24s %10s %12s %12s %12s %10s %9s %13s\n", "point", "wall_s",
+              "events", "reallocs", "fill_rounds", "avg_touch", "speedup",
+              "solver");
   for (const auto& p : points) {
     const double avg_touch =
         p.perf.reallocations
@@ -142,11 +195,12 @@ int main(int argc, char** argv) {
     const double speedup = p.seed_wall_seconds > 0.0 && p.perf.wall_seconds > 0
                                ? p.seed_wall_seconds / p.perf.wall_seconds
                                : 0.0;
-    std::printf("%-24s %10.3f %12llu %12llu %12llu %10.1f %8.2fx\n",
+    std::printf("%-24s %10.3f %12llu %12llu %12llu %10.1f %8.2fx %13s\n",
                 p.name.c_str(), p.perf.wall_seconds,
                 (unsigned long long)p.perf.events_processed,
                 (unsigned long long)p.perf.reallocations,
-                (unsigned long long)p.perf.filling_rounds, avg_touch, speedup);
+                (unsigned long long)p.perf.filling_rounds, avg_touch, speedup,
+                solver_mode(p.perf));
   }
 
   std::string json = "{\n  \"bench\": \"perf_core\",\n";

@@ -9,27 +9,28 @@
 // obs::TraceRecorder::ThreadShard so the merged trace comes out in input
 // order (see run_chaos_campaign).
 //
-// Scheduling is a single shared atomic cursor: workers claim the next
-// unclaimed index until the range is drained, so a slow item (one seed
-// hitting a pathological fault plan) never stalls the pool behind a static
-// partition. Results must be written to per-index slots — the executor
-// guarantees each index runs exactly once, not where or when.
+// The executor itself lives in util/parallel.hpp — the simulator core now
+// also runs *intra-step* work (independent max-min components within one
+// reallocation) on the same pool, and sim sits below harness in the
+// dependency order. This header re-exports it under the historical names
+// for the sweep callers.
 #pragma once
 
-#include <cstddef>
-#include <functional>
+#include "util/parallel.hpp"
 
 namespace rdmc::harness {
 
 /// Worker count for `--jobs 0`: the hardware concurrency, at least 1.
-std::size_t default_jobs();
+inline std::size_t default_jobs() { return util::default_jobs(); }
 
 /// Invoke `fn(i)` for every i in [0, count), using up to `jobs` worker
 /// threads (clamped to count; <= 1 runs inline on the calling thread, which
 /// keeps single-job runs bit-identical to the pre-parallel code path).
 /// Blocks until all items finish. The first exception thrown by any item is
 /// rethrown on the calling thread after the pool drains.
-void parallel_for(std::size_t count, std::size_t jobs,
-                  const std::function<void(std::size_t)>& fn);
+inline void parallel_for(std::size_t count, std::size_t jobs,
+                         const std::function<void(std::size_t)>& fn) {
+  util::parallel_for(count, jobs, fn);
+}
 
 }  // namespace rdmc::harness

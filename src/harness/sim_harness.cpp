@@ -85,6 +85,10 @@ PerfStats PerfStats::from(const obs::MetricsRegistry& registry) {
   s.flow_starts = get("sim.flow_starts");
   s.memo_hits = get("sim.memo_hits");
   s.memo_misses = get("sim.memo_misses");
+  s.component_fills = get("sim.component_fills");
+  s.hier_fills = get("sim.hier_fills");
+  s.hier_rounds = get("sim.hier_rounds");
+  s.hier_fallbacks = get("sim.hier_fallbacks");
   s.breaks_delivered = get("fault.disconnects");
   s.flushed_completions = get("fault.flushed");
   s.reforms = get("harness.reforms");
@@ -107,6 +111,10 @@ void SimCluster::sync_metrics() const {
   metrics_.counter("sim.flow_aborts").set(c.flow_aborts);
   metrics_.counter("sim.memo_hits").set(c.memo_hits);
   metrics_.counter("sim.memo_misses").set(c.memo_misses);
+  metrics_.counter("sim.component_fills").set(c.component_fills);
+  metrics_.counter("sim.hier_fills").set(c.hier_fills);
+  metrics_.counter("sim.hier_rounds").set(c.hier_rounds);
+  metrics_.counter("sim.hier_fallbacks").set(c.hier_fallbacks);
   const auto& f = fabric_->fault_counters();
   metrics_.counter("fault.disconnects").set(f.disconnects_delivered);
   metrics_.counter("fault.flushed").set(f.flushed_completions);
@@ -160,6 +168,7 @@ MulticastResult run_multicast(const MulticastConfig& config) {
     options.preemption = sim::PreemptionModel{0.0, 0.0};
   }
   SimCluster cluster(profile, options, /*use_profile_costs=*/false);
+  cluster.fabric().flows().set_fill_jobs(config.fill_jobs);
 
   std::vector<NodeId> members;
   if (config.members) {
@@ -223,6 +232,7 @@ ConcurrentResult run_concurrent(const ConcurrentConfig& config) {
   options.preemption = profile.preemption;
   options.default_mode = config.completion_mode;
   SimCluster cluster(profile, options, /*use_profile_costs=*/false);
+  cluster.fabric().flows().set_fill_jobs(config.fill_jobs);
 
   // `senders` groups over the same `group_size` members, roots rotated
   // (the Fig 10 overlap pattern).

@@ -46,6 +46,10 @@ struct PerfStats {
   std::uint64_t flow_starts = 0;          // sim.flow_starts
   std::uint64_t memo_hits = 0;            // sim.memo_hits
   std::uint64_t memo_misses = 0;          // sim.memo_misses
+  std::uint64_t component_fills = 0;      // sim.component_fills
+  std::uint64_t hier_fills = 0;           // sim.hier_fills
+  std::uint64_t hier_rounds = 0;          // sim.hier_rounds
+  std::uint64_t hier_fallbacks = 0;       // sim.hier_fallbacks
   // Fault-path counters (SimFabric::FaultCounters + harness bookkeeping).
   std::uint64_t breaks_delivered = 0;     // fault.disconnects
   std::uint64_t flushed_completions = 0;  // fault.flushed
@@ -153,6 +157,10 @@ struct MulticastConfig {
   bool cross_channel = false;
   /// Zero out software costs/preemption (pure network behaviour).
   bool ideal_software = false;
+  /// Worker threads for component-parallel max-min fills inside one sim
+  /// step (FlowNetwork::set_fill_jobs). 1 = serial; any value produces
+  /// byte-identical results, so this is purely a wall-clock knob.
+  std::size_t fill_jobs = 1;
 };
 
 struct MulticastResult {
@@ -182,6 +190,8 @@ struct ConcurrentConfig {
   std::size_t block_size = 1 << 20;
   std::size_t messages = 4;
   fabric::CompletionMode completion_mode = fabric::CompletionMode::kHybrid;
+  /// See MulticastConfig::fill_jobs.
+  std::size_t fill_jobs = 1;
 };
 
 struct ConcurrentResult {

@@ -61,4 +61,17 @@ ClusterProfile apt_profile(std::size_t num_nodes) {
   return p;
 }
 
+ClusterProfile racked_profile(std::size_t num_nodes,
+                              std::size_t nodes_per_rack,
+                              double oversubscription,
+                              double nic_gbps) {
+  ClusterProfile p = apt_profile(num_nodes);
+  p.name = "racked";
+  p.topology.nic_gbps = nic_gbps;
+  p.topology.nodes_per_rack = nodes_per_rack;
+  p.topology.rack_uplink_gbps =
+      nic_gbps * static_cast<double>(nodes_per_rack) / oversubscription;
+  return p;
+}
+
 }  // namespace rdmc::sim

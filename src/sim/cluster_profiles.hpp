@@ -39,4 +39,14 @@ ClusterProfile stampede_profile(std::size_t num_nodes = 16);
 /// that limits sustained inter-rack traffic to ~16 Gb/s per link (Fig 10b).
 ClusterProfile apt_profile(std::size_t num_nodes = 64);
 
+/// Apt-style racked profile with explicit geometry: `oversubscription` is
+/// the ratio of aggregate intra-rack NIC bandwidth to uplink capacity
+/// (1.0 = non-blocking, apt's stock geometry is 16*56/256 = 3.5). The
+/// hierarchical water-fill solver targets exactly this shape — tests and
+/// benches use it to sweep rack size and uplink pressure independently.
+ClusterProfile racked_profile(std::size_t num_nodes,
+                              std::size_t nodes_per_rack,
+                              double oversubscription,
+                              double nic_gbps = 56.0);
+
 }  // namespace rdmc::sim

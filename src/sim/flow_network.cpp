@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 
 namespace rdmc::sim {
 
@@ -57,6 +59,7 @@ std::uint32_t FlowNetwork::alloc_slot() {
   rate_.push_back(0.0);
   visit_epoch_.push_back(0);
   freeze_epoch_.push_back(0);
+  fresh_epoch_.push_back(0);
   bn_applied_.push_back(nullptr);
   rates_scratch_.push_back(0.0);
   bottleneck_scratch_.push_back(nullptr);
@@ -327,37 +330,94 @@ void FlowNetwork::apply_rates(const std::vector<std::uint32_t>& flows) {
   }
 }
 
-void FlowNetwork::validate_boundary(std::uint64_t mark, std::uint64_t fill) {
+void FlowNetwork::split_components(std::uint64_t mark,
+                                   std::uint64_t fresh_token) {
+  // BFS over the bipartite flow/resource graph restricted to the in-set
+  // members (visit epoch == mark; mark 0 means every member is in-set).
+  // Components land in split_flows_/split_res_ in discovery order — seeded
+  // from comp_flows_ in order, expanding resource member lists in order —
+  // which is the canonical order the memo fingerprints and the fills use.
+  // freeze_epoch_ / Resource::split_epoch carry the BFS stamps; both are
+  // compared by equality against strictly increasing epochs, so the fills'
+  // later stamps can never collide.
+  split_flows_.clear();
+  split_res_.clear();
+  comps_.clear();
+  const std::uint64_t stoken = ++epoch_;
+  for (const std::uint32_t seed : comp_flows_) {
+    if (freeze_epoch_[seed] == stoken) continue;
+    CompSpan comp;
+    comp.flow_off = static_cast<std::uint32_t>(split_flows_.size());
+    comp.res_off = static_cast<std::uint32_t>(split_res_.size());
+    bool dirty = false;
+    freeze_epoch_[seed] = stoken;
+    split_flows_.push_back(seed);
+    for (std::size_t qi = comp.flow_off; qi < split_flows_.size(); ++qi) {
+      const std::uint32_t slot = split_flows_[qi];
+      if (fresh_epoch_[slot] == fresh_token) dirty = true;
+      const Flow& f = slab_[slot];
+      for (std::uint32_t j = 0; j < f.res_count; ++j) {
+        Resource* r = f.res[j];
+        if (mark != 0 && r->visit_epoch != mark) continue;
+        if (r->split_epoch == stoken) continue;
+        r->split_epoch = stoken;
+        split_res_.push_back(r);
+        for (const std::uint32_t m : r->members) {
+          if (mark != 0 && visit_epoch_[m] != mark) continue;  // boundary
+          if (freeze_epoch_[m] == stoken) continue;
+          freeze_epoch_[m] = stoken;
+          split_flows_.push_back(m);
+        }
+      }
+    }
+    comp.flow_cnt =
+        static_cast<std::uint32_t>(split_flows_.size()) - comp.flow_off;
+    comp.res_cnt =
+        static_cast<std::uint32_t>(split_res_.size()) - comp.res_off;
+    comp.dirty = dirty;
+    comps_.push_back(comp);
+  }
+}
+
+void FlowNetwork::validate_boundary(const CompSpan& comp, std::uint64_t mark,
+                                    std::uint64_t fresh_token) {
   // The combined allocation (fresh rates for local flows, old rates for
   // everyone else) is THE max-min allocation iff it is feasible and every
   // flow has a bottleneck: a saturated resource where its rate is maximal.
   // Local flows got theirs from the fill; flows whose resources were all
   // untouched kept theirs. That leaves the boundary flows sharing a
-  // resource with the local set — exactly the members of comp_resources_.
-  // A boundary flow h on resource r must join the local set when:
+  // resource with the just-filled component. A boundary flow h on resource
+  // r must join the local set when:
   //   * some local flow froze at r at level lambda but h.rate > lambda — h
   //     is hogging a resource the local flow is entitled to grow into;
   //   * h's own stored bottleneck is r, but r is no longer saturated (h
   //     could grow) or h is no longer maximal there (h lost its bottleneck).
-  // A boundary flow whose bottleneck lies outside comp_resources_ is
-  // untouched by construction, and its bottleneck is checked when that
-  // resource's turn comes if it is inside.
+  // A boundary flow whose bottleneck lies outside the component is
+  // untouched by construction. Components that did not gain a flow this
+  // round are skipped entirely: their local rates did not change, their
+  // boundary flows' rates cannot have changed either (a flow local to one
+  // component is never boundary to another — sharing a resource would merge
+  // the components), so every verdict from the round they were filled
+  // still stands.
   //
   // The per-member conditions only reference per-resource aggregates that
-  // fill_prepare (boundary side) and fill_exact (local side) maintained, so
+  // fill_prepare (boundary side) and the fill (local side) maintained, so
   // each resource is gated in O(1) first: if no boundary rate exceeds the
   // local freeze level and no boundary flow can have lost its bottleneck
   // here, no member of r can trigger and the member scan is skipped. In
   // steady state (all rates equal, everything saturated) every gate fails
   // and validation costs O(resources), not O(membership).
-  for (Resource* r : comp_resources_) {
+  Resource* const* res = split_res_.data() + comp.res_off;
+  for (std::uint32_t ri = 0; ri < comp.res_cnt; ++ri) {
+    Resource* r = res[ri];
     if (r->bmem_cnt == 0) continue;  // purely local: nothing to expand
     const double usage = r->usage_b + r->usage_local;
     const bool saturated = usage >= r->cap * (1.0 - kExpandTol);
     const double max_rate = std::max(r->max_b, r->max_local);
     // Every local flow bottlenecked at r froze exactly at its saturation
     // level, so the old max-over-scratch scan reduces to sat_lambda.
-    const double lambda_local = r->sat_fill == fill ? r->sat_lambda : -1.0;
+    const double lambda_local =
+        r->sat_fill == comp.fill ? r->sat_lambda : -1.0;
     // Condition 1 needs a boundary rate strictly above lambda_local;
     // condition 2 needs a boundary flow bottlenecked at r (bn_count
     // over-approximates: it counts local flows' previous bottlenecks too)
@@ -383,6 +443,7 @@ void FlowNetwork::validate_boundary(std::uint64_t mark, std::uint64_t fill) {
       }
       if (expand) {
         visit_epoch_[slot] = mark;
+        fresh_epoch_[slot] = fresh_token;
         comp_flows_.push_back(slot);
       }
     }
@@ -410,19 +471,23 @@ void FlowNetwork::reallocate_dirty() {
       ++counters_.reallocations;
       ++counters_.full_recomputes;
       counters_.flows_touched += comp_flows_.size();
-      counters_.max_component =
-          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
-      fill_with_memo(comp_flows_, comp_resources_, 0);
+      const std::uint64_t fresh = ++epoch_;
+      for (const std::uint32_t slot : comp_flows_)
+        fresh_epoch_[slot] = fresh;
+      split_components(0, fresh);
+      fill_dirty_components(0);
       apply_rates(comp_flows_);
     }
   } else {
     // Local set: the flows actually on a changed resource. Everyone else
     // starts out as a fixed-rate boundary.
     const std::uint64_t mark = ++epoch_;
+    std::uint64_t fresh = ++epoch_;
     for (Resource* seed : dirty_seeds_) {
       for (const std::uint32_t slot : seed->members) {
         if (visit_epoch_[slot] == mark) continue;
         visit_epoch_[slot] = mark;
+        fresh_epoch_[slot] = fresh;
         comp_flows_.push_back(slot);
       }
     }
@@ -445,21 +510,44 @@ void FlowNetwork::reallocate_dirty() {
           comp_resources_.push_back(r);
         }
       }
-      const std::uint64_t fill = fill_with_memo(comp_flows_, comp_resources_, mark);
+      // Split into connected components; refill (and later revalidate)
+      // only the components that gained a flow this round — everyone
+      // else's scratch rates, aggregates and verdicts stand. Small
+      // first-round sets skip the BFS and fill as one pseudo-component:
+      // a single bottleneck elimination over a disconnected span is still
+      // exact (each component freezes at its own saturations; the shared
+      // rising level only interleaves them), and none of the split's
+      // payoffs (dirty skip, hierarchical solve, parallel dispatch)
+      // engage at this size. Expansion rounds always split so components
+      // that gained no flow keep their round-one rates untouched.
+      if (iter == 0 && comp_flows_.size() < kSplitMinFlows) {
+        split_flows_.assign(comp_flows_.begin(), comp_flows_.end());
+        split_res_.assign(comp_resources_.begin(), comp_resources_.end());
+        comps_.clear();
+        CompSpan comp;
+        comp.flow_cnt = static_cast<std::uint32_t>(split_flows_.size());
+        comp.res_cnt = static_cast<std::uint32_t>(split_res_.size());
+        comp.dirty = true;  // every executed round added a flow
+        comps_.push_back(comp);
+      } else {
+        split_components(mark, fresh);
+      }
+      fill_dirty_components(mark);
       const std::size_t before = comp_flows_.size();
-      validate_boundary(mark, fill);
+      const std::uint64_t next_fresh = ++epoch_;
+      for (const CompSpan& comp : comps_)
+        if (comp.dirty) validate_boundary(comp, mark, next_fresh);
       if (comp_flows_.size() == before) {
         converged = true;
         break;
       }
       ++counters_.expand_rounds;
+      fresh = next_fresh;
     }
 
     if (converged) {
       ++counters_.reallocations;
       counters_.flows_touched += comp_flows_.size();
-      counters_.max_component =
-          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
       apply_rates(comp_flows_);
     } else {
       // Expansion kept growing: give up on locality and recompute the whole
@@ -486,9 +574,11 @@ void FlowNetwork::reallocate_dirty() {
       }
       ++counters_.reallocations;
       counters_.flows_touched += comp_flows_.size();
-      counters_.max_component =
-          std::max<std::uint64_t>(counters_.max_component, comp_flows_.size());
-      fill_with_memo(comp_flows_, comp_resources_, 0);
+      const std::uint64_t fresh2 = ++epoch_;
+      for (const std::uint32_t slot : comp_flows_)
+        fresh_epoch_[slot] = fresh2;
+      split_components(0, fresh2);
+      fill_dirty_components(0);
       apply_rates(comp_flows_);
     }
   }
@@ -508,24 +598,32 @@ void FlowNetwork::reallocate_dirty() {
 
 // ---------------------------------------------------- exact bottleneck fill --
 
-std::uint64_t FlowNetwork::fill_prepare(
-    const std::vector<std::uint32_t>& comp_flows,
-    const std::vector<Resource*>& comp_resources, std::uint64_t local_mark) {
+std::uint64_t FlowNetwork::fill_prepare(CompSpan& comp,
+                                        std::uint64_t local_mark) {
   const std::uint64_t fill = ++epoch_;
+  comp.fill = fill;
+  comp.has_pair = false;
+  comp.has_coupling = false;
+  Resource* const* res = split_res_.data() + comp.res_off;
   std::uint32_t ordinal = 0;
-  if (local_mark != 0) {
-    // One pass over each member list: split it into local/boundary arena
-    // slices, subtract boundary rates from capacity, and collect the
-    // boundary-side validation aggregates.
-    local_arena_.clear();
-    boundary_arena_.clear();
-    for (Resource* r : comp_resources) {
-      assert(!r->members.empty());
-      double rem = r->cap;
-      double usage_b = 0.0, max_b = 0.0;
-      double min_b = std::numeric_limits<double>::infinity();
-      r->lmem_off = static_cast<std::uint32_t>(local_arena_.size());
-      r->bmem_off = static_cast<std::uint32_t>(boundary_arena_.size());
+  // One pass over each member list: split it into local/boundary arena
+  // slices, subtract boundary rates from capacity, and collect the
+  // boundary-side validation aggregates. With local_mark 0 every member is
+  // local and the boundary side stays empty.
+  for (std::uint32_t ri = 0; ri < comp.res_cnt; ++ri) {
+    Resource* r = res[ri];
+    assert(!r->members.empty());
+    if (r->kind == Resource::Kind::kPair)
+      comp.has_pair = true;
+    else if (r->kind == Resource::Kind::kRackUp ||
+             r->kind == Resource::Kind::kRackDown)
+      comp.has_coupling = true;
+    double rem = r->cap;
+    double usage_b = 0.0, max_b = 0.0;
+    double min_b = std::numeric_limits<double>::infinity();
+    r->lmem_off = static_cast<std::uint32_t>(local_arena_.size());
+    r->bmem_off = static_cast<std::uint32_t>(boundary_arena_.size());
+    if (local_mark != 0) {
       for (const std::uint32_t slot : r->members) {
         if (visit_epoch_[slot] == local_mark) {
           local_arena_.push_back(slot);
@@ -538,109 +636,106 @@ std::uint64_t FlowNetwork::fill_prepare(
           boundary_arena_.push_back(slot);
         }
       }
-      r->lmem_cnt =
-          static_cast<std::uint32_t>(local_arena_.size()) - r->lmem_off;
-      r->bmem_cnt =
-          static_cast<std::uint32_t>(boundary_arena_.size()) - r->bmem_off;
-      if (rem < 0.0) rem = 0.0;
-      assert(r->lmem_cnt > 0 && "every local resource carries a local flow");
-      r->rem = rem;
-      r->last_lambda = 0.0;
-      r->live = r->lmem_cnt;
-      r->fill_epoch = fill;
-      r->comp_index = ordinal++;
-      r->usage_b = usage_b;
-      r->max_b = max_b;
-      r->min_b = min_b;
-      r->usage_local = 0.0;
-      r->max_local = 0.0;
+    } else {
+      local_arena_.insert(local_arena_.end(), r->members.begin(),
+                          r->members.end());
     }
-  } else {
-    for (Resource* r : comp_resources) {
-      assert(!r->members.empty());
-      r->rem = r->cap;
-      r->last_lambda = 0.0;
-      r->live = static_cast<std::uint32_t>(r->members.size());
-      r->fill_epoch = fill;
-      r->comp_index = ordinal++;
-      r->lmem_cnt = 0;  // fill_exact walks members directly
-    }
+    r->lmem_cnt =
+        static_cast<std::uint32_t>(local_arena_.size()) - r->lmem_off;
+    r->bmem_cnt =
+        static_cast<std::uint32_t>(boundary_arena_.size()) - r->bmem_off;
+    if (rem < 0.0) rem = 0.0;
+    assert(r->lmem_cnt > 0 && "every local resource carries a local flow");
+    r->rem = rem;
+    r->last_lambda = 0.0;
+    r->live = r->lmem_cnt;
+    r->fill_epoch = fill;
+    r->comp_index = ordinal++;
+    r->usage_b = usage_b;
+    r->max_b = max_b;
+    r->min_b = min_b;
+    r->usage_local = 0.0;
+    r->max_local = 0.0;
   }
-  (void)comp_flows;
   return fill;
 }
 
-void FlowNetwork::res_heap_sift_up(std::uint32_t pos) {
-  Resource* r = res_heap_[pos];
+void FlowNetwork::res_heap_sift_up(std::vector<Resource*>& heap,
+                                   std::uint32_t pos) {
+  Resource* r = heap[pos];
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) / 2;
-    if (!res_heap_less(r, res_heap_[parent])) break;
-    res_heap_[pos] = res_heap_[parent];
-    res_heap_[pos]->fill_pos = pos;
+    if (!res_heap_less(r, heap[parent])) break;
+    heap[pos] = heap[parent];
+    heap[pos]->fill_pos = pos;
     pos = parent;
   }
-  res_heap_[pos] = r;
+  heap[pos] = r;
   r->fill_pos = pos;
 }
 
-void FlowNetwork::res_heap_sift_down(std::uint32_t pos) {
-  const auto size = static_cast<std::uint32_t>(res_heap_.size());
-  Resource* r = res_heap_[pos];
+void FlowNetwork::res_heap_sift_down(std::vector<Resource*>& heap,
+                                     std::uint32_t pos) {
+  const auto size = static_cast<std::uint32_t>(heap.size());
+  Resource* r = heap[pos];
   while (true) {
     std::uint32_t child = 2 * pos + 1;
     if (child >= size) break;
-    if (child + 1 < size &&
-        res_heap_less(res_heap_[child + 1], res_heap_[child]))
+    if (child + 1 < size && res_heap_less(heap[child + 1], heap[child]))
       ++child;
-    if (!res_heap_less(res_heap_[child], r)) break;
-    res_heap_[pos] = res_heap_[child];
-    res_heap_[pos]->fill_pos = pos;
+    if (!res_heap_less(heap[child], r)) break;
+    heap[pos] = heap[child];
+    heap[pos]->fill_pos = pos;
     pos = child;
   }
-  res_heap_[pos] = r;
+  heap[pos] = r;
   r->fill_pos = pos;
 }
 
-void FlowNetwork::res_heap_remove(Resource* r) {
+void FlowNetwork::res_heap_remove(std::vector<Resource*>& heap, Resource* r) {
   const std::uint32_t pos = r->fill_pos;
-  Resource* last = res_heap_.back();
-  res_heap_.pop_back();
+  Resource* last = heap.back();
+  heap.pop_back();
   r->fill_pos = kNone;
   if (last != r) {
-    res_heap_[pos] = last;
+    heap[pos] = last;
     last->fill_pos = pos;
-    res_heap_sift_down(pos);
-    res_heap_sift_up(last->fill_pos);
+    res_heap_sift_down(heap, pos);
+    res_heap_sift_up(heap, last->fill_pos);
   }
 }
 
-void FlowNetwork::fill_exact(const std::vector<std::uint32_t>& comp_flows,
-                             const std::vector<Resource*>& comp_resources,
-                             bool count, std::uint64_t local_mark,
-                             std::uint64_t fill) {
+std::uint64_t FlowNetwork::fill_exact(const CompSpan& comp,
+                                      std::vector<Resource*>& heap) const {
   // --- Max-min fairness by exact bottleneck elimination. Every resource
   // sits in an indexed min-heap keyed by its estimated exhaust level
-  // lambda + rem/live (ties by id). Each round pops the true minimum — the
-  // next resource to saturate — freezes its remaining participating flows
-  // at the fair share, and updates each neighbouring resource's residual
-  // capacity/degree and heap position in place. Unlike the progressive
-  // lazy-heap filling (water_fill_progressive below, kept as the oracle),
-  // no stale entries exist: the number of pops equals the number of
-  // saturating resources, so a fill is O((F + R) log R).
+  // lambda + rem/live (ties by component ordinal, so the fill is a pure
+  // function of the component shape). Each round pops the true minimum —
+  // the next resource to saturate — freezes its remaining participating
+  // flows at the fair share, and updates each neighbouring resource's
+  // residual capacity/degree and heap position in place. Unlike the
+  // progressive lazy-heap filling (water_fill_progressive below, kept as
+  // the oracle), no stale entries exist: the number of pops equals the
+  // number of saturating resources, so a fill is O((F + R) log R).
   //
-  // With a nonzero local_mark, only flows stamped with it are filled; the
-  // other members of each resource are boundary flows held at their
-  // current rates, already subtracted from capacity by fill_prepare.
-  res_heap_.clear();
-  for (Resource* r : comp_resources) {
+  // Boundary flows were already subtracted from capacity by fill_prepare
+  // and the local arena slices hold exactly the local members, so no
+  // boundary member is even visited. All mutable state is the component's
+  // own (its resources, its flows' slot-indexed scratch) plus the caller's
+  // heap — concurrent fills of distinct components never touch the same
+  // word, which is what set_fill_jobs relies on.
+  Resource* const* res = split_res_.data() + comp.res_off;
+  const std::uint64_t fill = comp.fill;
+  heap.clear();
+  for (std::uint32_t ri = 0; ri < comp.res_cnt; ++ri) {
+    Resource* r = res[ri];
     r->fill_key = r->rem / r->live;
-    r->fill_pos = static_cast<std::uint32_t>(res_heap_.size());
-    res_heap_.push_back(r);
+    r->fill_pos = ri;
+    heap.push_back(r);
   }
-  if (res_heap_.size() > 1) {
-    for (auto i = static_cast<std::int64_t>(res_heap_.size() / 2) - 1; i >= 0;
-         --i)
-      res_heap_sift_down(static_cast<std::uint32_t>(i));
+  if (heap.size() > 1) {
+    for (auto i = static_cast<std::int64_t>(heap.size() / 2) - 1; i >= 0; --i)
+      res_heap_sift_down(heap, static_cast<std::uint32_t>(i));
   }
 
   double lambda = 0.0;
@@ -650,11 +745,12 @@ void FlowNetwork::fill_exact(const std::vector<std::uint32_t>& comp_flows,
     r->last_lambda = lambda;
   };
 
-  std::size_t unfrozen = comp_flows.size();
-  while (unfrozen > 0 && !res_heap_.empty()) {
-    if (count) ++counters_.filling_rounds;
-    Resource* r = res_heap_.front();
-    res_heap_remove(r);
+  std::uint64_t pops = 0;
+  std::size_t unfrozen = comp.flow_cnt;
+  while (unfrozen > 0 && !heap.empty()) {
+    ++pops;
+    Resource* r = heap.front();
+    res_heap_remove(heap, r);
     assert(r->live > 0);
     refresh(r);
     const double exhaust = lambda + r->rem / r->live;
@@ -664,15 +760,8 @@ void FlowNetwork::fill_exact(const std::vector<std::uint32_t>& comp_flows,
     r->sat_lambda = lambda;
     r->sat_fill = fill;
     // Freeze every remaining participating flow crossing this resource.
-    // For a local fill the arena slice holds exactly the local members, so
-    // no boundary member is even visited.
-    const std::uint32_t* fmem = local_mark != 0
-                                    ? local_arena_.data() + r->lmem_off
-                                    : r->members.data();
-    const std::uint32_t fcnt =
-        local_mark != 0 ? r->lmem_cnt
-                        : static_cast<std::uint32_t>(r->members.size());
-    for (std::uint32_t m = 0; m < fcnt; ++m) {
+    const std::uint32_t* fmem = local_arena_.data() + r->lmem_off;
+    for (std::uint32_t m = 0; m < r->lmem_cnt; ++m) {
       const std::uint32_t slot = fmem[m];
       if (freeze_epoch_[slot] == fill) continue;
       freeze_epoch_[slot] = fill;
@@ -690,45 +779,585 @@ void FlowNetwork::fill_exact(const std::vector<std::uint32_t>& comp_flows,
         r2->max_local = lambda;  // freeze levels are non-decreasing
         if (r2 == r) continue;
         if (r2->live == 0) {
-          // Drained without saturating: all its participants froze
-          // elsewhere. Out of the heap — it can never pop.
-          res_heap_remove(r2);
+          // Drained: all its participants froze elsewhere. Out of the
+          // heap — it can never pop. On *coupled* components the
+          // saturation marks must additionally be canonical — a function
+          // of the final rates, not of elimination order: on an exact
+          // level tie a resource can drain here (its last member frozen
+          // by the tied peer) under one pop order and saturate under
+          // another, and the hierarchical solver routinely takes the
+          // other order; a mark the two solvers disagree on makes
+          // validate_boundary skip expansions after a hier fill and
+          // diverge on a later realloc. So an exhausted resource is
+          // marked whether it popped or drained, at the level of its
+          // highest member rate (== the pop level when it did pop);
+          // max_local is final here because this freeze was its last.
+          // Uncoupled components are exact-only territory — the pop
+          // order is deterministic and self-consistent there, and
+          // marking every drained-at-cap NIC of a jittered pipeline
+          // floods may_hog with near-tie expansions (2x wall at the
+          // 16384-node Fig 8 point), so they keep pop-only marks.
+          res_heap_remove(heap, r2);
+          if (comp.has_coupling && r2->usage_b + r2->usage_local >=
+                                       r2->cap * (1.0 - kExpandTol)) {
+            r2->sat_lambda = r2->max_local;
+            r2->sat_fill = fill;
+          }
         } else {
           r2->fill_key = lambda + r2->rem / r2->live;
           const std::uint32_t pos = r2->fill_pos;
-          res_heap_sift_down(pos);
-          res_heap_sift_up(r2->fill_pos);
+          res_heap_sift_down(heap, pos);
+          res_heap_sift_up(heap, r2->fill_pos);
         }
       }
     }
     assert(r->live == 0);
   }
   assert(unfrozen == 0 && "every flow crosses a finite resource");
+  return pops;
+}
+
+// ---------------------------------------------------- hierarchical solver --
+
+
+bool FlowNetwork::fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
+                                    std::uint64_t* iters) const {
+  // Decompose an oversubscribed-TOR component along its structure: interior
+  // NIC resources (kTx/kRx) form per-rack *islands* coupled only through
+  // the kRackUp/kRackDown fabric resources. Each island is solved
+  // independently by a *capped* bottleneck elimination — a member flow is
+  // additionally bounded by the levels the rest of the network granted it
+  // in the previous iteration — and each coupling resource recomputes its
+  // single-resource fair share over its capped members; the loop repeats
+  // until every advertised level is stable. This is the classic
+  // bottleneck-ordering fixed point (Bertsekas–Gallager style): after k
+  // iterations the k lowest global bottleneck levels are final, so the
+  // iteration count is bounded by the number of distinct levels, a handful
+  // in practice. DESIGN.md §"Hierarchical water-fill" has the argument and
+  // the fallback conditions.
+  //
+  // Everything here is derived from the component *shape* (ordinals,
+  // span/discovery order) — never from absolute ids — so a memoized
+  // hierarchical fill replays bit-for-bit on an isomorphic component.
+  // Failure (no decomposable structure, unexpected shape, non-convergence)
+  // returns false with the prepared resource state untouched; the caller
+  // falls back to the flat exact fill.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
+  Resource* const* res = split_res_.data() + comp.res_off;
+  const std::uint32_t nf = comp.flow_cnt;
+  const std::uint32_t nr = comp.res_cnt;
+
+  const auto is_coupling = [](const Resource* r) {
+    return r->kind == Resource::Kind::kRackUp ||
+           r->kind == Resource::Kind::kRackDown;
+  };
+
+  // --- Islands: union-find over interior ordinals. A flow crossing no
+  // coupling resource welds its interiors together (an intra-rack flow's tx
+  // and rx); a fabric-crossing flow does not — it participates in each
+  // touched island as a capped member.
+  std::vector<std::uint32_t> uf(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) uf[i] = i;
+  const auto find = [&uf](std::uint32_t x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    const Flow& f = slab_[flows[i]];
+    bool crosses = false;
+    for (std::uint32_t j = 0; j < f.res_count; ++j)
+      if (is_coupling(f.res[j])) {
+        crosses = true;
+        break;
+      }
+    if (crosses) continue;
+    std::uint32_t root = kNone;
+    for (std::uint32_t j = 0; j < f.res_count; ++j) {
+      const std::uint32_t o = find(f.res[j]->comp_index);
+      if (root == kNone)
+        root = o;
+      else if (o != root)
+        uf[o] = root;
+    }
+  }
+  // Island numbering in first-occurrence (ordinal) order — shape-canonical.
+  std::vector<std::uint32_t> island_of(nr, kNone);
+  std::vector<std::uint32_t> island_id(nr, kNone);
+  std::uint32_t nisl = 0;
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    if (is_coupling(res[i])) continue;
+    assert(res[i]->kind == Resource::Kind::kTx ||
+           res[i]->kind == Resource::Kind::kRx);
+    const std::uint32_t root = find(i);
+    if (island_id[root] == kNone) island_id[root] = nisl++;
+    island_of[i] = island_id[root];
+  }
+  if (nisl < 2) return false;  // one island + couplings: nothing to gain
+
+  // --- Per-flow incidence: up to two interior sides (tx rack, rx rack; an
+  // intra-rack flow has one welded side) and up to two coupling resources.
+  struct Side {
+    std::uint32_t isl = 0;
+    std::uint32_t ires[2] = {0, 0};
+    std::uint32_t mpos = 0;  // position in the island member arena
+    std::uint8_t cnt = 0;
+  };
+  struct HFlow {
+    Side side[2];
+    std::uint32_t cpl[2] = {0, 0};
+    std::uint8_t nsides = 0;
+    std::uint8_t ncpl = 0;
+  };
+  std::vector<HFlow> hf(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    const Flow& f = slab_[flows[i]];
+    HFlow& h = hf[i];
+    for (std::uint32_t j = 0; j < f.res_count; ++j) {
+      const std::uint32_t ord = f.res[j]->comp_index;
+      if (is_coupling(f.res[j])) {
+        if (h.ncpl == 2) return false;
+        h.cpl[h.ncpl++] = ord;
+        continue;
+      }
+      const std::uint32_t isl = island_of[ord];
+      std::uint8_t s = 0;
+      for (; s < h.nsides; ++s)
+        if (h.side[s].isl == isl) break;
+      if (s == h.nsides) {
+        if (h.nsides == 2) return false;  // unexpected shape
+        h.side[s].isl = isl;
+        ++h.nsides;
+      }
+      if (h.side[s].cnt == 2) return false;
+      h.side[s].ires[h.side[s].cnt++] = ord;
+    }
+    if (h.nsides == 0) return false;
+  }
+
+  // --- Island member arena (flow-span order within each island) and
+  // per-interior-resource member-position lists, both shape-canonical.
+  std::vector<std::uint32_t> ioff(nisl + 1, 0);
+  for (std::uint32_t i = 0; i < nf; ++i)
+    for (std::uint8_t s = 0; s < hf[i].nsides; ++s)
+      ++ioff[hf[i].side[s].isl + 1];
+  std::partial_sum(ioff.begin(), ioff.end(), ioff.begin());
+  const std::uint32_t nmem = ioff[nisl];
+  std::vector<std::uint32_t> mem_flow(nmem);
+  std::vector<std::uint8_t> mem_side(nmem);
+  {
+    std::vector<std::uint32_t> cur(ioff.begin(), ioff.end() - 1);
+    for (std::uint32_t i = 0; i < nf; ++i)
+      for (std::uint8_t s = 0; s < hf[i].nsides; ++s) {
+        const std::uint32_t p = cur[hf[i].side[s].isl]++;
+        mem_flow[p] = i;
+        mem_side[p] = s;
+        hf[i].side[s].mpos = p;
+      }
+  }
+  std::vector<std::uint32_t> roff(nr + 1, 0);
+  for (std::uint32_t p = 0; p < nmem; ++p) {
+    const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+    for (std::uint8_t c = 0; c < sd.cnt; ++c) ++roff[sd.ires[c] + 1];
+  }
+  std::partial_sum(roff.begin(), roff.end(), roff.begin());
+  std::vector<std::uint32_t> rmem(roff[nr]);
+  {
+    std::vector<std::uint32_t> cur(roff.begin(), roff.end() - 1);
+    for (std::uint32_t p = 0; p < nmem; ++p) {
+      const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+      for (std::uint8_t c = 0; c < sd.cnt; ++c) rmem[cur[sd.ires[c]]++] = p;
+    }
+  }
+  // Per-island interior resource lists, ordinal order.
+  std::vector<std::uint32_t> irl_off(nisl + 1, 0);
+  for (std::uint32_t i = 0; i < nr; ++i)
+    if (island_of[i] != kNone) ++irl_off[island_of[i] + 1];
+  std::partial_sum(irl_off.begin(), irl_off.end(), irl_off.begin());
+  std::vector<std::uint32_t> irl(irl_off[nisl]);
+  {
+    std::vector<std::uint32_t> cur(irl_off.begin(), irl_off.end() - 1);
+    for (std::uint32_t i = 0; i < nr; ++i)
+      if (island_of[i] != kNone) irl[cur[island_of[i]]++] = i;
+  }
+  // Coupling ordinals and slot -> span-index map for their member lists.
+  std::vector<std::uint32_t> couplings;
+  for (std::uint32_t i = 0; i < nr; ++i)
+    if (is_coupling(res[i])) couplings.push_back(i);
+  std::vector<std::uint32_t> idx_of_slot(slab_.size(), kNone);
+  for (std::uint32_t i = 0; i < nf; ++i) idx_of_slot[flows[i]] = i;
+
+  // --- Iteration state. Resource scratch is indexed by ordinal; islands
+  // are resource-disjoint, so the arrays are shared across island solves.
+  std::vector<double> lvl(nmem, kInf), prev_lvl(nmem, kInf);
+  std::vector<double> cap(nmem);
+  std::vector<std::uint32_t> bnm(nmem, kNone);  // freezing ordinal / kNone
+  std::vector<std::uint8_t> frozen(nmem, 0);
+  // Per-island-resource saturation level this iteration (inf: the resource
+  // ended the island solve with capacity to spare).
+  std::vector<double> rlam(nr, kInf);
+  std::vector<double> lam(nr, kInf), lam_new(nr, kInf);
+  std::vector<std::uint8_t> lam_sat(nr, 0);
+  std::vector<double> rem(nr), lastl(nr), hkey(nr);
+  std::vector<std::uint32_t> live(nr), hpos(nr, kNone);
+  std::vector<std::uint32_t> hvec;
+  hvec.reserve(nr);
+  std::vector<std::uint32_t> order;
+  std::vector<std::pair<double, std::uint32_t>> ccaps;
+
+  const auto hless = [&hkey](std::uint32_t a, std::uint32_t b) {
+    if (hkey[a] != hkey[b]) return hkey[a] < hkey[b];
+    return a < b;
+  };
+  const auto hsift_up = [&](std::uint32_t pos) {
+    const std::uint32_t v = hvec[pos];
+    while (pos > 0) {
+      const std::uint32_t parent = (pos - 1) / 2;
+      if (!hless(v, hvec[parent])) break;
+      hvec[pos] = hvec[parent];
+      hpos[hvec[pos]] = pos;
+      pos = parent;
+    }
+    hvec[pos] = v;
+    hpos[v] = pos;
+  };
+  const auto hsift_down = [&](std::uint32_t pos) {
+    const auto size = static_cast<std::uint32_t>(hvec.size());
+    const std::uint32_t v = hvec[pos];
+    while (true) {
+      std::uint32_t child = 2 * pos + 1;
+      if (child >= size) break;
+      if (child + 1 < size && hless(hvec[child + 1], hvec[child])) ++child;
+      if (!hless(hvec[child], v)) break;
+      hvec[pos] = hvec[child];
+      hpos[hvec[pos]] = pos;
+      pos = child;
+    }
+    hvec[pos] = v;
+    hpos[v] = pos;
+  };
+  const auto hremove = [&](std::uint32_t ord) {
+    const std::uint32_t pos = hpos[ord];
+    const std::uint32_t last = hvec.back();
+    hvec.pop_back();
+    hpos[ord] = kNone;
+    if (last != ord) {
+      hvec[pos] = last;
+      hpos[last] = pos;
+      hsift_down(pos);
+      hsift_up(hpos[last]);
+    }
+  };
+
+  std::uint64_t pop_count = 0;
+  bool converged = false;
+  std::size_t it = 0;
+  double lambda = 0.0;
+  const auto refresh = [&](std::uint32_t ord) {
+    rem[ord] -= (lambda - lastl[ord]) * live[ord];
+    if (rem[ord] < 0.0) rem[ord] = 0.0;
+    lastl[ord] = lambda;
+  };
+  // Detach a freezing member from its island resources: capacity consumed,
+  // degree down, heap key up (skip: the resource doing the freezing).
+  const auto detach = [&](std::uint32_t p, std::uint32_t skip) {
+    const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+    for (std::uint8_t c = 0; c < sd.cnt; ++c) {
+      const std::uint32_t o = sd.ires[c];
+      if (o == skip) continue;
+      refresh(o);
+      assert(live[o] > 0);
+      --live[o];
+      if (live[o] == 0) {
+        hremove(o);
+      } else {
+        hkey[o] = lambda + rem[o] / live[o];
+        hsift_down(hpos[o]);
+        hsift_up(hpos[o]);
+      }
+    }
+  };
+
+  for (; it < kHierMaxIters; ++it) {
+    // Caps from the previous iteration's advertised levels (Jacobi across
+    // islands, so island solves are order-independent).
+    for (std::uint32_t p = 0; p < nmem; ++p) {
+      const HFlow& h = hf[mem_flow[p]];
+      double c = kInf;
+      for (std::uint8_t s = 0; s < h.nsides; ++s) {
+        if (h.side[s].mpos == p) continue;
+        c = std::min(c, prev_lvl[h.side[s].mpos]);
+      }
+      for (std::uint8_t k = 0; k < h.ncpl; ++k)
+        c = std::min(c, lam[h.cpl[k]]);
+      cap[p] = c;
+    }
+    // Island solves: capped bottleneck elimination per island.
+    for (std::uint32_t isl = 0; isl < nisl; ++isl) {
+      hvec.clear();
+      for (std::uint32_t k = irl_off[isl]; k < irl_off[isl + 1]; ++k) {
+        const std::uint32_t ord = irl[k];
+        rem[ord] = res[ord]->rem;
+        live[ord] = res[ord]->live;
+        lastl[ord] = 0.0;
+        rlam[ord] = kInf;
+        hkey[ord] = rem[ord] / live[ord];
+        hpos[ord] = static_cast<std::uint32_t>(hvec.size());
+        hvec.push_back(ord);
+      }
+      if (hvec.size() > 1)
+        for (auto i = static_cast<std::int64_t>(hvec.size() / 2) - 1; i >= 0;
+             --i)
+          hsift_down(static_cast<std::uint32_t>(i));
+      const std::uint32_t mbeg = ioff[isl], mend = ioff[isl + 1];
+      order.resize(mend - mbeg);
+      std::iota(order.begin(), order.end(), mbeg);
+      std::sort(order.begin(), order.end(),
+                [&cap](std::uint32_t a, std::uint32_t b) {
+                  if (cap[a] != cap[b]) return cap[a] < cap[b];
+                  return a < b;
+                });
+      for (std::uint32_t p = mbeg; p < mend; ++p) frozen[p] = 0;
+      std::uint32_t unf = mend - mbeg;
+      std::size_t ci = 0;
+      lambda = 0.0;
+      while (unf > 0) {
+        while (ci < order.size() && frozen[order[ci]]) ++ci;
+        const double cnext = ci < order.size() ? cap[order[ci]] : kInf;
+        if (hvec.empty()) {
+          if (cnext == kInf) return false;  // degenerate: nothing binds
+        }
+        if (hvec.empty() || cnext <= hkey[hvec.front()]) {
+          // External constraint binds first: freeze at the cap.
+          const std::uint32_t p = order[ci++];
+          lambda = cnext;
+          frozen[p] = 1;
+          lvl[p] = cnext;
+          bnm[p] = kNone;
+          --unf;
+          detach(p, kNone);
+        } else {
+          // This island resource saturates next: freeze its remaining
+          // members at the fair share.
+          ++pop_count;
+          const std::uint32_t ord = hvec.front();
+          hremove(ord);
+          refresh(ord);
+          assert(live[ord] > 0);
+          lambda += rem[ord] / live[ord];
+          rem[ord] = 0.0;
+          lastl[ord] = lambda;
+          rlam[ord] = lambda;
+          for (std::uint32_t k = roff[ord]; k < roff[ord + 1]; ++k) {
+            const std::uint32_t p = rmem[k];
+            if (frozen[p]) continue;
+            frozen[p] = 1;
+            lvl[p] = lambda;
+            bnm[p] = ord;
+            --unf;
+            detach(p, ord);
+          }
+          live[ord] = 0;
+        }
+      }
+      // Advertised level = the constraint THIS island imposes on the
+      // member: the lowest saturation level among its interior resources,
+      // inf when none saturated. A cap-frozen member must never advertise
+      // the cap itself — that echoes the *other* side's stale value back
+      // at it, and two cap-frozen sides of one flow then mirror each
+      // other's levels in a permanent two-cycle instead of converging.
+      // (The saturation levels are still computed under the caps: a
+      // capped member only consumes its cap here, which is exactly its
+      // consumption at the fixed point.)
+      for (std::uint32_t p = mbeg; p < mend; ++p) {
+        if (bnm[p] != kNone) continue;  // frozen by a saturation: exact
+        const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+        double best = kInf;
+        std::uint32_t bord = kNone;
+        for (std::uint8_t c = 0; c < sd.cnt; ++c)
+          if (rlam[sd.ires[c]] < best) {
+            best = rlam[sd.ires[c]];
+            bord = sd.ires[c];
+          }
+        lvl[p] = best;
+        bnm[p] = bord;
+      }
+    }
+    // Coupling fair shares over members capped by their fresh island levels
+    // and the other coupling's previous share (the exact water level of a
+    // single resource with per-member caps).
+    for (const std::uint32_t ord : couplings) {
+      const Resource* r = res[ord];
+      const std::uint32_t* lm = local_arena_.data() + r->lmem_off;
+      ccaps.clear();
+      for (std::uint32_t k = 0; k < r->lmem_cnt; ++k) {
+        const std::uint32_t i = idx_of_slot[lm[k]];
+        assert(i != kNone);
+        const HFlow& h = hf[i];
+        double c = kInf;
+        for (std::uint8_t s = 0; s < h.nsides; ++s)
+          c = std::min(c, lvl[h.side[s].mpos]);
+        for (std::uint8_t q = 0; q < h.ncpl; ++q)
+          if (h.cpl[q] != ord) c = std::min(c, lam[h.cpl[q]]);
+        ccaps.emplace_back(c, k);
+      }
+      std::sort(ccaps.begin(), ccaps.end());
+      double C = r->rem;
+      auto lv = static_cast<std::uint32_t>(ccaps.size());
+      double l = kInf;
+      bool sat = false;
+      for (const auto& [c, k] : ccaps) {
+        (void)k;
+        if (C < 0.0) C = 0.0;
+        if (c * lv >= C) {
+          l = C / lv;
+          sat = true;
+          break;
+        }
+        C -= c;
+        --lv;
+      }
+      lam_new[ord] = l;
+      lam_sat[ord] = sat ? 1 : 0;
+
+    }
+    // Stability of the full advertised state (levels and coupling shares);
+    // a stable state is a fixed point: re-running the deterministic
+    // iteration reproduces it, so stop.
+    bool stable = it > 0;
+    if (stable) {
+      // Careful with infinities: inf == inf is stable (first test), but an
+      // inf <-> finite flip must NOT pass the relative test (inf > inf and
+      // NaN > x both evaluate false).
+      for (std::uint32_t p = 0; p < nmem && stable; ++p) {
+        const double a = prev_lvl[p], b = lvl[p];
+        if (a == b) continue;  // covers inf == inf
+        if (!std::isfinite(a) || !std::isfinite(b) ||
+            std::abs(a - b) > kHierTol * std::max(std::abs(a), std::abs(b)))
+          stable = false;
+      }
+      for (const std::uint32_t ord : couplings) {
+        const double a = lam[ord], b = lam_new[ord];
+        if (a == b) continue;
+        if (!std::isfinite(a) || !std::isfinite(b) ||
+            std::abs(a - b) > kHierTol * std::max(std::abs(a), std::abs(b))) {
+          stable = false;
+          break;
+        }
+      }
+    }
+    prev_lvl = lvl;
+    for (const std::uint32_t ord : couplings) lam[ord] = lam_new[ord];
+    if (stable) {
+      ++it;
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) return false;
+
+  // --- Finalize: each flow's rate is the lowest *justified* level among
+  // its constraints — a side frozen by an island saturation, or a saturated
+  // coupling share. (A cap-frozen side mirrors one of those through the cap
+  // chain; at the fixed point the values agree to within the stability
+  // tolerance, and picking the justified one keeps every flow bottlenecked
+  // at a saturated resource, which validate_boundary relies on.) Candidate
+  // order is the flow's construction order — shape-canonical — so ties
+  // resolve identically on isomorphic components.
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    const HFlow& h = hf[i];
+    double best = kInf;
+    std::uint32_t bord = kNone;
+    for (std::uint8_t s = 0; s < h.nsides; ++s) {
+      const std::uint32_t p = h.side[s].mpos;
+      if (bnm[p] != kNone && lvl[p] < best) {
+        best = lvl[p];
+        bord = bnm[p];
+      }
+    }
+    for (std::uint8_t q = 0; q < h.ncpl; ++q) {
+      const std::uint32_t ord = h.cpl[q];
+      if (lam_sat[ord] && lam[ord] < best) {
+        best = lam[ord];
+        bord = ord;
+      }
+    }
+    if (bord == kNone || !(best > 0.0) || !std::isfinite(best))
+      return false;  // cannot justify: let the flat fill decide
+    rates_scratch_[flows[i]] = best;
+    bottleneck_scratch_[flows[i]] = res[bord];
+  }
+  // Validation aggregates, same contract as fill_exact: local usage/max per
+  // resource, and the canonical usage-derived saturation mark. Marking only
+  // the resources some flow was *attributed* to is not enough: on a level
+  // tie the attribution is order-dependent, but an exhausted resource that
+  // went unmarked makes validate_boundary skip expansions it needs (its
+  // lambda_local reads as -1), and rates then diverge on a later realloc.
+  for (std::uint32_t ri = 0; ri < nr; ++ri) {
+    Resource* r = res[ri];
+    const std::uint32_t* lm = local_arena_.data() + r->lmem_off;
+    double usage = 0.0, mx = 0.0;
+    for (std::uint32_t k = 0; k < r->lmem_cnt; ++k) {
+      const double v = rates_scratch_[lm[k]];
+      usage += v;
+      if (v > mx) mx = v;
+    }
+    r->usage_local = usage;
+    r->max_local = mx;
+    if (r->usage_b + usage >= r->cap * (1.0 - kExpandTol)) {
+      r->sat_lambda = mx;
+      r->sat_fill = comp.fill;
+    } else if (r->sat_fill == comp.fill) {
+      r->sat_fill = 0;
+    }
+  }
+  *pops = pop_count;
+  *iters = it;
+  return true;
 }
 
 // ------------------------------------------------------- fill memoization --
 
 std::uint64_t FlowNetwork::memo_fingerprint(
-    const std::vector<std::uint32_t>& comp_flows,
-    const std::vector<Resource*>& comp_resources) {
-  // Canonical component description in discovery order: the discovery walk
-  // is deterministic, so a steady-state schedule re-creating the same
-  // component produces the same word sequence. Residual capacities are
-  // compared as raw bit patterns — a hit must reproduce a fresh fill
-  // bit-for-bit, so "close" capacities must not collide.
-  auto& key = memo_key_scratch_;
+    const CompSpan& comp, std::vector<std::uint64_t>& key) const {
+  // Canonical component *shape* in discovery order: resources as (kind,
+  // unfrozen degree, residual-capacity bits), flows as the component
+  // ordinals of the resources they cross. No absolute node or resource ids
+  // — a translated copy of the shape (the same pipeline step on a different
+  // set of node pairs) produces the same key, which is where all the hits
+  // in a steady-state schedule come from. Residual capacities are compared
+  // as raw bit patterns — a hit must reproduce a fresh fill bit-for-bit,
+  // so "close" capacities must not collide.
+  const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
+  Resource* const* res = split_res_.data() + comp.res_off;
   key.clear();
-  key.reserve(2 + 2 * comp_resources.size() + comp_flows.size());
+  key.reserve(2 + 2 * comp.res_cnt + 4 * comp.flow_cnt);
   key.push_back(topo_version_);
-  key.push_back((static_cast<std::uint64_t>(comp_resources.size()) << 32) |
-                comp_flows.size());
-  for (const Resource* r : comp_resources) {
-    key.push_back((static_cast<std::uint64_t>(r->id) << 32) | r->live);
+  key.push_back((static_cast<std::uint64_t>(comp.res_cnt) << 32) |
+                comp.flow_cnt);
+  for (std::uint32_t i = 0; i < comp.res_cnt; ++i) {
+    const Resource* r = res[i];
+    key.push_back((static_cast<std::uint64_t>(r->kind) << 32) | r->live);
     key.push_back(std::bit_cast<std::uint64_t>(r->rem));
   }
-  for (const std::uint32_t slot : comp_flows) {
-    const Flow& f = slab_[slot];
-    key.push_back((static_cast<std::uint64_t>(f.src) << 32) | f.dst);
+  for (std::uint32_t i = 0; i < comp.flow_cnt; ++i) {
+    const Flow& f = slab_[flows[i]];
+    std::uint64_t word = f.res_count;
+    for (std::uint32_t j = 0; j < f.res_count; ++j) {
+      // Ordinals fit in far fewer bits than 12 only for small components;
+      // spill to an extra word when packing would overflow.
+      const std::uint32_t ord = f.res[j]->comp_index;
+      if (word >> 52 || ord >> 12) {
+        key.push_back(word);
+        word = ord;
+      } else {
+        word = (word << 12) | ord;
+      }
+    }
+    key.push_back(word);
   }
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
   for (const std::uint64_t w : key) {
@@ -738,16 +1367,17 @@ std::uint64_t FlowNetwork::memo_fingerprint(
   return h;
 }
 
-FlowNetwork::MemoEntry* FlowNetwork::memo_find(std::uint64_t hash) {
+FlowNetwork::MemoEntry* FlowNetwork::memo_find(
+    std::uint64_t hash, const std::vector<std::uint64_t>& key) {
   const auto it = memo_index_.find(hash);
   if (it == memo_index_.end()) return nullptr;
   MemoEntry& e = memo_entries_[it->second];
-  return e.key == memo_key_scratch_ ? &e : nullptr;
+  return e.key == key ? &e : nullptr;
 }
 
 void FlowNetwork::memo_store(std::uint64_t hash,
-                             const std::vector<std::uint32_t>& comp_flows,
-                             const std::vector<Resource*>& comp_resources) {
+                             std::vector<std::uint64_t>&& key,
+                             const CompSpan& comp) {
   std::uint32_t idx;
   MemoEntry* e;
   if (memo_entries_.size() < kMemoCapacity) {
@@ -763,23 +1393,26 @@ void FlowNetwork::memo_store(std::uint64_t hash,
     e = &memo_entries_[idx];
     memo_index_.erase(e->hash);
   }
-  e->key = memo_key_scratch_;
+  const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
+  Resource* const* res = split_res_.data() + comp.res_off;
+  e->key = std::move(key);
   e->hash = hash;
-  e->rates.resize(comp_flows.size());
-  e->bottlenecks.resize(comp_flows.size());
-  for (std::size_t i = 0; i < comp_flows.size(); ++i) {
-    const std::uint32_t slot = comp_flows[i];
+  e->hier = comp.hier;
+  e->rates.resize(comp.flow_cnt);
+  e->bottlenecks.resize(comp.flow_cnt);
+  for (std::uint32_t i = 0; i < comp.flow_cnt; ++i) {
+    const std::uint32_t slot = flows[i];
     e->rates[i] = rates_scratch_[slot];
     e->bottlenecks[i] = bottleneck_scratch_[slot]->comp_index;
   }
-  e->res_aggregates.resize(3 * comp_resources.size());
-  for (std::size_t i = 0; i < comp_resources.size(); ++i) {
-    const Resource* r = comp_resources[i];
+  e->res_aggregates.resize(3 * comp.res_cnt);
+  for (std::uint32_t i = 0; i < comp.res_cnt; ++i) {
+    const Resource* r = res[i];
     e->res_aggregates[3 * i] = r->usage_local;
     e->res_aggregates[3 * i + 1] = r->max_local;
-    // sat_fill == fill_epoch: popped (saturated) during this fill.
+    // sat_fill == comp.fill: saturated during this fill.
     e->res_aggregates[3 * i + 2] =
-        r->sat_fill == r->fill_epoch
+        r->sat_fill == comp.fill
             ? r->sat_lambda
             : std::numeric_limits<double>::quiet_NaN();
   }
@@ -792,68 +1425,12 @@ void FlowNetwork::memo_clear() {
   memo_cursor_ = 0;
 }
 
-std::uint64_t FlowNetwork::fill_with_memo(
-    const std::vector<std::uint32_t>& comp_flows,
-    const std::vector<Resource*>& comp_resources, std::uint64_t local_mark) {
-  const std::uint64_t fill =
-      fill_prepare(comp_flows, comp_resources, local_mark);
-  if (!memoize_ || memo_auto_off_ || comp_flows.size() < memo_min_flows_) {
-    fill_exact(comp_flows, comp_resources, /*count=*/true, local_mark, fill);
-    return fill;
-  }
-  const std::uint64_t hash = memo_fingerprint(comp_flows, comp_resources);
-  if (MemoEntry* e = memo_find(hash)) {
-    ++counters_.memo_hits;
-    if (cross_check_) {
-      // Replay the fill (uncounted: it is validation, not production work)
-      // and demand the cached vector bit-for-bit — any divergence means the
-      // fingerprint missed state the fill depends on. The replay leaves
-      // rates/bottlenecks/aggregates exactly as the hit would.
-      fill_exact(comp_flows, comp_resources, /*count=*/false, local_mark,
-                 fill);
-      for (std::size_t i = 0; i < comp_flows.size(); ++i) {
-        const std::uint32_t slot = comp_flows[i];
-        if (rates_scratch_[slot] != e->rates[i] ||
-            bottleneck_scratch_[slot] !=
-                comp_resources[e->bottlenecks[i]]) {
-          std::fprintf(stderr,
-                       "FlowNetwork: memoized fill diverged from fresh fill "
-                       "(t=%.9f, comp=%zu flows)\n",
-                       sim_.now(), comp_flows.size());
-          std::abort();
-        }
-      }
-      return fill;
-    }
-    for (std::size_t i = 0; i < comp_flows.size(); ++i) {
-      const std::uint32_t slot = comp_flows[i];
-      rates_scratch_[slot] = e->rates[i];
-      bottleneck_scratch_[slot] = comp_resources[e->bottlenecks[i]];
-    }
-    // Replay the local-side validation aggregates so validate_boundary sees
-    // exactly the state a fresh fill would have left.
-    for (std::size_t i = 0; i < comp_resources.size(); ++i) {
-      Resource* r = comp_resources[i];
-      r->usage_local = e->res_aggregates[3 * i];
-      r->max_local = e->res_aggregates[3 * i + 1];
-      const double lam = e->res_aggregates[3 * i + 2];
-      if (!std::isnan(lam)) {
-        r->sat_lambda = lam;
-        r->sat_fill = fill;
-      }
-      // NaN: drained unsaturated; sat_fill keeps an older epoch and can
-      // never equal the strictly increasing current fill.
-    }
-    return fill;
-  }
-  ++counters_.memo_misses;
-  fill_exact(comp_flows, comp_resources, /*count=*/true, local_mark, fill);
-  memo_store(hash, comp_flows, comp_resources);
-  // Workloads whose boundary residuals churn every reallocation never
-  // repeat a fingerprint; fingerprinting them is pure overhead. After a
-  // deterministic probation period with almost no hits, switch the memo off
-  // for the rest of the run (set_memoize(true) re-arms it and starts a
-  // fresh probation window).
+void FlowNetwork::memo_update_probation() {
+  // Workloads whose component shapes or boundary residuals churn every
+  // reallocation never repeat a fingerprint; fingerprinting them is pure
+  // overhead. After a deterministic probation period with almost no hits,
+  // switch the memo off for the rest of the run (set_memoize(true) re-arms
+  // it and starts a fresh probation window).
   const std::uint64_t window_misses = counters_.memo_misses - memo_miss_mark_;
   const std::uint64_t window_hits = counters_.memo_hits - memo_hit_mark_;
   if (window_misses >= kMemoProbation &&
@@ -861,7 +1438,144 @@ std::uint64_t FlowNetwork::fill_with_memo(
     memo_auto_off_ = true;
     memo_clear();
   }
-  return fill;
+}
+
+void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
+  // Serial phase: prepare each dirty component, probe the memo, replay
+  // hits; queue misses. Parallel phase: fill the missed components — each
+  // one reads/writes only its own resources and flow slots, so any
+  // interleaving is race-free and the merge below (component order) keeps
+  // counters and stores byte-identical for any job count. Serial epilogue:
+  // account filling rounds, store memo entries, update probation.
+  local_arena_.clear();
+  boundary_arena_.clear();
+  miss_comps_.clear();
+  miss_keys_.clear();
+  miss_hashes_.clear();
+  const bool memo_on = memoize_ && !memo_auto_off_;
+  std::vector<std::uint64_t> key_scratch;
+  for (std::uint32_t ci = 0; ci < comps_.size(); ++ci) {
+    CompSpan& comp = comps_[ci];
+    if (!comp.dirty) continue;
+    ++counters_.component_fills;
+    counters_.max_component =
+        std::max<std::uint64_t>(counters_.max_component, comp.flow_cnt);
+    fill_prepare(comp, mark);
+    comp.hier = false;
+    if (!memo_on || comp.flow_cnt < memo_min_flows_) {
+      miss_comps_.push_back(ci);
+      miss_hashes_.push_back(0);
+      miss_keys_.emplace_back();  // empty key: not memo-eligible, no store
+      continue;
+    }
+    const std::uint64_t hash = memo_fingerprint(comp, key_scratch);
+    if (MemoEntry* e = memo_find(hash, key_scratch)) {
+      ++counters_.memo_hits;
+      const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
+      Resource* const* res = split_res_.data() + comp.res_off;
+      if (cross_check_) {
+        // Replay the fill with the solver that produced the entry
+        // (uncounted: validation, not production work) and demand the
+        // cached vector bit-for-bit — any divergence means the fingerprint
+        // missed state the fill depends on. The replay leaves rates,
+        // bottlenecks and aggregates exactly as the hit would.
+        bool ok = true;
+        if (e->hier) {
+          std::uint64_t p = 0, q = 0;
+          ok = fill_hierarchical(comp, &p, &q);
+        } else {
+          fill_exact(comp, res_heap_);
+        }
+        for (std::uint32_t i = 0; ok && i < comp.flow_cnt; ++i) {
+          const std::uint32_t slot = flows[i];
+          if (rates_scratch_[slot] != e->rates[i] ||
+              bottleneck_scratch_[slot] != res[e->bottlenecks[i]])
+            ok = false;
+        }
+        if (!ok) {
+          std::fprintf(stderr,
+                       "FlowNetwork: memoized fill diverged from fresh fill "
+                       "(t=%.9f, comp=%u flows)\n",
+                       sim_.now(), comp.flow_cnt);
+          std::abort();
+        }
+        continue;
+      }
+      for (std::uint32_t i = 0; i < comp.flow_cnt; ++i) {
+        const std::uint32_t slot = flows[i];
+        rates_scratch_[slot] = e->rates[i];
+        bottleneck_scratch_[slot] = res[e->bottlenecks[i]];
+      }
+      // Replay the local-side validation aggregates so validate_boundary
+      // sees exactly the state a fresh fill would have left.
+      for (std::uint32_t i = 0; i < comp.res_cnt; ++i) {
+        Resource* r = res[i];
+        r->usage_local = e->res_aggregates[3 * i];
+        r->max_local = e->res_aggregates[3 * i + 1];
+        const double lamv = e->res_aggregates[3 * i + 2];
+        if (!std::isnan(lamv)) {
+          r->sat_lambda = lamv;
+          r->sat_fill = comp.fill;
+        }
+        // NaN: drained unsaturated; sat_fill keeps an older epoch and can
+        // never equal the strictly increasing current fill.
+      }
+      continue;
+    }
+    ++counters_.memo_misses;
+    miss_comps_.push_back(ci);
+    miss_hashes_.push_back(hash);
+    miss_keys_.push_back(std::move(key_scratch));
+    key_scratch = {};
+  }
+
+  const std::size_t nmiss = miss_comps_.size();
+  if (nmiss == 0) {
+    memo_update_probation();
+    return;
+  }
+  miss_pops_.assign(nmiss, 0);
+  miss_iters_.assign(nmiss, 0);
+  miss_fb_.assign(nmiss, 0);
+  const auto run_one = [this](std::size_t mi, std::vector<Resource*>& heap) {
+    CompSpan& comp = comps_[miss_comps_[mi]];
+    if (hierarchical_ && comp.has_coupling && !comp.has_pair &&
+        comp.flow_cnt >= hier_min_flows_) {
+      std::uint64_t pops = 0, its = 0;
+      if (fill_hierarchical(comp, &pops, &its)) {
+        comp.hier = true;
+        miss_pops_[mi] = pops;
+        miss_iters_[mi] = its;
+        return;
+      }
+      miss_fb_[mi] = 1;
+    }
+    miss_pops_[mi] = fill_exact(comp, heap);
+  };
+  std::size_t total_flows = 0;
+  for (std::size_t mi = 0; mi < nmiss; ++mi)
+    total_flows += comps_[miss_comps_[mi]].flow_cnt;
+  if (fill_jobs_ > 1 && nmiss > 1 && total_flows >= kParallelMinFlows) {
+    util::parallel_for(nmiss, fill_jobs_, [&](std::size_t mi) {
+      std::vector<Resource*> heap;
+      run_one(mi, heap);
+    });
+  } else {
+    for (std::size_t mi = 0; mi < nmiss; ++mi) run_one(mi, res_heap_);
+  }
+  for (std::size_t mi = 0; mi < nmiss; ++mi) {
+    const CompSpan& comp = comps_[miss_comps_[mi]];
+    counters_.filling_rounds += miss_pops_[mi];
+    if (comp.hier) {
+      ++counters_.hier_fills;
+      counters_.hier_rounds += miss_iters_[mi];
+    } else if (miss_fb_[mi]) {
+      ++counters_.hier_fallbacks;
+    }
+    if (!miss_keys_[mi].empty())
+      memo_store(miss_hashes_[mi], std::move(miss_keys_[mi]), comp);
+  }
+  memo_update_probation();
 }
 
 // --------------------------------------------------- progressive oracle --
@@ -971,8 +1685,19 @@ bool FlowNetwork::rates_match_full_recompute(double rel_tol,
   std::vector<Resource*> all_resources;
   gather_all_active(all_flows, all_resources);
   if (use_exact_fill) {
-    const std::uint64_t fill = fill_prepare(all_flows, all_resources, 0);
-    fill_exact(all_flows, all_resources, /*count=*/false, 0, fill);
+    // Drive the production fill over one synthetic whole-network component.
+    // Round-scoped state (split arrays, arenas, comps_) is safe to clobber:
+    // this runs between reallocations.
+    split_flows_.assign(all_flows.begin(), all_flows.end());
+    split_res_.assign(all_resources.begin(), all_resources.end());
+    comps_.clear();
+    CompSpan comp;
+    comp.flow_cnt = static_cast<std::uint32_t>(all_flows.size());
+    comp.res_cnt = static_cast<std::uint32_t>(all_resources.size());
+    local_arena_.clear();
+    boundary_arena_.clear();
+    fill_prepare(comp, 0);
+    fill_exact(comp, res_heap_);  // rounds deliberately uncounted
   } else {
     water_fill_progressive(all_flows, all_resources);
   }
@@ -1028,7 +1753,8 @@ void FlowNetwork::heap_sift_down(std::uint32_t pos) {
 
 void FlowNetwork::heap_push(std::uint32_t slot) {
   completion_heap_.push_back(slot);
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(completion_heap_.size() - 1);
+  slab_[slot].heap_pos =
+      static_cast<std::uint32_t>(completion_heap_.size() - 1);
   heap_sift_up(slab_[slot].heap_pos);
 }
 

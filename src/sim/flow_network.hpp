@@ -24,48 +24,65 @@
 //     change into O(k log k) for k ≈ the flows whose rates actually change.
 //     If expansion fails to settle quickly the code falls back to a full
 //     recomputation of the affected connected component;
+//   * the affected set is split into its *connected components* (flows
+//     linked through shared in-set resources) and every component is
+//     prepared, memo-probed, filled and boundary-validated independently.
+//     At a lock-step boundary the local set is a union of hundreds of
+//     disjoint few-flow components — one per completing/starting transfer
+//     pair — which the pre-split code filled as one giant joint heap fill.
+//     Splitting makes the cost Σ O(k_i log k_i) instead of O(K log K),
+//     lets an expansion round refill only the components that actually
+//     grew (everyone else's scratch rates and aggregates stand), and makes
+//     the fills *independent*: with set_fill_jobs(N > 1), missed component
+//     fills of one round run on the shared util::parallel_for pool.
+//     Components are dispatched and their results merged in canonical
+//     component order and each worker fills into disjoint slot/resource
+//     scratch, so counters, rates and traces are byte-identical for any N;
 //   * each fill runs the *exact bottleneck-elimination* algorithm: every
 //     resource sits in an indexed min-heap keyed by its saturation level
 //     (residual capacity / unfrozen degree); the minimum pops, its flows
 //     freeze at the fair share, and each neighbouring resource's residual
 //     capacity and degree are decremented in place (one sift per incidence,
 //     no stale entries). A fill costs O((F + R) log R) and the number of
-//     heap pops equals the number of saturating resources — not, as in the
-//     earlier progressive lazy-heap filling, the number of membership
-//     updates (which made fig10-class fills ~30x more expensive);
-//   * steady-state fills are memoized: pipelined schedules (binomial
-//     pipeline, chain) re-create the same component over and over, one
-//     block step after another. Each fill's input is fingerprinted —
-//     component flows as (src, dst) pairs, resources as (id, residual
-//     capacity, unfrozen degree), all in discovery order, plus the topology
-//     version — and the resulting rate/bottleneck vector is cached in a
-//     hash-indexed exact-key ring. A hit replays the vector in O(F) and
-//     skips the heap entirely; the cache is dropped on topology mutations
-//     (including fault-injection degrades), tiny components bypass it, and
-//     a workload whose fingerprints never repeat deterministically disables
-//     the cache so it stops paying for fingerprinting;
-//   * the incidence-bound loops (residual-capacity prepare, freeze
-//     propagation, boundary validation) read current rate, visit/freeze
-//     epoch and applied bottleneck from dense slot-indexed vectors rather
-//     than the ~200-byte Flow records, each fill splits every resource's
-//     member list into local/boundary arenas once so no loop re-filters by
-//     epoch, and boundary validation runs off per-resource aggregates
-//     (boundary usage/max/min, local usage/max, saturation level)
-//     maintained by the fill itself — a resource whose aggregates prove no
-//     boundary member can violate the bottleneck conditions is skipped in
-//     O(1) without touching its members;
-//   * flow progress uses virtual-work accounting: each flow carries a
-//     last-update timestamp and is only settled when its rate changes, so
-//     there is no all-flows scan per event;
-//   * projected completion times live in an indexed min-heap, replacing the
-//     O(F) next-completion scan; FlowId encodes (generation, slab slot), so
-//     id→flow lookups (flow_rate, abort_flow) are O(1) bit math with a
-//     liveness check instead of a hash probe;
+//     heap pops equals the number of saturating resources;
+//   * components spanning oversubscribed racks are solved *hierarchically*
+//     (see DESIGN.md §"Hierarchical water-fill"): interior NIC resources
+//     are grouped into islands (per-rack sub-problems) coupled only through
+//     the kRackUp/kRackDown uplink resources; islands are solved
+//     independently by a capped bottleneck elimination and a small fixed
+//     point iterates the uplink fair shares until the advertised levels
+//     stabilise. The flat exact fill remains both the fallback (pair caps,
+//     non-convergence, small components) and — with the progressive oracle
+//     behind set_cross_check — the correctness gate;
+//   * steady-state fills are memoized at *shape level*: pipelined schedules
+//     (binomial pipeline, chain) re-create isomorphic components over and
+//     over as the block step advances across node pairs. Each prepared
+//     component is fingerprinted by its canonical shape — resources as
+//     (kind, unfrozen degree, residual-capacity bits) and flows as the
+//     component-relative ordinals of the resources they cross, all in
+//     discovery order, with no absolute node or resource ids (an earlier
+//     fingerprint leaked absolute ids, so translated copies of one shape
+//     never matched and the cache sat dead). Since the fill arithmetic is a
+//     pure function of that shape (heap ties break on component ordinals,
+//     not global ids), a hit replays the cached rate/bottleneck vector in
+//     O(F) bit-for-bit; the cache is dropped on topology mutations, tiny
+//     components bypass it, and a workload whose shapes never repeat
+//     deterministically disables the cache after a probation window
+//     (re-armed by set_memoize(true)) so it stops paying for
+//     fingerprinting;
+//   * the incidence-bound loops read hot per-flow state from dense
+//     slot-indexed vectors, each fill splits every resource's member list
+//     into local/boundary arenas once, and boundary validation runs off
+//     per-resource aggregates maintained by the fill itself;
+//   * flow progress uses virtual-work accounting; projected completion
+//     times live in an indexed min-heap; FlowId encodes (generation, slab
+//     slot) for O(1) id lookups;
 //   * in assert-enabled builds (or via set_cross_check) every incremental
 //     recomputation is validated against a from-scratch full water-filling
 //     by the *old progressive* algorithm, which is kept, unoptimized, as
 //     the independent oracle; memo hits are additionally replayed against a
-//     fresh exact fill and must match bit-for-bit.
+//     fresh fill by the solver that produced them and must match
+//     bit-for-bit.
 #pragma once
 
 #include <cstddef>
@@ -116,15 +133,19 @@ class FlowNetwork {
     std::uint64_t reallocations = 0;   // rate recomputations (any scope)
     std::uint64_t filling_rounds = 0;  // bottleneck saturations (heap pops)
     std::uint64_t flows_touched = 0;   // sum of recomputed set sizes
-    std::uint64_t max_component = 0;   // largest single recompute
+    std::uint64_t max_component = 0;   // largest single component filled
     std::uint64_t expand_rounds = 0;   // local-set growth iterations
     std::uint64_t full_recomputes = 0; // fills that covered every flow
     std::uint64_t flow_starts = 0;
     std::uint64_t flow_completions = 0;
     std::uint64_t flow_aborts = 0;
     std::uint64_t cross_checks = 0;    // debug full-recompute validations
-    std::uint64_t memo_hits = 0;       // fills answered from the LRU
+    std::uint64_t memo_hits = 0;       // fills answered from the cache
     std::uint64_t memo_misses = 0;     // memo-eligible fills computed fresh
+    std::uint64_t component_fills = 0; // independent component fills/hits
+    std::uint64_t hier_fills = 0;      // components solved hierarchically
+    std::uint64_t hier_rounds = 0;     // uplink fixed-point iterations
+    std::uint64_t hier_fallbacks = 0;  // hierarchical gave up -> flat fill
   };
   const Counters& counters() const { return counters_; }
   std::uint64_t reallocations() const { return counters_.reallocations; }
@@ -132,22 +153,43 @@ class FlowNetwork {
 
   /// When enabled, every incremental recomputation is cross-checked against
   /// a from-scratch full water-filling by the progressive (oracle)
-  /// algorithm, and every memo hit against a fresh exact fill; divergence
-  /// aborts. Defaults to on in assert-enabled builds, off in NDEBUG builds.
+  /// algorithm, and every memo hit against a fresh fill by the solver that
+  /// produced it; divergence aborts. Defaults to on in assert-enabled
+  /// builds, off in NDEBUG builds.
   void set_cross_check(bool on) { cross_check_ = on; }
 
   /// Steady-state fill memoization (default on). Components smaller than
   /// `min_flows` bypass the cache — fingerprinting a two-flow fill costs
-  /// more than filling it. Also re-arms the deterministic auto-disable
-  /// (a workload whose fingerprints never repeat stops paying for them).
+  /// more than filling it. set_memoize(true) also re-arms the deterministic
+  /// auto-disable: the hit/miss marks reset so a fresh probation window
+  /// starts (a workload whose shapes never repeat stops paying for them);
+  /// set_memoize(false) leaves the probation state untouched.
   void set_memoize(bool on) {
     memoize_ = on;
-    memo_auto_off_ = false;
-    memo_hit_mark_ = counters_.memo_hits;
-    memo_miss_mark_ = counters_.memo_misses;
+    if (on) {
+      memo_auto_off_ = false;
+      memo_hit_mark_ = counters_.memo_hits;
+      memo_miss_mark_ = counters_.memo_misses;
+    }
   }
   void set_memo_min_flows(std::size_t min_flows) {
     memo_min_flows_ = min_flows;
+  }
+
+  /// Worker threads for component-parallel filling inside one reallocation
+  /// (default 1 = inline). Results are byte-identical for any value: the
+  /// components of a flow-set change are independent sub-problems writing
+  /// disjoint scratch, dispatched and merged in canonical component order.
+  void set_fill_jobs(std::size_t jobs) { fill_jobs_ = jobs ? jobs : 1; }
+  std::size_t fill_jobs() const { return fill_jobs_; }
+
+  /// Hierarchical (island/uplink fixed point) solving of rack-spanning
+  /// components (default on; engages only for components that cross
+  /// kRackUp/kRackDown resources, carry no pair caps, and have at least
+  /// `set_hier_min_flows` flows).
+  void set_hierarchical(bool on) { hierarchical_ = on; }
+  void set_hier_min_flows(std::size_t min_flows) {
+    hier_min_flows_ = min_flows;
   }
 
   /// Recompute every rate from scratch (ignoring the incremental state) and
@@ -173,7 +215,7 @@ class FlowNetwork {
     enum class Kind : std::uint8_t { kTx, kRx, kRackUp, kRackDown, kPair };
     Kind kind = Kind::kTx;
     std::uint32_t index = 0;  // node, rack, or pair ordinal
-    std::uint32_t id = 0;     // heap tie-break; disjoint range per class
+    std::uint32_t id = 0;     // stable id; disjoint range per class
     std::uint64_t pair_key = 0;
     std::vector<std::uint32_t> members;  // slab indices of crossing flows
 
@@ -183,8 +225,11 @@ class FlowNetwork {
     std::uint32_t live = 0;
     std::uint64_t fill_epoch = 0;
     std::uint64_t visit_epoch = 0;
+    std::uint64_t split_epoch = 0;  // component-split BFS stamp
     // Exact-fill scratch: indexed-heap position/key and the resource's
-    // ordinal in the component being filled (memo bottleneck encoding).
+    // ordinal in the component being filled (heap tie-break and memo
+    // bottleneck encoding — component-relative so isomorphic shapes fill
+    // identically).
     std::uint32_t fill_pos = kNone;
     double fill_key = 0.0;
     std::uint32_t comp_index = 0;
@@ -192,7 +237,7 @@ class FlowNetwork {
     /// boundary validation skip resources nobody's rate depends on.
     std::uint32_t bn_count = 0;
     // Per-fill validation aggregates, maintained by fill_prepare (boundary
-    // side) and fill_exact (local side) so validate_boundary no longer
+    // side) and the fills (local side) so validate_boundary no longer
     // needs a usage/max pass over every member list:
     //   usage_b / max_b / min_b — sum/max/min of boundary member rates;
     //   usage_local / max_local — sum/max of freshly filled local rates;
@@ -239,6 +284,19 @@ class FlowNetwork {
     std::uint32_t next_free = kNone;
   };
 
+  /// One connected component of the set being refilled: contiguous slices
+  /// of split_flows_/split_res_ in canonical (BFS-from-first-flow) order.
+  struct CompSpan {
+    std::uint32_t flow_off = 0, flow_cnt = 0;
+    std::uint32_t res_off = 0, res_cnt = 0;
+    std::uint64_t fill = 0;     // fill epoch assigned by fill_prepare
+    bool dirty = false;         // gained a flow this round -> must refill
+    bool has_pair = false;      // crosses a kPair resource
+    bool has_coupling = false;  // crosses a kRackUp/kRackDown resource
+    bool hier = false;          // solved by the hierarchical solver
+    std::int32_t pending = -1;  // index into the round's miss queue
+  };
+
   // -- flow slab ----------------------------------------------------------
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t slot);
@@ -261,7 +319,8 @@ class FlowNetwork {
   void mark_dirty();
   void flush_dirty();
   /// Place pending flows, then recompute exactly the rates the flow-set
-  /// change can affect (local fill + boundary expansion, see file comment).
+  /// change can affect (component split + per-component fill + boundary
+  /// expansion, see file comment).
   void reallocate_dirty();
   /// Collect every active flow and every non-empty resource.
   void gather_all_active(std::vector<std::uint32_t>& flows,
@@ -269,32 +328,46 @@ class FlowNetwork {
   /// Settle each flow, adopt its scratch rate/bottleneck, reproject its
   /// completion, and fix up the completion heap.
   void apply_rates(const std::vector<std::uint32_t>& flows);
+  /// Split comp_flows_/comp_resources_ into connected components (flows
+  /// linked through in-set resources; `mark` 0 means every member is
+  /// in-set), writing canonical-order spans into comps_. A component is
+  /// dirty when one of its flows carries `fresh_token` in fresh_epoch_.
+  void split_components(std::uint64_t mark, std::uint64_t fresh_token);
+  /// Prepare + memo probe + fill (possibly parallel across components) for
+  /// every dirty component in comps_. Fills rates/bottlenecks scratch and
+  /// the per-resource aggregates; updates fill/memo/hier counters.
+  void fill_dirty_components(std::uint64_t mark);
   /// Check the max-min bottleneck conditions for boundary flows adjacent to
-  /// the just-filled local set (marked with `mark`, filled under epoch
-  /// `fill`); flows whose rates can no longer be justified are stamped and
-  /// appended to comp_flows_. Runs off the per-resource aggregates and the
-  /// boundary arena the fill left behind: each resource is first gated in
-  /// O(1) (can any boundary member possibly trigger?) and only gate
-  /// failures scan their boundary members.
-  void validate_boundary(std::uint64_t mark, std::uint64_t fill);
+  /// one just-filled component (marked with `mark`); flows whose rates can
+  /// no longer be justified are stamped (visit `mark`, fresh
+  /// `fresh_token`) and appended to comp_flows_. Runs off the per-resource
+  /// aggregates and the boundary arena the fill left behind: each resource
+  /// is first gated in O(1) (can any boundary member possibly trigger?)
+  /// and only gate failures scan their boundary members.
+  void validate_boundary(const CompSpan& comp, std::uint64_t mark,
+                         std::uint64_t fresh_token);
 
-  /// Stamp the component with a fresh fill epoch and compute each
-  /// resource's residual capacity (boundary rates subtracted when
-  /// `local_mark` is nonzero) and unfrozen degree. Returns the epoch.
-  std::uint64_t fill_prepare(const std::vector<std::uint32_t>& comp_flows,
-                             const std::vector<Resource*>& comp_resources,
-                             std::uint64_t local_mark);
+  /// Stamp the component with a fresh fill epoch, split each resource's
+  /// member list into local/boundary arena slices, and compute residual
+  /// capacity (boundary rates subtracted), unfrozen degree and the
+  /// boundary-side validation aggregates. Fills the span's kind flags and
+  /// returns the epoch. Appends to the round-scoped arenas (cleared by the
+  /// caller once per round).
+  std::uint64_t fill_prepare(CompSpan& comp, std::uint64_t local_mark);
   /// Exact bottleneck elimination over a prepared component; writes
   /// per-slot rates into rates_scratch_ and freeze resources into
-  /// bottleneck_scratch_. Counts filling rounds only when `count`.
-  void fill_exact(const std::vector<std::uint32_t>& comp_flows,
-                  const std::vector<Resource*>& comp_resources, bool count,
-                  std::uint64_t local_mark, std::uint64_t fill);
-  /// fill_prepare + memo lookup + fill_exact on miss (production path).
-  /// Returns the fill epoch (validate_boundary keys sat_lambda off it).
-  std::uint64_t fill_with_memo(const std::vector<std::uint32_t>& comp_flows,
-                               const std::vector<Resource*>& comp_resources,
-                               std::uint64_t local_mark);
+  /// bottleneck_scratch_. `heap` is caller-provided scratch so component
+  /// fills can run concurrently. Returns the number of filling rounds
+  /// (heap pops) — callers account them, serially.
+  std::uint64_t fill_exact(const CompSpan& comp,
+                           std::vector<Resource*>& heap) const;
+  /// Hierarchical island/uplink solver over a prepared component (see
+  /// DESIGN.md). Returns false (leaving scratch untouched) when it does
+  /// not engage or the fixed point fails to stabilise — the caller falls
+  /// back to fill_exact. On success writes the same outputs as fill_exact
+  /// and reports pops/iterations through the out-params.
+  bool fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
+                         std::uint64_t* iters) const;
   /// The pre-optimization progressive lazy-heap water filling, kept as the
   /// independent oracle behind set_cross_check / the property tests.
   void water_fill_progressive(const std::vector<std::uint32_t>& comp_flows,
@@ -303,35 +376,48 @@ class FlowNetwork {
   double resource_capacity(const Resource& r) const;
 
   // -- exact-fill indexed resource heap -----------------------------------
-  bool res_heap_less(const Resource* a, const Resource* b) const {
+  /// Ties break on the component-relative ordinal (not the global id) so
+  /// the fill is a pure function of the component *shape* — the property
+  /// the shape-level memo replays rely on.
+  static bool res_heap_less(const Resource* a, const Resource* b) {
     if (a->fill_key != b->fill_key) return a->fill_key < b->fill_key;
-    return a->id < b->id;
+    return a->comp_index < b->comp_index;
   }
-  void res_heap_sift_up(std::uint32_t pos);
-  void res_heap_sift_down(std::uint32_t pos);
-  void res_heap_remove(Resource* r);
+  static void res_heap_sift_up(std::vector<Resource*>& heap,
+                               std::uint32_t pos);
+  static void res_heap_sift_down(std::vector<Resource*>& heap,
+                                 std::uint32_t pos);
+  static void res_heap_remove(std::vector<Resource*>& heap, Resource* r);
 
   // -- fill memoization ----------------------------------------------------
   struct MemoEntry {
     std::vector<std::uint64_t> key;
-    std::vector<double> rates;               // comp_flows discovery order
-    std::vector<std::uint32_t> bottlenecks;  // comp_resources ordinals
+    std::vector<double> rates;               // comp flows, discovery order
+    std::vector<std::uint32_t> bottlenecks;  // comp resource ordinals
     /// Validation aggregates per comp resource, replayed on a hit so
     /// validate_boundary sees exactly what a fresh fill would have left:
     /// (usage_local, max_local, sat_lambda); sat_lambda is NaN when the
     /// resource drained without saturating.
     std::vector<double> res_aggregates;
     std::uint64_t hash = 0;
+    bool hier = false;  // produced by the hierarchical solver
   };
-  /// Fingerprint the prepared component into memo_key_scratch_; returns its
-  /// 64-bit hash.
-  std::uint64_t memo_fingerprint(const std::vector<std::uint32_t>& comp_flows,
-                                 const std::vector<Resource*>& comp_resources);
-  MemoEntry* memo_find(std::uint64_t hash);
-  void memo_store(std::uint64_t hash,
-                  const std::vector<std::uint32_t>& comp_flows,
-                  const std::vector<Resource*>& comp_resources);
+  /// Fingerprint the prepared component's canonical shape into `key`;
+  /// returns its 64-bit hash. The key names no absolute node or resource
+  /// ids — resources appear as (kind, degree, residual bits) in component
+  /// order and flows as the ordinals of the resources they cross — so
+  /// translated copies of one shape (the same pipeline step on different
+  /// node pairs) produce the same key.
+  std::uint64_t memo_fingerprint(const CompSpan& comp,
+                                 std::vector<std::uint64_t>& key) const;
+  MemoEntry* memo_find(std::uint64_t hash,
+                       const std::vector<std::uint64_t>& key);
+  void memo_store(std::uint64_t hash, std::vector<std::uint64_t>&& key,
+                  const CompSpan& comp);
   void memo_clear();
+  /// Apply the deterministic auto-off policy after a probation window of
+  /// misses with almost no hits.
+  void memo_update_probation();
 
   /// Progressive-oracle heap entry: (estimated exhaust level, stable id).
   struct FillEntry {
@@ -358,7 +444,8 @@ class FlowNetwork {
   // sized in lockstep with slab_ by alloc_slot.
   std::vector<double> rate_;              // current applied rate
   std::vector<std::uint64_t> visit_epoch_;
-  std::vector<std::uint64_t> freeze_epoch_;
+  mutable std::vector<std::uint64_t> freeze_epoch_;
+  std::vector<std::uint64_t> fresh_epoch_;  // joined the set this round
   std::vector<Resource*> bn_applied_;     // applied max-min bottleneck
   std::uint32_t free_head_ = kNone;
   std::size_t active_count_ = 0;
@@ -383,27 +470,38 @@ class FlowNetwork {
   std::uint64_t epoch_ = 0;  // shared visit/fill epoch counter
   std::vector<std::uint32_t> comp_flows_;
   std::vector<Resource*> comp_resources_;
-  std::vector<double> rates_scratch_;
-  std::vector<Resource*> bottleneck_scratch_;
-  std::vector<Resource*> res_heap_;      // exact fill, indexed by fill_pos
+  mutable std::vector<double> rates_scratch_;
+  mutable std::vector<Resource*> bottleneck_scratch_;
+  std::vector<Resource*> res_heap_;      // serial-path fill scratch
   std::vector<FillEntry> fill_heap_;     // progressive oracle (lazy)
+  // Component split output: flows/resources grouped per component in
+  // canonical order, sliced by comps_.
+  std::vector<std::uint32_t> split_flows_;
+  std::vector<Resource*> split_res_;
+  std::vector<CompSpan> comps_;
+  // Round-scoped miss queue for the (possibly parallel) fill phase.
+  std::vector<std::uint32_t> miss_comps_;       // indices into comps_
+  std::vector<std::uint64_t> miss_pops_;        // per-miss filling rounds
+  std::vector<std::uint64_t> miss_iters_;       // per-miss hier iterations
+  std::vector<std::uint8_t> miss_fb_;           // per-miss hier fallback flag
+  std::vector<std::vector<std::uint64_t>> miss_keys_;  // per-miss memo keys
+  std::vector<std::uint64_t> miss_hashes_;
   // Per-fill member split (slices per resource via lmem_off/bmem_off):
-  // fill_exact's freeze loops walk exactly the local members and
+  // the fill freeze loops walk exactly the local members and
   // validate_boundary exactly the boundary members, instead of filtering
   // full member lists by epoch on every visit.
   std::vector<std::uint32_t> local_arena_;
   std::vector<std::uint32_t> boundary_arena_;
 
   /// Ring of cached fills with a hash index. Replacement is round-robin
-  /// (deterministic FIFO): a steady-state pipeline cycles through one
-  /// component shape per chain/pipeline position, so the working set is
-  /// ~the node count and recency gives no extra signal worth the
-  /// bookkeeping. When a workload keeps missing (boundary rates never
-  /// bit-repeat), the cache deterministically disables itself — see
-  /// fill_with_memo — so non-repeating runs stop paying the fingerprint.
+  /// (deterministic FIFO): a steady-state pipeline cycles through a small
+  /// set of component shapes, so the working set is tiny and recency gives
+  /// no extra signal worth the bookkeeping. When a workload keeps missing
+  /// (shapes or boundary residuals never repeat), the cache
+  /// deterministically disables itself — see memo_update_probation — so
+  /// non-repeating runs stop paying the fingerprint.
   std::vector<MemoEntry> memo_entries_;
   std::unordered_map<std::uint64_t, std::uint32_t> memo_index_;
-  std::vector<std::uint64_t> memo_key_scratch_;
   std::size_t memo_cursor_ = 0;
   bool memoize_ = true;
   bool memo_auto_off_ = false;
@@ -418,8 +516,32 @@ class FlowNetwork {
   static constexpr std::uint64_t kMemoProbation = 4096;
   static constexpr std::uint64_t kMemoMinHitRatio = 16;
 
+  std::size_t fill_jobs_ = 1;
+  /// Parallel dispatch is worth a thread wake only for big rounds: misses
+  /// totalling fewer local flows than this fill inline even when
+  /// fill_jobs_ > 1 (identical results either way — the gate is
+  /// deterministic).
+  static constexpr std::size_t kParallelMinFlows = 512;
+  /// Local sets smaller than this skip the component BFS and fill as one
+  /// pseudo-component (the pre-split behaviour — a single bottleneck
+  /// elimination handles a disconnected span correctly). Everything the
+  /// split enables (dirty-component skip, hierarchical solve, parallel
+  /// dispatch) only engages on large sets, so splitting tiny steady-state
+  /// rounds is pure BFS overhead (~20% of fig8 wall when measured).
+  static constexpr std::size_t kSplitMinFlows = 64;
+
+  bool hierarchical_ = true;
+  std::size_t hier_min_flows_ = 64;
+  /// Fixed-point bound: iterations to stabilise before falling back to the
+  /// flat fill. The level count is bounded by the number of distinct
+  /// bottleneck levels, a handful in practice.
+  static constexpr std::size_t kHierMaxIters = 64;
+  /// Advertised levels are declared stable at this relative tolerance —
+  /// far below the 1e-9 correctness tolerance, just above FP noise.
+  static constexpr double kHierTol = 1e-13;
+
   /// Local-set growth rounds before giving up and recomputing the whole
-  /// connected component from scratch.
+  /// affected connected component from scratch.
   static constexpr int kMaxExpandRounds = 6;
   /// Relative tolerance for boundary-violation checks. Deliberately much
   /// tighter than the 1e-9 cross-check tolerance: any real rate change

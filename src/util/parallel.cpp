@@ -1,4 +1,4 @@
-#include "harness/parallel.hpp"
+#include "util/parallel.hpp"
 
 #include <atomic>
 #include <exception>
@@ -6,7 +6,7 @@
 #include <thread>
 #include <vector>
 
-namespace rdmc::harness {
+namespace rdmc::util {
 
 std::size_t default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -45,4 +45,4 @@ void parallel_for(std::size_t count, std::size_t jobs,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-}  // namespace rdmc::harness
+}  // namespace rdmc::util

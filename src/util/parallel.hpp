@@ -1,0 +1,36 @@
+// Deterministic work-sharing executor: invoke fn(i) for i in [0, count)
+// on up to `jobs` threads, blocking until the range drains.
+//
+// This is the one thread pool in the tree. It started life as the harness
+// sweep executor (chaos seeds, figure points — each item a whole
+// simulation); the simulator core now also dispatches *intra-step* work on
+// it: independent max-min components (and rack islands of the hierarchical
+// solver) within a single reallocation. It therefore lives in util, below
+// both sim and harness; harness/parallel.hpp re-exports it under the old
+// name for the sweep callers.
+//
+// Scheduling is a single shared atomic cursor: workers claim the next
+// unclaimed index until the range is drained, so a slow item never stalls
+// the pool behind a static partition. Results must be written to
+// per-index slots — the executor guarantees each index runs exactly once,
+// not where or when. `jobs <= 1` runs inline on the calling thread, which
+// keeps single-job runs bit-identical to a plain loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rdmc::util {
+
+/// Worker count for "one per hardware thread" requests: the hardware
+/// concurrency, at least 1.
+std::size_t default_jobs();
+
+/// Invoke `fn(i)` for every i in [0, count), using up to `jobs` worker
+/// threads (clamped to count). Blocks until all items finish. The first
+/// exception thrown by any item is rethrown on the calling thread after
+/// the pool drains.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rdmc::util

@@ -127,6 +127,46 @@ TEST(FlowMemo, HitsOnRepeatingStates) {
   sim.run();
 }
 
+// Shape-level keying: an isomorphic component on a *different* set of nodes
+// must be served from the memo — no absolute node or resource id leaks into
+// the fingerprint. This is where the hits in a steady-state pipeline come
+// from: every schedule step runs the same transfer shape over rotated node
+// pairs.
+TEST(FlowMemo, TranslatedShapeHits) {
+  Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.nic_gbps = 100.0;
+  Topology topo(cfg);
+  FlowNetwork net(sim, topo);
+  net.set_cross_check(true);  // every hit replayed bit-for-bit
+  net.set_memo_min_flows(1);
+
+  // Fan-out of 4 from node 0: one component, cached on first fill.
+  std::vector<FlowId> first;
+  for (NodeId dst = 1; dst <= 4; ++dst)
+    first.push_back(net.start_flow(0, dst, 1e13, [](SimTime) {}));
+  (void)net.flow_rate(first.front());
+  const std::uint64_t misses_after_first = net.counters().memo_misses;
+  for (const FlowId id : first) net.abort_flow(id);
+  (void)net.active_flows();
+
+  // The identical fan-out shape translated to disjoint nodes 10 -> 11..14:
+  // same kinds, degrees, capacities and incidence, different absolute ids.
+  std::vector<FlowId> second;
+  for (NodeId dst = 11; dst <= 14; ++dst)
+    second.push_back(net.start_flow(10, dst, 1e13, [](SimTime) {}));
+  (void)net.flow_rate(second.front());
+  EXPECT_GT(net.counters().memo_hits, 0u);
+  EXPECT_EQ(net.counters().memo_misses, misses_after_first);
+  // And the translated hit replays to the exact fair share of the tx NIC.
+  for (const FlowId id : second)
+    EXPECT_DOUBLE_EQ(net.flow_rate(id), topo.node_tx_Bps(10) / 4.0);
+
+  for (const FlowId id : second) net.abort_flow(id);
+  sim.run();
+}
+
 // A capacity mutation invalidates the cache: the same component shape must
 // be refilled fresh (and re-cached) after a link degrade.
 TEST(FlowMemo, LinkDegradeInvalidates) {
@@ -190,6 +230,11 @@ TEST(FlowMemo, AutoDisableAfterProbationAndRearm) {
   cfg.num_nodes = 72;  // 72*71 = 5112 distinct pairs > the probation window
   cfg.nic_gbps = 100.0;
   Topology topo(cfg);
+  // Fingerprints are shape-level (no absolute ids), so identical NICs would
+  // make every pair the *same* single-flow shape. Distinct per-node NIC
+  // rates make each (src, dst) component a distinct shape instead.
+  for (NodeId n = 0; n < 72; ++n)
+    topo.set_node_nic(n, 100.0 + 0.125 * static_cast<double>(n));
   FlowNetwork net(sim, topo);
   net.set_cross_check(false);  // 5k full validations would dominate runtime
   net.set_memo_min_flows(1);
