@@ -10,7 +10,7 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   const std::uint64_t bytes = quick ? (16ull << 20) : (64ull << 20);
   header("Ablation — hybrid two-level pipeline on an oversubscribed TOR",
          "§4.3 Hybrid Algorithms (the experiment Apt's scheduler made "

@@ -68,7 +68,7 @@ double rdmc_rate(std::size_t n, std::size_t bytes, std::size_t count) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Ablation — small-message protocol vs RDMC (§4.6)",
          "§4.6 \"Small messages\" (Derecho's SMC comparison)",
          "one-sided ring writes win by up to ~5x for <=16 members and "

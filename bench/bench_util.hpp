@@ -18,63 +18,64 @@
 
 namespace rdmc::bench {
 
-inline bool quick_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--quick") == 0) return true;
-  return false;
-}
+namespace detail {
 
-/// `--jobs N` (or `--jobs=N`): worker threads for sweeps that support the
-/// parallel executor. Absent -> 1 (serial, the bit-identical reference);
-/// 0 -> one per hardware thread. Results are independent of N by
-/// construction (see harness/parallel.hpp).
-inline std::size_t jobs_arg(int argc, char** argv) {
-  long long n = 1;
+/// Last `--name VALUE` or `--name=VALUE` occurrence, null when absent.
+inline const char* flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  const char* found = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-      n = std::atoll(argv[i + 1]);
-    else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-      n = std::atoll(argv[i] + 7);
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc)
+      found = argv[i + 1];
+    else if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      found = argv[i] + len + 1;
   }
-  if (n < 0) n = 1;
-  return n == 0 ? harness::default_jobs() : static_cast<std::size_t>(n);
+  return found;
 }
 
-/// `--fill-jobs N` (or `--fill-jobs=N`): worker threads for
-/// component-parallel max-min fills *inside* one simulation
-/// (FlowNetwork::set_fill_jobs), as opposed to --jobs which parallelises
-/// across independent sweep points. Absent -> 1 (serial); 0 -> one per
-/// hardware thread. Byte-identical results for any N.
-inline std::size_t fill_jobs_arg(int argc, char** argv) {
-  long long n = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fill-jobs") == 0 && i + 1 < argc)
-      n = std::atoll(argv[i + 1]);
-    else if (std::strncmp(argv[i], "--fill-jobs=", 12) == 0)
-      n = std::atoll(argv[i] + 12);
-  }
-  if (n < 0) n = 1;
-  return n == 0 ? harness::default_jobs() : static_cast<std::size_t>(n);
+/// Thread-count convention shared by --jobs/--fill-jobs: absent -> 1
+/// (serial, the bit-identical reference); 0 -> one per hardware thread.
+inline std::size_t thread_count(const char* value) {
+  if (value == nullptr) return 1;
+  const long long n = std::atoll(value);
+  if (n <= 0) return n == 0 ? harness::default_jobs() : 1;
+  return static_cast<std::size_t>(n);
 }
 
-/// `--trace out.json` (or `--trace=out.json`): where to write the unified
-/// trace, nullptr when the flag is absent.
-inline const char* trace_path(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
-      return argv[i + 1];
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) return argv[i] + 8;
-  }
-  return nullptr;
-}
+}  // namespace detail
 
-/// Enable the trace recorder when --trace was passed; returns the output
-/// path (nullptr = tracing stays off). Pair with write_trace(path).
-inline const char* maybe_enable_trace(int argc, char** argv) {
-  const char* path = trace_path(argc, argv);
-  if (path != nullptr) obs::TraceRecorder::instance().enable();
-  return path;
-}
+/// The flags every bench shares, parsed once at the top of main():
+///
+///   --quick           shrink sizes/iterations (CI smoke mode)
+///   --jobs N          worker threads across independent sweep points
+///                     (results independent of N, see harness/parallel.hpp)
+///   --fill-jobs N     worker threads *inside* one simulation's max-min
+///                     fill (FlowNetwork::set_fill_jobs); byte-identical
+///                     for any N
+///   --trace out.json  record the unified trace and dump it for Perfetto
+///
+/// parse() ignores flags it does not know, so benches layer their own on
+/// top (chaos_campaign --seeds, wan_sweep --loss). When --trace was passed
+/// the recorder is enabled as a side effect; pair with write_trace(trace)
+/// at exit.
+struct BenchOptions {
+  bool quick = false;
+  std::size_t jobs = 1;
+  std::size_t fill_jobs = 1;
+  const char* trace = nullptr;  // --trace output path, null = tracing off
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
+    o.jobs = detail::thread_count(detail::flag_value(argc, argv, "--jobs"));
+    o.fill_jobs =
+        detail::thread_count(detail::flag_value(argc, argv, "--fill-jobs"));
+    o.trace = detail::flag_value(argc, argv, "--trace");
+    if (o.trace != nullptr) obs::TraceRecorder::instance().enable();
+    return o;
+  }
+};
 
 /// Dump the recorder to `path` as Chrome trace_event JSON (open in
 /// ui.perfetto.dev). No-op when path is null.

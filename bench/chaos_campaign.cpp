@@ -86,9 +86,10 @@ int replay(std::uint64_t seed, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
-  const char* trace_out = maybe_enable_trace(argc, argv);
-  const std::size_t jobs = jobs_arg(argc, argv);
+  const auto opts = BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
+  const char* trace_out = opts.trace;
+  const std::size_t jobs = opts.jobs;
   std::size_t seeds = quick ? 60 : 500;
   std::uint64_t first_seed = 1;
   for (int i = 1; i < argc; ++i) {

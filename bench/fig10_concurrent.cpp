@@ -61,8 +61,9 @@ void run_cluster(const char* name, const sim::ClusterProfile& base,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
-  const std::size_t jobs = jobs_arg(argc, argv);
+  const auto opts = BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
+  const std::size_t jobs = opts.jobs;
   header("Figure 10 — aggregate bandwidth of concurrent overlapping groups",
          "Fig 10a (Fractus) and Fig 10b (Apt), §5.2.2",
          "Fractus approaches its ~100 Gb/s bisection for large messages; "

@@ -7,7 +7,7 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Figure 11 — hybrid vs pure-interrupt completions (Fractus)",
          "Fig 11, §5.2.3",
          "interrupts cost almost no bandwidth at 100 MB, a little at 1 MB, "

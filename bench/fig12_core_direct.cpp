@@ -44,7 +44,7 @@ void table_for(fabric::CompletionMode mode, const char* label,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   const std::uint64_t bytes = quick ? (25ull << 20) : (100ull << 20);
   header("Figure 12 — CORE-Direct chain send vs traditional (100 MB)",
          "Fig 12, §5.2.3",

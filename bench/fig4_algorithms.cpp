@@ -61,7 +61,7 @@ void figure(const char* title, std::uint64_t bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Figure 4 — multicast latency by algorithm and group size",
          "Fig 4a (256 MB) and Fig 4b (8 MB), §5.2",
          "sequential and tree degrade with group size; chain ~ pipeline for "

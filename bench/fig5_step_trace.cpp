@@ -18,7 +18,8 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const auto opts = BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
   header("Figure 5 — per-step transfer and wait time (sender vs relayer)",
          "Fig 5, §5.2.1",
          "most steps are pure transfer; occasional long waits appear when "
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
 
   // The step profile is trace-driven, so the recorder is always on here;
   // --trace additionally dumps the timeline for Perfetto.
-  const char* trace_out = trace_path(argc, argv);
+  const char* trace_out = opts.trace;
   obs::TraceRecorder::instance().enable();
 
   auto profile = sim::stampede_profile(4);

@@ -7,7 +7,7 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Figure 6 — bandwidth vs block size (group of 4, Fractus)",
          "Fig 6, §5.2.1",
          "bandwidth rises with block size (per-block overhead amortised), "

@@ -8,7 +8,7 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Figure 7 — 1-byte messages per second (Fractus)",
          "Fig 7, §5.2.1",
          "throughput falls with group size (each message costs a full "

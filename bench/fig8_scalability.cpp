@@ -64,7 +64,8 @@ void traced_run(const char* trace_out, std::uint64_t bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const auto opts = BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
   header("Figure 8 — 256 MB replication time vs number of nodes (Sierra)",
          "Fig 8, §5.2.2",
          "sequential grows linearly with receivers; the binomial pipeline "
@@ -88,14 +89,14 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> node_counts{2, 4, 8, 16, 32, 64, 128, 256, 512};
   if (!quick)
     for (const std::size_t n : {1024, 4096, 16384}) node_counts.push_back(n);
-  const std::size_t fill_jobs = fill_jobs_arg(argc, argv);
+  const std::size_t fill_jobs = opts.fill_jobs;
   struct Point {
     double pipe = 0.0;
     double seq = 0.0;  // 0: extrapolated below
   };
   std::vector<Point> points(node_counts.size());
   harness::parallel_for(
-      node_counts.size(), jobs_arg(argc, argv), [&](std::size_t i) {
+      node_counts.size(), opts.jobs, [&](std::size_t i) {
         const std::size_t n = node_counts[i];
         harness::MulticastConfig cfg;
         cfg.profile = sim::sierra_profile(n);
@@ -134,7 +135,6 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\n(*) extrapolated linearly, as in the paper\n");
-  if (const char* trace_out = trace_path(argc, argv))
-    traced_run(trace_out, bytes);
+  if (opts.trace != nullptr) traced_run(opts.trace, bytes);
   return 0;
 }

@@ -85,7 +85,7 @@ Replay replay(const std::vector<workload::CosmosWrite>& trace,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Figure 9 — Cosmos replication-layer latency distribution",
          "Fig 9, §5.2.2 (synthetic trace: median 12 MB, mean 29 MB, "
          "3-replica writes over 15 hosts, 455 groups)",

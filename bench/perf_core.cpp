@@ -159,7 +159,7 @@ Point run_racked(std::size_t groups, std::size_t size, std::uint64_t bytes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::quick_mode(argc, argv);
+  const bool quick = bench::BenchOptions::parse(argc, argv).quick;
   bench::header("Simulator-core performance (wall time + counters)",
                 "infrastructure for Figs 8 and 10 (not a paper figure)",
                 "incremental reallocation keeps wall time flat as the "

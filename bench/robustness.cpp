@@ -39,7 +39,7 @@ double run_with(std::size_t n, sched::Algorithm algorithm,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   const std::uint64_t bytes = quick ? (16ull << 20) : (64ull << 20);
 
   header("Robustness — delay tolerance, slow links, slack (§4.5)",

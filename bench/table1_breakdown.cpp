@@ -2,7 +2,8 @@
 // in a group of 4 on Stampede (40 Gb/s effective), measured at the node
 // farthest from the root.
 //
-// Row mapping onto the engine's trace:
+// Row mapping onto the unified trace (obs::TraceRecorder; block arrivals
+// are the kCore "block" span ends at the measured node):
 //   Remote Setup           time from send-submit until the root's first
 //                          block is on the wire (setup at the root and the
 //                          relayer, before our node can see data);
@@ -13,6 +14,7 @@
 //   Waiting                idle gaps while the node waited on predecessors;
 //   Copy Time              first-block scratch copy (§4.2).
 #include <algorithm>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "core/group.hpp"
@@ -22,7 +24,7 @@ using namespace rdmc;
 using namespace rdmc::bench;
 
 int main(int argc, char** argv) {
-  const bool quick = quick_mode(argc, argv);
+  const bool quick = BenchOptions::parse(argc, argv).quick;
   header("Table 1 — time breakdown of a 256 MB transfer (group of 4)",
          "Table 1, §5.2.1 (Stampede, 1 MB blocks)",
          "~99% of total in (remote) block transfers; software overheads "
@@ -30,9 +32,9 @@ int main(int argc, char** argv) {
 
   auto profile = sim::stampede_profile(4);
   harness::SimCluster cluster(profile);
+  obs::TraceRecorder::instance().enable();
   GroupOptions options;
   options.block_size = 1 << 20;
-  options.enable_trace = true;
   std::vector<NodeId> members{0, 1, 2, 3};
   auto& rec = cluster.create_group(1, members, options);
 
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
 
   // Node 3 is farthest from the root in the 4-node hypercube.
   const Group* g = cluster.node(3).group(1);
-  const auto& trace = g->trace();
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  obs::TraceRecorder::instance().disable();
   const double done = rec.delivery_times[3].back();
 
   // Block transfers: the time the network spent actively delivering this
@@ -54,9 +57,11 @@ int main(int argc, char** argv) {
       (profile.topology.nic_gbps * 1e9 / 8.0);
   double first_block = done;
   std::size_t blocks = 0;
-  for (const auto& e : trace) {
-    if (e.kind != Group::TraceEvent::Kind::kRecvCompleted) continue;
-    first_block = std::min(first_block, e.when);
+  for (const auto& e : events) {
+    if (e.cat != obs::Cat::kCore || e.phase != obs::Phase::kEnd ||
+        e.node != 3 || std::strcmp(e.name, "block") != 0)
+      continue;
+    first_block = std::min(first_block, e.ts);
     ++blocks;
   }
   const double transfer_time = static_cast<double>(blocks) * block_time;

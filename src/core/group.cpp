@@ -121,13 +121,6 @@ std::size_t Group::block_bytes(std::size_t block) const {
   return std::min(options_.block_size, size_ - begin);
 }
 
-void Group::record(TraceEvent::Kind kind, std::uint32_t peer,
-                   std::size_t block) {
-  if (options_.enable_trace &&
-      (options_.trace_limit == 0 || trace_.size() < options_.trace_limit))
-    trace_.push_back(TraceEvent{node_.clock()(), kind, peer, block});
-}
-
 bool Group::send(std::byte* data, std::size_t size) {
   if (rank_ != 0 || failed_) return false;
   if (size == 0 || size >= (std::uint64_t{1} << 32)) return false;
@@ -150,7 +143,6 @@ void Group::start_next_outgoing() {
   transfer_active_ = true;
   stats_.setup_seconds += node_.clock()() - t0;
   stats_.last_transfer_start = node_.clock()();
-  record(TraceEvent::Kind::kMessageStart, 0, num_blocks_);
   if (auto* tr = obs::tracer())
     tr->begin(obs::Cat::kCore, "msg", node_.id(),
               obs::msg_span_id(id_, stats_.messages_sent),
@@ -210,8 +202,6 @@ void Group::arm_first_block() {
   ++pair.credits_granted;
   pair.qp->post_write_imm(static_cast<std::uint32_t>(pair.credits_granted),
                           0);
-  record(TraceEvent::Kind::kCreditSent, pair.peer_rank,
-         pair.credits_granted);
 }
 
 void Group::activate_incoming(std::size_t pair_index,
@@ -228,7 +218,6 @@ void Group::activate_incoming(std::size_t pair_index,
   have_count_ = 0;
   transfer_active_ = true;
   stats_.last_transfer_start = t0;
-  record(TraceEvent::Kind::kMessageStart, 0, num_blocks_);
   if (auto* tr = obs::tracer())
     tr->begin(obs::Cat::kCore, "msg", node_.id(),
               obs::msg_span_id(id_, stats_.messages_delivered), t0,
@@ -264,8 +253,6 @@ void Group::post_receives(std::size_t pair_index) {
     // blocks on this pair.
     pair.qp->post_write_imm(
         static_cast<std::uint32_t>(pair.credits_granted), 0);
-    record(TraceEvent::Kind::kCreditSent, pair.peer_rank,
-           pair.credits_granted);
   }
 }
 
@@ -286,7 +273,6 @@ void Group::pump_sends(std::size_t pair_index) {
     ++pair.sends_posted;
     ++pair.next_send;
     ++stats_.blocks_sent;
-    record(TraceEvent::Kind::kSendPosted, pair.peer_rank, block);
     if (auto* tr = obs::tracer())
       tr->begin(obs::Cat::kCore, "block", node_.id(),
                 obs::block_span_id(id_, block, node_.id(), pair.peer),
@@ -339,8 +325,6 @@ void Group::on_block_received(std::size_t pair_index, std::size_t block) {
   }
   ++msg_recvs_done_;
   ++stats_.blocks_received;
-  record(TraceEvent::Kind::kRecvCompleted, pairs_[pair_index].peer_rank,
-         block);
   if (auto* tr = obs::tracer())
     tr->end(obs::Cat::kCore, "block", node_.id(),
             obs::block_span_id(id_, block, pairs_[pair_index].peer,
@@ -356,7 +340,6 @@ void Group::on_send_completed(std::size_t pair_index, std::uint64_t wr_id) {
   Pair& pair = pairs_[pair_index];
   const std::size_t block =
       wr_id < pair.send_blocks.size() ? pair.send_blocks[wr_id] : 0;
-  record(TraceEvent::Kind::kSendCompleted, pair.peer_rank, block);
   if (auto* tr = obs::tracer()) {
     // A raw record: instants normally carry no id, but send completions
     // need the block-span id so the analyzer can match them to their hop.
@@ -388,7 +371,6 @@ void Group::check_message_done() {
 void Group::finish_message() {
   transfer_active_ = false;
   stats_.last_transfer_end = node_.clock()();
-  record(TraceEvent::Kind::kMessageDone, 0, 0);
   if (auto* tr = obs::tracer()) {
     const std::uint64_t seq =
         rank_ == 0 ? stats_.messages_sent : stats_.messages_delivered;
@@ -440,8 +422,6 @@ void Group::on_completion(const fabric::Completion& c,
       // Ready-for-block: cumulative credit count from the receiver.
       pair.credits_from_peer =
           std::max<std::uint64_t>(pair.credits_from_peer, c.immediate);
-      record(TraceEvent::Kind::kCreditReceived, pair.peer_rank,
-             c.immediate);
       if (auto* tr = obs::tracer())
         tr->instant(obs::Cat::kCore, "credit.rx", node_.id(),
                     node_.clock()(), "peer,count", pair.peer, c.immediate);

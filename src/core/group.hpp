@@ -93,23 +93,6 @@ class Group : public QpSink {
   /// and the failure-investigation examples).
   std::string debug_dump() const;
 
-  /// Per-event timeline (only populated when options.enable_trace).
-  struct TraceEvent {
-    double when = 0.0;
-    enum class Kind : std::uint8_t {
-      kSendPosted,
-      kSendCompleted,
-      kRecvCompleted,
-      kCreditSent,
-      kCreditReceived,
-      kMessageStart,
-      kMessageDone,
-    } kind = Kind::kSendPosted;
-    std::uint32_t peer = 0;  // peer rank within the group
-    std::size_t block = 0;
-  };
-  const std::vector<TraceEvent>& trace() const { return trace_; }
-
  private:
   /// Per-neighbour connection state. Credit counters are cumulative over
   /// the group's lifetime so consecutive messages cannot be confused.
@@ -158,7 +141,6 @@ class Group : public QpSink {
     return block * options_.block_size;
   }
   std::size_t block_bytes(std::size_t block) const;
-  void record(TraceEvent::Kind kind, std::uint32_t peer, std::size_t block);
 
   Node& node_;
   GroupId id_;
@@ -199,7 +181,6 @@ class Group : public QpSink {
 
   bool failed_ = false;
   Stats stats_;
-  std::vector<TraceEvent> trace_;
 };
 
 }  // namespace rdmc

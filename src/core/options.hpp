@@ -34,15 +34,6 @@ struct GroupOptions {
   /// Receive buffers kept posted ahead per neighbour. The paper posts
   /// "only a few receives per group" to respect NIC caching limits (§4.2).
   std::size_t recv_window = 4;
-
-  /// Record a per-event timeline for microbenchmarks (Table 1 / Fig 5).
-  bool enable_trace = false;
-
-  /// Cap on the per-group timeline above: recording stops once this many
-  /// events are held, so a long-lived traced group cannot grow without
-  /// bound. 0 means unlimited (the pre-cap behaviour). The process-wide
-  /// obs::TraceRecorder ring is the right tool for long runs.
-  std::size_t trace_limit = std::size_t{1} << 16;
 };
 
 }  // namespace rdmc

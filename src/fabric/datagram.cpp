@@ -1,0 +1,126 @@
+#include "fabric/datagram.hpp"
+
+#include "util/random.hpp"
+
+namespace rdmc::fabric {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer util::Rng seeds through, used
+/// here to fold (seed, src, dst, index) into one verdict-stream seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void DatagramEngine::set_profile(const DatagramFaultProfile& profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_ = profile;
+  pairs_.clear();
+  counters_ = DatagramCounters{};
+}
+
+DatagramFaultProfile DatagramEngine::profile() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profile_;
+}
+
+std::vector<UdDelivery> DatagramEngine::on_send(NodeId src, NodeId dst,
+                                                MemoryView buf,
+                                                std::uint32_t immediate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PairState& ps = pairs_[pair_key(src, dst)];
+  const std::uint64_t index = ps.next_index++;
+  ++counters_.sent;
+
+  // The verdict is a pure function of (seed, src, dst, index): one fresh
+  // generator per datagram, all draws made unconditionally so the stream
+  // shape never depends on earlier outcomes.
+  util::Rng rng(mix(profile_.seed ^ mix(pair_key(src, dst)) ^ mix(index)));
+  const bool drop = rng.bernoulli(profile_.loss);
+  const bool duplicate = rng.bernoulli(profile_.duplicate);
+  const bool reorder =
+      profile_.reorder_span > 0 && rng.bernoulli(profile_.reorder);
+  const std::uint32_t span = static_cast<std::uint32_t>(
+      rng.uniform(1, profile_.reorder_span == 0 ? 1 : profile_.reorder_span));
+
+  std::vector<UdDelivery> out;
+  bool held_now = false;
+  if (drop) {
+    ++counters_.dropped;
+  } else if (reorder) {
+    ++counters_.reordered;
+    held_now = true;
+  } else {
+    UdDelivery d;
+    d.index = index;
+    d.immediate = immediate;
+    d.view = buf;
+    out.push_back(std::move(d));
+    if (duplicate) {
+      ++counters_.duplicated;
+      UdDelivery d2;
+      d2.index = index;
+      d2.immediate = immediate;
+      d2.view = buf;
+      out.push_back(std::move(d2));
+    }
+  }
+
+  // Datagrams held *before* this attempt count it toward their release.
+  std::vector<Held> still_held;
+  still_held.reserve(ps.held.size());
+  for (Held& h : ps.held) {
+    if (--h.remaining == 0) {
+      UdDelivery d;
+      d.index = h.index;
+      d.immediate = h.immediate;
+      if (h.phantom) {
+        d.view = MemoryView{nullptr, static_cast<std::size_t>(h.phantom_size)};
+      } else {
+        d.owned = std::move(h.payload);
+        d.view = MemoryView{d.owned->data(), d.owned->size()};
+      }
+      out.push_back(std::move(d));
+    } else {
+      still_held.push_back(std::move(h));
+    }
+  }
+  ps.held = std::move(still_held);
+
+  if (held_now) {
+    Held h;
+    h.index = index;
+    h.immediate = immediate;
+    h.remaining = span;
+    if (buf.data == nullptr) {
+      h.phantom = true;
+      h.phantom_size = buf.size;
+    } else {
+      h.payload.assign(buf.data, buf.data + buf.size);
+    }
+    ps.held.push_back(std::move(h));
+  }
+  return out;
+}
+
+void DatagramEngine::count_no_recv() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.no_recv;
+}
+
+void DatagramEngine::count_delivered() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.delivered;
+}
+
+DatagramCounters DatagramEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace rdmc::fabric

@@ -1,0 +1,90 @@
+// Shared datagram impairment engine — one implementation for all backends.
+//
+// The cross-backend parity contract of DatagramFaultProfile (fabric.hpp)
+// demands that drop/duplicate/reorder verdicts be a pure function of
+// (seed, src, dst, per-directed-pair sequence index), never of timing.
+// Rather than trusting three backends to reimplement that identically,
+// they all own a DatagramEngine and route every post_send_ud through
+// on_send(), which returns the ordered list of datagrams to put on the
+// wire *now* — the current datagram (possibly twice, when duplicated),
+// plus any previously held-back datagrams whose release point this send
+// attempt is. A dropped datagram returns no deliveries; a held datagram
+// returns none now and appears in a later call's list.
+//
+// Reordering is defined in *send attempts*, not time: a held datagram is
+// released after 1..reorder_span subsequent on_send calls on its pair.
+// Backends that transmit in call order (all three do, per directed pair)
+// therefore produce identical wire sequences.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace rdmc::fabric {
+
+/// One datagram the backend must transmit as a result of an on_send call.
+struct UdDelivery {
+  /// Per-directed-pair sequence index of the originating post_send_ud.
+  std::uint64_t index = 0;
+  std::uint32_t immediate = 0;
+  /// Payload to move. For datagrams released from the hold-back buffer
+  /// this points into `owned`; for the current datagram it aliases the
+  /// caller's buffer and is only valid during the on_send call (backends
+  /// that deliver later must copy). data == nullptr is a phantom payload
+  /// of `view.size` bytes, as everywhere else.
+  MemoryView view{};
+  /// Backing storage for held datagrams (empty when `view` aliases the
+  /// caller's buffer or the payload is phantom).
+  std::optional<std::vector<std::byte>> owned;
+};
+
+class DatagramEngine {
+ public:
+  /// Install a new profile: resets every per-pair stream, drops any
+  /// held-back datagrams, zeroes the counters.
+  void set_profile(const DatagramFaultProfile& profile);
+  DatagramFaultProfile profile() const;
+
+  /// Decide the fate of one posted datagram and collect everything that
+  /// goes on the wire now, in transmission order. Thread-safe.
+  std::vector<UdDelivery> on_send(NodeId src, NodeId dst, MemoryView buf,
+                                  std::uint32_t immediate);
+
+  /// Receiver-side bookkeeping: a datagram arrived but no posted UD recv
+  /// could take it.
+  void count_no_recv();
+  /// A datagram was placed into a posted UD recv.
+  void count_delivered();
+
+  DatagramCounters counters() const;
+
+ private:
+  struct Held {
+    std::uint64_t index = 0;
+    std::uint32_t immediate = 0;
+    std::uint32_t remaining = 0;  // send attempts until release
+    bool phantom = false;
+    std::uint64_t phantom_size = 0;
+    std::vector<std::byte> payload;
+  };
+  struct PairState {
+    std::uint64_t next_index = 0;
+    std::vector<Held> held;  // FIFO by hold order
+  };
+
+  static std::uint64_t pair_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+
+  mutable std::mutex mutex_;
+  DatagramFaultProfile profile_{};
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+  DatagramCounters counters_{};
+};
+
+}  // namespace rdmc::fabric

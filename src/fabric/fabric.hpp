@@ -17,6 +17,13 @@
 //   * an out-of-band control mesh standing in for the N x N TCP mesh the
 //     paper bootstraps with (§2).
 //
+// Beyond the paper's RC slice, every QueuePair also offers an *unreliable
+// datagram* service type (post_send_ud / post_recv_ud): per-packet,
+// droppable, never break-on-loss — the substrate software-defined
+// reliability (SDR-RDMA, arXiv:2505.05366) runs on for lossy/WAN paths.
+// Loss, duplication and reordering are injected by a seeded
+// DatagramFaultProfile identically on every backend.
+//
 // Two interchangeable backends implement it:
 //   * MemFabric  — real threads, real byte movement (tests, examples);
 //   * SimFabric  — discrete-event virtual time at cluster scale (benches).
@@ -49,6 +56,8 @@ enum class WcOpcode : std::uint8_t {
   kWindowWrite,   // a one-sided window write finished (issuer side)
   kRecvWindowWrite,  // a one-sided window write landed (target side)
   kDisconnect,    // the connection broke; peer identifies the QP's peer
+  kSendUd,        // a datagram left the local NIC (fire-and-forget)
+  kRecvUd,        // a datagram arrived into a posted UD receive
 };
 
 enum class WcStatus : std::uint8_t {
@@ -64,6 +73,18 @@ enum class WcStatus : std::uint8_t {
 /// arguments). Remote failures (e.g. an out-of-bounds window write
 /// detected at the target) still surface asynchronously as a connection
 /// break, exactly like a remote-access error on real hardware.
+///
+/// Thread-safety during fault windows (the contract test_failures
+/// exercises): post_* may race freely with fault injection. A post that
+/// loses the race either returns kQpBroken, or returns kOk and the work is
+/// later flushed (kFlushed completion) — never both, never neither, and
+/// never a torn/partial transfer. Completion callbacks are *never* invoked
+/// inline from a post_* call or from a FaultInjector method: flush and
+/// disconnect completions always arrive on the node's completion thread
+/// (its virtual-CPU instant on SimFabric), at most one invocation per node
+/// at a time, so a handler observing kDisconnect may immediately re-post
+/// elsewhere without reentrancy. Backends assert this single-dispatch
+/// invariant.
 enum class PostResult : std::uint8_t {
   kOk = 0,
   kQpBroken,  // the connection broke, or the QP was locally closed
@@ -83,6 +104,44 @@ struct Completion {
   std::uint32_t immediate = 0;
   QpId qp = 0;
   NodeId peer = 0;
+};
+
+/// Seeded probabilistic impairment applied to *datagram* (UD) traffic only
+/// — the WAN substrate of SDR-RDMA (arXiv:2505.05366). RC connections are
+/// never subject to it: reliable-connected verbs retransmit in hardware
+/// until the retry budget breaks the connection, while UD exposes every
+/// lost packet to software.
+///
+/// Every per-datagram decision is a pure function of (seed, src, dst, the
+/// datagram's per-directed-pair sequence index) — never of wall-clock or
+/// virtual timing — so the same profile produces the *identical* sequence
+/// of drop/duplicate/reorder verdicts on every backend (the cross-backend
+/// parity contract tested by test_ud_fabric).
+struct DatagramFaultProfile {
+  /// Probability a datagram is silently dropped in the network.
+  double loss = 0.0;
+  /// Probability a surviving datagram is delivered twice.
+  double duplicate = 0.0;
+  /// Probability a surviving datagram is held back and released only after
+  /// later datagrams on the same directed pair overtake it.
+  double reorder = 0.0;
+  /// A held datagram is released after 1..reorder_span subsequent send
+  /// attempts on its pair (uniformly chosen, same determinism rule).
+  std::uint32_t reorder_span = 3;
+  /// Seed for the per-pair verdict streams.
+  std::uint64_t seed = 0x5D7A6BA5ull;
+};
+
+/// Fabric-wide datagram accounting (UD traffic only), exposed through
+/// FaultInjector so benches and tests can audit where datagrams went.
+struct DatagramCounters {
+  std::uint64_t sent = 0;        // post_send_ud calls accepted
+  std::uint64_t delivered = 0;   // datagrams placed into a posted UD recv
+  std::uint64_t dropped = 0;     // dropped by the fault profile
+  std::uint64_t duplicated = 0;  // extra copies injected
+  std::uint64_t reordered = 0;   // datagrams held back for later release
+  std::uint64_t no_recv = 0;     // arrived with no posted UD recv (or one
+                                 // too small) — silently discarded
 };
 
 /// How the per-node completion thread detects completions (§4.2, Fig 11).
@@ -141,12 +200,42 @@ class QueuePair {
                                        std::uint64_t wr_id,
                                        bool signaled = true) = 0;
 
+  // -- Unreliable-datagram service type (SDR-RDMA substrate) ---------------
+  //
+  // The second QP service type: per-packet, droppable, never break-on-loss.
+  // RC semantics make loss a *connection* event (hardware retries, then the
+  // QP breaks); that is the right contract inside a datacenter and exactly
+  // the wrong one over lossy/WAN paths, where a 1e-3 loss rate would break
+  // every connection within a second. UD instead delivers each datagram
+  // independently: lost, duplicated, or reordered packets are surfaced to
+  // (or hidden from) software, and reliability becomes a schedule-level
+  // concern (src/reliability). See DESIGN.md §9.
+
+  /// Fire-and-forget datagram to the peer. Always completes kSendUd at the
+  /// sender with kSuccess once the local NIC is done with `buf` — delivery
+  /// is NOT implied; the fabric's DatagramFaultProfile may drop, duplicate,
+  /// or reorder it, and an unmatched arrival (no posted UD recv) is
+  /// silently discarded and counted, never an error. Datagram traffic never
+  /// breaks the QP; posting on an already-broken (RC-severed) or closed QP
+  /// returns kQpBroken and the datagram is not sent. kBadArgs under the
+  /// same 32-bit size rule as post_send.
+  virtual PostResult post_send_ud(MemoryView buf, std::uint64_t wr_id,
+                                  std::uint32_t immediate) = 0;
+
+  /// Post a receive buffer for datagrams from this QP's peer. UD receives
+  /// form their own FIFO queue, separate from the RC receive queue: a
+  /// datagram never consumes an RC recv and vice versa. A datagram larger
+  /// than the oldest posted UD buffer discards the datagram (counted as
+  /// no_recv), not the buffer — unlike RC, where a too-small recv is a
+  /// protocol violation that breaks the connection.
+  virtual PostResult post_recv_ud(MemoryView buf, std::uint64_t wr_id) = 0;
+
   /// Locally tear the QP down (RDMA destroy-QP): posted receives are
   /// revoked with a fence — on return no in-flight transfer will touch
   /// their buffers again — and traffic still arriving for this QP is
   /// silently discarded. No completions are delivered after close(); the
   /// peer is NOT notified (group teardown is collective, §4.1). Posting
-  /// after close fails.
+  /// after close fails. Revocation covers posted UD receives too.
   virtual void close() = 0;
 
   bool broken() const { return broken_; }
@@ -244,6 +333,15 @@ class FaultInjector {
   virtual bool degrade_link(NodeId a, NodeId b, double factor,
                             double duration_s) = 0;
   virtual bool slow_node(NodeId node, double factor, double duration_s) = 0;
+
+  /// Install the fabric-wide datagram impairment profile (UD traffic only;
+  /// RC connections are unaffected). Resets the per-pair verdict streams
+  /// and the datagram counters. Applies to datagrams posted after the call;
+  /// safe from any thread, like the other injections.
+  virtual void set_datagram_faults(const DatagramFaultProfile& profile) = 0;
+
+  /// Snapshot of the fabric-wide datagram accounting.
+  virtual DatagramCounters datagram_counters() const = 0;
 
   /// Ground truth for orchestrators standing in for the external
   /// membership service of §4.6: has `node` been fail-stopped?

@@ -148,6 +148,10 @@ class MemFabric::MemEndpoint final : public Endpoint {
     // returns, no stale handler can still be mid-flight — the detach
     // guarantee rdmc::Node's destructor relies on.
     std::lock_guard lock(handler_mutex_);
+    // The fabric.hpp single-dispatch contract: at most one handler
+    // invocation per node at a time, even while fault injection races
+    // with posts.
+    assert(!in_dispatch_.exchange(true, std::memory_order_relaxed));
     if (const auto* c = std::get_if<Completion>(&event)) {
       if (completion_handler_) completion_handler_(*c);
     } else {
@@ -155,6 +159,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
       if (oob_handler_)
         oob_handler_(msg.from, std::span<const std::byte>(msg.payload));
     }
+    in_dispatch_.store(false, std::memory_order_relaxed);
   }
 
   MemFabric& fabric_;
@@ -165,6 +170,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
   std::function<void(const Completion&)> completion_handler_;
   std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
   std::atomic<CompletionMode> mode_{CompletionMode::kHybrid};
+  std::atomic<bool> in_dispatch_{false};
 
   std::mutex queue_mutex_;
   std::condition_variable cv_;
@@ -195,6 +201,9 @@ class MemFabric::MemQueuePair final : public QueuePair {
   PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
                                MemoryView local, std::uint32_t immediate,
                                std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send_ud(MemoryView buf, std::uint64_t wr_id,
+                          std::uint32_t immediate) override;
+  PostResult post_recv_ud(MemoryView buf, std::uint64_t wr_id) override;
   void close() override;
 
   NodeId self_;
@@ -217,10 +226,12 @@ struct MemFabric::Connection {
     std::uint64_t wr_id;
   };
   /// One direction of the connection: sends from `src` matched against
-  /// receives posted by `dst`.
+  /// receives posted by `dst`. UD receives are a separate queue — a
+  /// datagram never consumes an RC recv (fabric.hpp contract).
   struct Direction {
     std::deque<PendingSend> sends;
     std::deque<PostedRecv> recvs;
+    std::deque<PostedRecv> ud_recvs;
   };
 
   Connection(MemFabric& fabric, QpId qp_a, QpId qp_b, NodeId a, NodeId b)
@@ -356,6 +367,33 @@ struct MemFabric::Connection {
     return true;
   }
 
+  /// Place one surviving datagram into the receiver's oldest posted UD
+  /// recv; a missing or too-small recv discards the datagram (counted),
+  /// never an error. Call with lock held.
+  void deliver_ud_locked(NodeId src, const UdDelivery& d) {
+    MemQueuePair* sender_qp = side_for(src);
+    MemQueuePair* receiver_qp = side_for(sender_qp->peer());
+    Direction& dir = direction_from(src);
+    DatagramEngine& engine = fabric.datagrams();
+    if (receiver_qp->closed_ || dir.ud_recvs.empty() ||
+        dir.ud_recvs.front().buf.size < d.view.size) {
+      engine.count_no_recv();
+      return;
+    }
+    PostedRecv recv = std::move(dir.ud_recvs.front());
+    dir.ud_recvs.pop_front();
+    if (recv.buf.data != nullptr && d.view.data != nullptr &&
+        d.view.size > 0)
+      std::memcpy(recv.buf.data, d.view.data, d.view.size);
+    engine.count_delivered();
+    fabric.deliver(receiver_qp->self_,
+                   Completion{recv.wr_id, WcOpcode::kRecvUd,
+                              WcStatus::kSuccess,
+                              static_cast<std::uint32_t>(d.view.size),
+                              d.immediate, receiver_qp->id(),
+                              receiver_qp->peer()});
+  }
+
   /// Flush all posted work with kFlushed and notify both sides of the
   /// break. Locally closed QPs receive nothing — close() fences. Call with
   /// lock held.
@@ -384,6 +422,15 @@ struct MemFabric::Connection {
         }
       }
       dir.recvs.clear();
+      if (!rqp->closed_) {
+        for (auto& r : dir.ud_recvs) {
+          fabric.deliver(rqp->self_,
+                         Completion{r.wr_id, WcOpcode::kRecvUd,
+                                    WcStatus::kFlushed, 0, 0, rqp->id(),
+                                    rqp->peer()});
+        }
+      }
+      dir.ud_recvs.clear();
     };
     flush_dir(a_to_b, side_a.self_);
     flush_dir(b_to_a, side_b.self_);
@@ -447,6 +494,34 @@ PostResult MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
   return PostResult::kOk;
 }
 
+PostResult MemFabric::MemQueuePair::post_send_ud(MemoryView buf,
+                                                 std::uint64_t wr_id,
+                                                 std::uint32_t immediate) {
+  std::lock_guard lock(conn_.mutex);
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  const auto deliveries =
+      conn_.fabric.datagrams().on_send(self_, peer_, buf, immediate);
+  // Fire-and-forget: the sender completes as soon as the NIC is done with
+  // the buffer, whatever the fault profile decided.
+  conn_.fabric.deliver(self_,
+                       Completion{wr_id, WcOpcode::kSendUd,
+                                  WcStatus::kSuccess,
+                                  static_cast<std::uint32_t>(buf.size),
+                                  immediate, id_, peer_});
+  for (const auto& d : deliveries) conn_.deliver_ud_locked(self_, d);
+  return PostResult::kOk;
+}
+
+PostResult MemFabric::MemQueuePair::post_recv_ud(MemoryView buf,
+                                                 std::uint64_t wr_id) {
+  std::lock_guard lock(conn_.mutex);
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  conn_.direction_from(peer_).ud_recvs.push_back({buf, wr_id});
+  return PostResult::kOk;
+}
+
 void MemFabric::MemQueuePair::close() {
   std::lock_guard lock(conn_.mutex);
   closed_ = true;
@@ -455,6 +530,7 @@ void MemFabric::MemQueuePair::close() {
   // and discard anything already queued toward us.
   auto& incoming = conn_.direction_from(peer_);
   incoming.recvs.clear();
+  incoming.ud_recvs.clear();
   conn_.try_match(peer_, incoming);
 }
 

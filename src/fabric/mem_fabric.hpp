@@ -23,6 +23,7 @@
 #include <tuple>
 #include <variant>
 
+#include "fabric/datagram.hpp"
 #include "fabric/fabric.hpp"
 
 namespace rdmc::fabric {
@@ -52,7 +53,15 @@ class MemFabric final : public Fabric, public FaultInjector {
   bool degrade_link(NodeId a, NodeId b, double factor,
                     double duration_s) override;
   bool slow_node(NodeId node, double factor, double duration_s) override;
+  void set_datagram_faults(const DatagramFaultProfile& profile) override {
+    datagrams_.set_profile(profile);
+  }
+  DatagramCounters datagram_counters() const override {
+    return datagrams_.counters();
+  }
   bool crashed(NodeId node) const override;
+
+  DatagramEngine& datagrams() { return datagrams_; }
 
   /// Stop all completion threads (also done by the destructor). After
   /// stop(), no further handlers run.
@@ -95,6 +104,7 @@ class MemFabric final : public Fabric, public FaultInjector {
   /// Crashed nodes: their out-of-band mesh is dead too (a crash kills the
   /// bootstrap TCP connections along with the RDMA sessions).
   std::set<NodeId> crashed_;
+  DatagramEngine datagrams_;
   QpId next_qp_id_ = 1;
 };
 

@@ -26,6 +26,12 @@ struct SimFabric::NodeState {
   /// Slow-receiver injection: software costs scale by this (product of
   /// active slow_node windows; 1.0 when healthy).
   double software_factor = 1.0;
+  /// UD wire cursors: datagrams bypass the max-min flow network (they are
+  /// fire-and-forget packets, not long-lived flows) and instead serialise
+  /// store-and-forward through the sender's tx port and the receiver's rx
+  /// port. These record when each port next frees up.
+  sim::SimTime ud_tx_free = 0.0;
+  sim::SimTime ud_rx_free = 0.0;
   util::Rng rng;
 };
 
@@ -94,6 +100,9 @@ class SimFabric::SimQueuePair final : public QueuePair {
   PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
                                MemoryView local, std::uint32_t immediate,
                                std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send_ud(MemoryView buf, std::uint64_t wr_id,
+                          std::uint32_t immediate) override;
+  PostResult post_recv_ud(MemoryView buf, std::uint64_t wr_id) override;
   void close() override;
 
   NodeId self_;
@@ -119,6 +128,9 @@ struct SimFabric::Connection {
   struct Direction {
     std::deque<PendingSend> sends;
     std::deque<PostedRecv> recvs;
+    /// UD receives are a separate FIFO from RC receives (distinct service
+    /// type); a datagram arriving with this empty is dropped, never parked.
+    std::deque<PostedRecv> ud_recvs;
     bool in_flight = false;  // RC FIFO: one flow at a time per direction
     sim::FlowId flow = sim::kInvalidFlow;
   };
@@ -139,6 +151,11 @@ struct SimFabric::Connection {
   /// available at the target, and nothing is in flight.
   void maybe_start(NodeId src, Direction& dir);
   void on_flow_done(NodeId src, sim::SimTime t);
+  /// A datagram's last byte reached the receiver's NIC at virtual time `t`;
+  /// match it against the UD receive FIFO or drop it.
+  void deliver_ud(NodeId src, std::vector<std::byte> payload, bool phantom,
+                  std::size_t bytes, std::uint32_t immediate,
+                  std::uint64_t span, sim::SimTime t);
   void flush(sim::SimTime when_hint);
 
   SimFabric& fabric;
@@ -316,8 +333,17 @@ void SimFabric::Connection::flush(sim::SimTime when_hint) {
                        rqp->id(), rqp->peer()},
             t);
       }
+      for (auto& r : dir.ud_recvs) {
+        fabric.fault_counters_.flushed_completions++;
+        fabric.deliver_completion(
+            rqp->self_,
+            Completion{r.wr_id, WcOpcode::kRecvUd, WcStatus::kFlushed, 0, 0,
+                       rqp->id(), rqp->peer()},
+            t);
+      }
     }
     dir.recvs.clear();
+    dir.ud_recvs.clear();
   };
   flush_dir(a_to_b, side_a.self_);
   flush_dir(b_to_a, side_b.self_);
@@ -386,6 +412,110 @@ void SimFabric::SimQueuePair::close() {
   closed_ = true;
   mark_broken();
   conn_.direction_from(peer_).recvs.clear();
+  conn_.direction_from(peer_).ud_recvs.clear();
+}
+
+PostResult SimFabric::SimQueuePair::post_send_ud(MemoryView buf,
+                                                 std::uint64_t wr_id,
+                                                 std::uint32_t immediate) {
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  auto& fabric = conn_.fabric;
+  const sim::SimTime effective =
+      fabric.charge_software(self_, fabric.options_.costs.post_send_s);
+  // The engine decides loss/duplication/reordering at the sender's egress,
+  // so only surviving datagrams occupy wire time — identical verdict
+  // sequences to the mem/tcp backends by construction.
+  auto deliveries = fabric.datagrams().on_send(self_, peer_, buf, immediate);
+  NodeState& tx = fabric.node_state_[self_];
+  sim::SimTime sender_done = effective;
+  for (auto& d : deliveries) {
+    const std::size_t bytes = d.view.size;
+    const bool phantom = d.view.data == nullptr;
+    std::vector<std::byte> payload;
+    if (!phantom && bytes > 0)
+      payload.assign(d.view.data, d.view.data + bytes);
+    // Store-and-forward: serialise through the sender's tx port, propagate,
+    // then serialise through the receiver's rx port. Directed-pair caps
+    // (degrade_link) constrain the wire rate like they do for flows.
+    double rate = std::min(fabric.topology_.node_tx_Bps(self_),
+                           fabric.topology_.node_rx_Bps(peer_));
+    if (auto cap = fabric.topology_.pair_cap_Bps(self_, peer_))
+      rate = std::min(rate, *cap);
+    const double wire_s =
+        rate > 0.0 ? static_cast<double>(bytes) / rate : 0.0;
+    const sim::SimTime tx_start = std::max(effective, tx.ud_tx_free);
+    const sim::SimTime tx_end = tx_start + wire_s;
+    tx.ud_tx_free = tx_end;
+    sender_done = tx_end;
+    NodeState& rx = fabric.node_state_[peer_];
+    const sim::SimTime rx_end =
+        std::max(tx_end + fabric.topology_.latency(self_, peer_),
+                 rx.ud_rx_free + wire_s);
+    rx.ud_rx_free = rx_end;
+    const std::uint64_t span = fabric.ud_wire_seq_++;
+    if (auto* tr = obs::tracer())
+      tr->begin(obs::Cat::kFabric, "udxfer", self_, span, tx_start,
+                "dst,bytes,imm,seq", peer_, bytes, d.immediate, d.index);
+    fabric.sim_.at(rx_end, [conn = &conn_, src = self_,
+                            payload = std::move(payload), phantom, bytes,
+                            imm = d.immediate, span]() mutable {
+      conn->deliver_ud(src, std::move(payload), phantom, bytes, imm, span,
+                       conn->fabric.sim_.now());
+    });
+  }
+  // Fire-and-forget: the sender always completes successfully once its NIC
+  // handed off the last surviving byte (or immediately if nothing survived).
+  fabric.deliver_completion(
+      self_,
+      Completion{wr_id, WcOpcode::kSendUd, WcStatus::kSuccess,
+                 static_cast<std::uint32_t>(buf.size), immediate, id_,
+                 peer_},
+      sender_done);
+  return PostResult::kOk;
+}
+
+PostResult SimFabric::SimQueuePair::post_recv_ud(MemoryView buf,
+                                                 std::uint64_t wr_id) {
+  if (conn_.broken || broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  conn_.fabric.charge_software(self_,
+                               conn_.fabric.options_.costs.post_recv_s);
+  conn_.direction_from(peer_).ud_recvs.push_back({buf, wr_id});
+  return PostResult::kOk;
+}
+
+void SimFabric::Connection::deliver_ud(NodeId src,
+                                       std::vector<std::byte> payload,
+                                       bool phantom, std::size_t bytes,
+                                       std::uint32_t immediate,
+                                       std::uint64_t span, sim::SimTime t) {
+  SimQueuePair* sqp = side_for(src);
+  SimQueuePair* rqp = side_for(sqp->peer());
+  auto& dir = direction_from(src);
+  bool delivered = false;
+  if (!broken && !rqp->closed_ && !fabric.crashed_.contains(rqp->self_) &&
+      !dir.ud_recvs.empty() && dir.ud_recvs.front().buf.size >= bytes) {
+    PostedRecv recv = std::move(dir.ud_recvs.front());
+    dir.ud_recvs.pop_front();
+    if (!phantom && recv.buf.data && bytes > 0)
+      std::memcpy(recv.buf.data, payload.data(), bytes);
+    fabric.datagrams().count_delivered();
+    delivered = true;
+    fabric.deliver_completion(
+        rqp->self_,
+        Completion{recv.wr_id, WcOpcode::kRecvUd, WcStatus::kSuccess,
+                   static_cast<std::uint32_t>(bytes), immediate, rqp->id(),
+                   rqp->peer()},
+        t);
+  } else {
+    // No posted receive / too small / receiver gone: silently discarded
+    // and counted — a dropped datagram never breaks the QP.
+    fabric.datagrams().count_no_recv();
+  }
+  if (auto* tr = obs::tracer())
+    tr->end(obs::Cat::kFabric, "udxfer", src, span, t, "dst,delivered",
+            rqp->self_, delivered ? 1 : 0);
 }
 
 PostResult SimFabric::SimQueuePair::post_window_write(

@@ -24,6 +24,7 @@
 #include <set>
 #include <tuple>
 
+#include "fabric/datagram.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/cluster_profiles.hpp"
 #include "sim/delay_model.hpp"
@@ -70,8 +71,24 @@ class SimFabric final : public Fabric, public FaultInjector {
   bool degrade_link(NodeId a, NodeId b, double factor,
                     double duration_s) override;
   bool slow_node(NodeId node, double factor, double duration_s) override;
+  void set_datagram_faults(const DatagramFaultProfile& profile) override {
+    datagrams_.set_profile(profile);
+  }
+  DatagramCounters datagram_counters() const override {
+    return datagrams_.counters();
+  }
   bool crashed(NodeId node) const override {
     return crashed_.contains(node);
+  }
+
+  DatagramEngine& datagrams() { return datagrams_; }
+
+  /// Charge application-level software work (e.g. an erasure decode in
+  /// src/reliability) on `node`'s virtual CPU, honouring slow-node factors
+  /// and the preemption process exactly like the fabric's own costs.
+  /// Returns the virtual time at which the work completes.
+  sim::SimTime charge_app_seconds(NodeId node, double seconds) {
+    return charge_software(node, seconds);
   }
 
   /// Fault-path observability (PerfStats and the chaos campaign read these
@@ -139,6 +156,9 @@ class SimFabric final : public Fabric, public FaultInjector {
   std::set<NodeId> crashed_;
   std::map<std::uint64_t, Degrade> degrades_;
   FaultCounters fault_counters_;
+  DatagramEngine datagrams_;
+  /// Monotonic id for "udxfer" trace spans (one per datagram on the wire).
+  std::uint64_t ud_wire_seq_ = 1;
   QpId next_qp_id_ = 1;
 };
 

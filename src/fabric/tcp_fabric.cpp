@@ -27,6 +27,9 @@ enum class FrameType : std::uint8_t {
   kWriteImm = 2,     // one-sided write-with-immediate (no payload)
   kWindowWrite = 3,  // one-sided payload write into a registered window
   kOob = 4,          // out-of-band control mesh
+  kSendUd = 5,       // unreliable datagram (consumes a posted UD receive);
+                     // impairment decided sender-side, so the wire carries
+                     // only surviving datagrams in their final order
 };
 
 /// Wire header. Single-architecture deployments assumed (host byte order),
@@ -105,6 +108,9 @@ class TcpFabric::TcpQueuePair final : public QueuePair {
   PostResult post_window_write(std::uint32_t window_id, std::uint64_t offset,
                                MemoryView local, std::uint32_t immediate,
                                std::uint64_t wr_id, bool signaled) override;
+  PostResult post_send_ud(MemoryView buf, std::uint64_t wr_id,
+                          std::uint32_t immediate) override;
+  PostResult post_recv_ud(MemoryView buf, std::uint64_t wr_id) override;
   void close() override;
 
   TcpEndpoint& owner_;
@@ -172,6 +178,10 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
     /// Early arrivals (sender raced our post_recv): kernel TCP has the
     /// bytes either way, so we park them here. Bounded.
     std::deque<std::pair<std::vector<std::byte>, std::uint32_t>> pending;
+    /// UD receive queue — separate FIFO; a datagram arriving with no
+    /// posted UD recv is dropped (counted), never parked: unreliable
+    /// datagrams have no early-arrival cushion.
+    std::deque<PostedRecv> ud_recvs;
   };
 
   struct OobMsg {
@@ -222,6 +232,7 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
   std::function<void(const Completion&)> completion_handler_;
   std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
   std::atomic<CompletionMode> mode_{CompletionMode::kHybrid};
+  std::atomic<bool> in_dispatch_{false};
 
   std::mutex queue_mutex_;
   std::condition_variable cv_;
@@ -325,6 +336,31 @@ bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
         if (rx.pending.size() >= kMaxPending) return false;
         rx.pending.emplace_back(std::move(payload), header.immediate);
       }
+      return true;
+    }
+    case FrameType::kSendUd: {
+      auto* qp = static_cast<TcpQueuePair*>(
+          get_or_create_qp(peer, header.channel));
+      std::vector<std::byte> payload(header.length);
+      if (!read_exact(fd, payload.data(), header.length)) return false;
+      DatagramEngine& engine = fabric_.datagrams();
+      std::lock_guard lock(state_mutex_);
+      ChannelRx& rx = rx_[{peer, header.channel}];
+      if (qp->closed_ || rx.ud_recvs.empty() ||
+          rx.ud_recvs.front().buf.size < header.length) {
+        // UD semantics: no posted (or a too-small) UD recv discards the
+        // datagram, never the buffer, and never severs anything.
+        engine.count_no_recv();
+        return true;
+      }
+      const auto recv = rx.ud_recvs.front();
+      rx.ud_recvs.pop_front();
+      if (recv.buf.data != nullptr)
+        std::memcpy(recv.buf.data, payload.data(), header.length);
+      engine.count_delivered();
+      push(Completion{recv.wr_id, WcOpcode::kRecvUd, WcStatus::kSuccess,
+                      static_cast<std::uint32_t>(header.length),
+                      header.immediate, qp->id(), peer});
       return true;
     }
     case FrameType::kWriteImm: {
@@ -500,8 +536,14 @@ void TcpFabric::TcpEndpoint::sever_peer(NodeId peer) {
                                          WcStatus::kFlushed, 0, 0, qp->id(),
                                          peer});
           }
+          for (const auto& recv : rx_it->second.ud_recvs) {
+            flushes.push_back(Completion{recv.wr_id, WcOpcode::kRecvUd,
+                                         WcStatus::kFlushed, 0, 0, qp->id(),
+                                         peer});
+          }
         }
         rx_it->second.recvs.clear();
+        rx_it->second.ud_recvs.clear();
       }
       if (!qp->closed_) {
         flushes.push_back(Completion{0, WcOpcode::kDisconnect,
@@ -567,6 +609,10 @@ void TcpFabric::TcpEndpoint::slow_dispatch_delay() {
 
 void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
   std::lock_guard lock(handler_mutex_);
+  // The fabric.hpp single-dispatch contract: at most one handler
+  // invocation per node at a time, even while fault injection races
+  // with posts.
+  assert(!in_dispatch_.exchange(true, std::memory_order_relaxed));
   if (const auto* c = std::get_if<Completion>(&event)) {
     if (completion_handler_) completion_handler_(*c);
   } else {
@@ -574,6 +620,7 @@ void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
     if (oob_handler_)
       oob_handler_(msg.from, std::span<const std::byte>(msg.payload));
   }
+  in_dispatch_.store(false, std::memory_order_relaxed);
 }
 
 void TcpFabric::TcpEndpoint::stop() {
@@ -622,6 +669,7 @@ void TcpFabric::TcpQueuePair::close() {
   if (it != owner_.rx_.end()) {
     it->second.recvs.clear();
     it->second.pending.clear();
+    it->second.ud_recvs.clear();
   }
 }
 
@@ -674,6 +722,40 @@ PostResult TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
     return PostResult::kOk;
   }
   rx.recvs.push_back({buf, wr_id});
+  return PostResult::kOk;
+}
+
+PostResult TcpFabric::TcpQueuePair::post_send_ud(MemoryView buf,
+                                                 std::uint64_t wr_id,
+                                                 std::uint32_t immediate) {
+  if (broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  const auto deliveries =
+      owner_.fabric_.datagrams().on_send(owner_.id(), peer_, buf, immediate);
+  // Fire-and-forget: completion once the kernel has the surviving bytes
+  // (or immediately, when the profile dropped/held the datagram).
+  for (const auto& d : deliveries) {
+    FrameHeader header;
+    header.type = FrameType::kSendUd;
+    header.channel = channel_;
+    header.immediate = d.immediate;
+    header.length = d.view.size;
+    // A socket-level failure here is real loss — exactly what UD permits;
+    // it never fails the post.
+    (void)owner_.send_frame(peer_, header, d.view);
+  }
+  owner_.push(Completion{wr_id, WcOpcode::kSendUd, WcStatus::kSuccess,
+                         static_cast<std::uint32_t>(buf.size), immediate,
+                         id(), peer_});
+  return PostResult::kOk;
+}
+
+PostResult TcpFabric::TcpQueuePair::post_recv_ud(MemoryView buf,
+                                                 std::uint64_t wr_id) {
+  if (broken()) return PostResult::kQpBroken;
+  if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
+  std::lock_guard lock(owner_.state_mutex_);
+  owner_.rx_[{peer_, channel_}].ud_recvs.push_back({buf, wr_id});
   return PostResult::kOk;
 }
 

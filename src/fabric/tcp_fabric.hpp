@@ -37,6 +37,7 @@
 #include <variant>
 #include <vector>
 
+#include "fabric/datagram.hpp"
 #include "fabric/fabric.hpp"
 
 namespace rdmc::fabric {
@@ -76,7 +77,15 @@ class TcpFabric final : public Fabric, public FaultInjector {
   bool degrade_link(NodeId a, NodeId b, double factor,
                     double duration_s) override;
   bool slow_node(NodeId node, double factor, double duration_s) override;
+  void set_datagram_faults(const DatagramFaultProfile& profile) override {
+    datagrams_.set_profile(profile);
+  }
+  DatagramCounters datagram_counters() const override {
+    return datagrams_.counters();
+  }
   bool crashed(NodeId node) const override;
+
+  DatagramEngine& datagrams() { return datagrams_; }
 
   /// The resolved listen address of a local node (useful with port 0).
   TcpAddress local_address(NodeId node) const;
@@ -94,6 +103,7 @@ class TcpFabric final : public Fabric, public FaultInjector {
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;  // index = node id
   mutable std::mutex crashed_mutex_;
   std::vector<bool> crashed_;  // index = node id
+  DatagramEngine datagrams_;
   std::atomic<QpId> next_qp_id_{1};
 };
 

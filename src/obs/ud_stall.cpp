@@ -1,0 +1,176 @@
+#include "obs/ud_stall.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace rdmc::obs {
+
+namespace {
+
+constexpr std::uint32_t kImmRetx = 0x80000000u;
+
+// Slice classes, in overlap priority order (higher wins).
+enum Class : int { kTransfer = 0, kRetransmit = 1, kRepair = 2 };
+
+struct Segment {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Class cls = kTransfer;
+};
+
+bool is(const TraceEvent& e, const char* name) {
+  return std::strcmp(e.name, name) == 0;
+}
+
+}  // namespace
+
+UdMulticastAnalysis analyze_ud_multicast(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::uint32_t>& members) {
+  UdMulticastAnalysis out;
+  if (members.size() < 2) {
+    out.warnings.push_back("need a root and at least one receiver");
+    return out;
+  }
+
+  bool have_start = false;
+  for (const TraceEvent& e : events) {
+    if (e.phase == Phase::kInstant && is(e, "ud.msgstart")) {
+      out.msg_start = e.ts;
+      have_start = true;
+      break;
+    }
+  }
+  if (!have_start) {
+    out.warnings.push_back("no ud.msgstart instant in trace");
+    return out;
+  }
+
+  for (std::size_t r = 1; r < members.size(); ++r) {
+    const std::uint32_t node = members[r];
+    UdStallBreakdown b;
+    b.node = node;
+
+    bool delivered = false;
+    double deliver_ts = 0.0;
+    for (const TraceEvent& e : events) {
+      if (e.phase == Phase::kInstant && e.node == node &&
+          is(e, "ud.deliver")) {
+        deliver_ts = e.ts;
+        delivered = true;
+        break;
+      }
+    }
+    if (!delivered) {
+      out.warnings.push_back("no ud.deliver instant for node " +
+                             std::to_string(node));
+      out.receivers.push_back(b);
+      continue;
+    }
+    b.latency_s = deliver_ts - out.msg_start;
+
+    // Wire spans addressed to this receiver ("udxfer", a0 = dst) and the
+    // receiver's own repair span, matched begin->end by span id.
+    std::vector<Segment> segs;
+    std::unordered_map<std::uint64_t, Segment> open;
+    for (const TraceEvent& e : events) {
+      if (e.cat == Cat::kFabric && is(e, "udxfer")) {
+        if (e.phase == Phase::kBegin && e.a[0] == node) {
+          Segment s;
+          s.t0 = e.ts;
+          s.cls = (e.a[2] & kImmRetx) ? kRetransmit : kTransfer;
+          open[e.id] = s;
+        } else if (e.phase == Phase::kEnd) {
+          auto it = open.find(e.id);
+          if (it == open.end()) continue;
+          it->second.t1 = e.ts;
+          segs.push_back(it->second);
+          open.erase(it);
+        }
+      } else if (e.cat == Cat::kApp && e.node == node && is(e, "ud.repair")) {
+        if (e.phase == Phase::kBegin) {
+          open[~e.id] = Segment{e.ts, e.ts, kRepair};
+        } else if (e.phase == Phase::kEnd) {
+          auto it = open.find(~e.id);
+          if (it == open.end()) continue;
+          it->second.t1 = e.ts;
+          segs.push_back(it->second);
+          open.erase(it);
+        }
+      }
+    }
+    if (!open.empty()) {
+      out.warnings.push_back("unmatched span begin(s) for node " +
+                             std::to_string(node));
+    }
+
+    // Clip to the delivery interval; count before clipping drops them.
+    std::vector<Segment> clipped;
+    for (Segment s : segs) {
+      if (s.cls != kRepair) {
+        ++b.datagrams;
+        if (s.cls == kRetransmit) ++b.retx_datagrams;
+      }
+      s.t0 = std::max(s.t0, out.msg_start);
+      s.t1 = std::min(s.t1, deliver_ts);
+      if (s.t1 > s.t0) clipped.push_back(s);
+    }
+
+    // Boundary sweep over the elementary slices of [msg_start, deliver].
+    std::vector<double> cuts;
+    cuts.push_back(out.msg_start);
+    cuts.push_back(deliver_ts);
+    for (const Segment& s : clipped) {
+      cuts.push_back(s.t0);
+      cuts.push_back(s.t1);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    const std::size_t n = cuts.size() ? cuts.size() - 1 : 0;
+    std::vector<int> cls(n, -1);  // -1 = idle
+    for (const Segment& s : clipped) {
+      const auto lo = std::lower_bound(cuts.begin(), cuts.end(), s.t0);
+      const auto hi = std::lower_bound(cuts.begin(), cuts.end(), s.t1);
+      for (auto it = lo; it != hi; ++it) {
+        const std::size_t i = static_cast<std::size_t>(it - cuts.begin());
+        cls[i] = std::max(cls[i], static_cast<int>(s.cls));
+      }
+    }
+
+    // Idle slices take the class of the next busy slice (a gap before a
+    // retransmit or repair is loss-induced stall); idle before ordinary
+    // transfers and trailing idle are schedule wait.
+    int next_busy = -1;
+    for (std::size_t i = n; i-- > 0;) {
+      const double dt = cuts[i + 1] - cuts[i];
+      int c = cls[i];
+      if (c < 0) {
+        c = (next_busy == kRetransmit || next_busy == kRepair) ? next_busy
+                                                               : -1;
+      } else {
+        next_busy = c;
+      }
+      switch (c) {
+        case kTransfer:
+          b.transfer_s += dt;
+          break;
+        case kRetransmit:
+          b.retransmit_s += dt;
+          break;
+        case kRepair:
+          b.repair_s += dt;
+          break;
+        default:
+          b.wait_s += dt;
+          break;
+      }
+    }
+
+    out.receivers.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace rdmc::obs

@@ -1,0 +1,67 @@
+// Stall analyzer for unreliable-datagram multicast sessions.
+//
+// The RC analyzer (obs/stall.hpp) walks a block dependency chain, which
+// only exists when transfers are ordered and lossless. A UD session has
+// neither property — datagrams are dropped, duplicated and reordered, and
+// repair traffic (retransmits, erasure decode) overlaps the original
+// rotation — so this analyzer tiles each receiver's delivery interval
+// directly from the wire spans instead of chasing causality.
+//
+// For one receiver, the interval [ud.msgstart, ud.deliver] is cut at every
+// span boundary and each elementary slice is classified:
+//   * transfer   — some first-transmission datagram addressed to this
+//                  receiver was on the wire ("udxfer" span, retx bit clear);
+//   * retransmit — a repair datagram was on the wire (retx bit set in the
+//                  immediate); wins over transfer when both overlap;
+//   * repair     — the receiver was reconstructing missing blocks from
+//                  parity ("ud.repair" span); wins over both;
+//   * wait       — nothing addressed to this receiver was in flight and the
+//                  next activity is a first transmission (ordinary schedule
+//                  gaps), or nothing follows at all.
+// An idle slice that precedes retransmit or repair activity is charged to
+// that class — the receiver was stalled *because* loss forced a repair
+// round-trip, so the NACK pacing time belongs to the repair, not to the
+// schedule. The slices tile the interval exactly: per-class sums add up to
+// the measured delivery latency by construction.
+//
+// Requires a fabric that emits "udxfer" wire spans (SimFabric). The session
+// emits ud.msgstart / ud.deliver / ud.repair on every fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rdmc::obs {
+
+struct UdStallBreakdown {
+  std::uint32_t node = 0;    // receiver (fabric NodeId)
+  double latency_s = 0.0;    // ud.msgstart -> this node's ud.deliver
+  double transfer_s = 0.0;
+  double wait_s = 0.0;
+  double retransmit_s = 0.0;
+  double repair_s = 0.0;
+  std::size_t datagrams = 0;       // wire spans addressed to this node
+  std::size_t retx_datagrams = 0;  // of which carried the retx flag
+  double sum() const {
+    return transfer_s + wait_s + retransmit_s + repair_s;
+  }
+};
+
+struct UdMulticastAnalysis {
+  double msg_start = 0.0;  // root's pump-start instant
+  std::vector<UdStallBreakdown> receivers;
+  std::vector<std::string> warnings;  // missing/unmatched trace events
+  bool ok() const { return warnings.empty(); }
+};
+
+/// Attribute delivery latency for every non-root member. `members` are
+/// fabric node ids with `members[0]` the root; `events` is a TraceRecorder
+/// snapshot covering the whole session.
+UdMulticastAnalysis analyze_ud_multicast(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::uint32_t>& members);
+
+}  // namespace rdmc::obs

@@ -1,0 +1,55 @@
+#include "reliability/gf256.hpp"
+
+namespace rdmc::reliability::gf256 {
+
+namespace {
+
+struct Tables {
+  std::uint8_t exp[512];
+  std::uint8_t log[256];
+  std::uint8_t mul[256 * 256];
+
+  Tables() {
+    // Generator 2 is primitive for 0x11D.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted for zero operands
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        mul[(a << 8) | b] =
+            (a == 0 || b == 0) ? 0 : exp[log[a] + log[b]];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().mul[(static_cast<std::size_t>(a) << 8) | b];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+void muladd(std::uint8_t* y, const std::uint8_t* x, std::uint8_t c,
+            std::size_t n) {
+  if (c == 0) return;
+  const std::uint8_t* row = &tables().mul[static_cast<std::size_t>(c) << 8];
+  for (std::size_t i = 0; i < n; ++i) y[i] ^= row[x[i]];
+}
+
+}  // namespace rdmc::reliability::gf256

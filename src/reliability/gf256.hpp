@@ -1,0 +1,24 @@
+// GF(2^8) arithmetic for the Reed-Solomon reliability policy.
+//
+// The field is GF(256) with the usual AES-adjacent reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D). Multiplication goes through a
+// precomputed 64 KB full product table so the per-byte coding loop is one
+// load and one xor — plenty for repairing multicast losses, where the work
+// is proportional to *lost* bytes, not transferred bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdmc::reliability::gf256 {
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; a must be non-zero.
+std::uint8_t inv(std::uint8_t a);
+
+/// y[i] ^= c * x[i] for i in [0, n) — the coding inner loop.
+void muladd(std::uint8_t* y, const std::uint8_t* x, std::uint8_t c,
+            std::size_t n);
+
+}  // namespace rdmc::reliability::gf256

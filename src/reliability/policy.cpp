@@ -1,0 +1,258 @@
+#include "reliability/policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "reliability/rs_code.hpp"
+
+namespace rdmc::reliability {
+
+std::string_view policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kNone:
+      return "none";
+    case Policy::kSelectiveRepeat:
+      return "selective-repeat";
+    case Policy::kErasure:
+      return "erasure";
+  }
+  return "?";
+}
+
+std::optional<Policy> parse_policy(std::string_view name) {
+  if (name == "none") return Policy::kNone;
+  if (name == "selective-repeat" || name == "sr")
+    return Policy::kSelectiveRepeat;
+  if (name == "erasure" || name == "rs") return Policy::kErasure;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared base for the two uncoded policies: wire blocks are exactly the
+/// data blocks.
+class UncodedPolicy : public ReliabilityPolicy {
+ public:
+  std::size_t wire_blocks(std::size_t data_blocks) const override {
+    return data_blocks;
+  }
+  std::size_t data_block_of(std::size_t w,
+                            std::size_t /*data_blocks*/) const override {
+    return w;
+  }
+  std::size_t parity_ordinal_of(std::size_t /*w*/,
+                                std::size_t /*data_blocks*/) const override {
+    return SIZE_MAX;
+  }
+  bool complete(const std::vector<bool>& have,
+                std::size_t data_blocks) const override {
+    for (std::size_t b = 0; b < data_blocks; ++b) {
+      if (!have[b]) return false;
+    }
+    return true;
+  }
+};
+
+class NonePolicy final : public UncodedPolicy {
+ public:
+  Policy kind() const override { return Policy::kNone; }
+  std::vector<std::uint32_t> nack_set(const std::vector<bool>&, std::size_t,
+                                      std::size_t) const override {
+    return {};  // break-on-loss semantics minus the break: losses stay lost
+  }
+};
+
+class SelectiveRepeatPolicy final : public UncodedPolicy {
+ public:
+  Policy kind() const override { return Policy::kSelectiveRepeat; }
+  std::vector<std::uint32_t> nack_set(const std::vector<bool>& have,
+                                      std::size_t data_blocks,
+                                      std::size_t limit) const override {
+    std::vector<std::uint32_t> missing;
+    for (std::size_t b = 0; b < data_blocks && missing.size() < limit; ++b) {
+      if (!have[b]) missing.push_back(static_cast<std::uint32_t>(b));
+    }
+    return missing;
+  }
+};
+
+/// Stripe layout: stripe s occupies wire blocks [s*(k+m), s*(k+m)+d+m)
+/// where d = min(k, data_blocks - s*k) — d data slots then m parity slots.
+/// A short final stripe is padded with implicit zero symbols, which count
+/// as held for decodability (k - d free symbols), so it only needs d of
+/// its d + m real symbols.
+class ErasurePolicy final : public ReliabilityPolicy {
+ public:
+  ErasurePolicy(std::size_t k, std::size_t m) : code_(k, m) {}
+
+  Policy kind() const override { return Policy::kErasure; }
+
+  std::size_t k() const { return code_.k(); }
+  std::size_t m() const { return code_.m(); }
+
+  std::size_t num_stripes(std::size_t data_blocks) const {
+    return (data_blocks + k() - 1) / k();
+  }
+  std::size_t stripe_data(std::size_t stripe, std::size_t data_blocks) const {
+    return std::min(k(), data_blocks - stripe * k());
+  }
+
+  std::size_t wire_blocks(std::size_t data_blocks) const override {
+    return data_blocks + num_stripes(data_blocks) * m();
+  }
+
+  std::size_t data_block_of(std::size_t w,
+                            std::size_t data_blocks) const override {
+    const std::size_t span = k() + m();
+    const std::size_t stripe = w / span;
+    const std::size_t slot = w % span;
+    if (slot >= stripe_data(stripe, data_blocks)) return SIZE_MAX;
+    return stripe * k() + slot;
+  }
+
+  std::size_t parity_ordinal_of(std::size_t w,
+                                std::size_t data_blocks) const override {
+    const std::size_t span = k() + m();
+    const std::size_t stripe = w / span;
+    const std::size_t slot = w % span;
+    const std::size_t d = stripe_data(stripe, data_blocks);
+    if (slot < d) return SIZE_MAX;
+    return stripe * m() + (slot - d);
+  }
+
+  bool complete(const std::vector<bool>& have,
+                std::size_t data_blocks) const override {
+    const std::size_t span = k() + m();
+    for (std::size_t s = 0; s < num_stripes(data_blocks); ++s) {
+      const std::size_t d = stripe_data(s, data_blocks);
+      std::size_t held = 0;
+      for (std::size_t slot = 0; slot < d + m(); ++slot) {
+        if (have[s * span + slot]) ++held;
+      }
+      if (held < d) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::uint32_t> nack_set(const std::vector<bool>& have,
+                                      std::size_t data_blocks,
+                                      std::size_t limit) const override {
+    // Only undecodable stripes need anything; request their missing data
+    // blocks directly (parity already on the wire did not save them).
+    std::vector<std::uint32_t> missing;
+    const std::size_t span = k() + m();
+    for (std::size_t s = 0;
+         s < num_stripes(data_blocks) && missing.size() < limit; ++s) {
+      const std::size_t d = stripe_data(s, data_blocks);
+      std::size_t held = 0;
+      for (std::size_t slot = 0; slot < d + m(); ++slot) {
+        if (have[s * span + slot]) ++held;
+      }
+      if (held >= d) continue;
+      for (std::size_t slot = 0; slot < d && missing.size() < limit;
+           ++slot) {
+        if (!have[s * span + slot]) {
+          missing.push_back(static_cast<std::uint32_t>(s * span + slot));
+        }
+      }
+    }
+    return missing;
+  }
+
+  std::uint64_t decode_cost_bytes(const std::vector<bool>& have,
+                                  std::size_t data_blocks,
+                                  std::size_t block_size) const override {
+    // Reconstructing one symbol is ~k muladd passes over block_size bytes.
+    const std::size_t span = k() + m();
+    std::uint64_t cost = 0;
+    for (std::size_t s = 0; s < num_stripes(data_blocks); ++s) {
+      const std::size_t d = stripe_data(s, data_blocks);
+      for (std::size_t slot = 0; slot < d; ++slot) {
+        if (!have[s * span + slot]) {
+          cost += static_cast<std::uint64_t>(k()) * block_size;
+        }
+      }
+    }
+    return cost;
+  }
+
+  bool repair(const std::vector<bool>& have, std::size_t data_blocks,
+              std::size_t block_size, std::byte* data, std::size_t size,
+              const std::vector<std::vector<std::byte>>& parity)
+      const override {
+    const std::size_t span = k() + m();
+    // The final data block may be shorter than block_size; coding treats
+    // every symbol as block_size bytes with a zero tail, so reconstruct
+    // short blocks via a scratch symbol.
+    std::vector<std::byte> scratch;
+    for (std::size_t s = 0; s < num_stripes(data_blocks); ++s) {
+      const std::size_t d = stripe_data(s, data_blocks);
+      bool all = true;
+      for (std::size_t slot = 0; slot < d; ++slot) {
+        if (!have[s * span + slot]) all = false;
+      }
+      if (all) continue;
+
+      std::vector<std::byte*> sym(k(), nullptr);
+      std::vector<bool> have_sym(k(), true);  // pads beyond d stay "held"
+      std::vector<const std::byte*> par(m(), nullptr);
+      std::vector<bool> have_par(m(), false);
+      std::vector<std::pair<std::size_t, std::size_t>> short_fixups;
+      for (std::size_t slot = 0; slot < d; ++slot) {
+        const std::size_t block = s * k() + slot;
+        const std::size_t off = block * block_size;
+        const std::size_t len = std::min(block_size, size - off);
+        have_sym[slot] = have[s * span + slot];
+        if (len == block_size) {
+          sym[slot] = data + off;
+        } else if (!have_sym[slot]) {
+          // Short missing block: decode into scratch, copy the real bytes.
+          scratch.assign(block_size, std::byte{0});
+          sym[slot] = scratch.data();
+          short_fixups.emplace_back(slot, off);
+        } else {
+          // Short held block: present it zero-padded via scratch too.
+          scratch.assign(block_size, std::byte{0});
+          std::copy(data + off, data + off + len, scratch.begin());
+          sym[slot] = scratch.data();
+        }
+      }
+      for (std::size_t j = 0; j < m(); ++j) {
+        const std::size_t ordinal = s * m() + j;
+        if (have[s * span + d + j] && ordinal < parity.size() &&
+            !parity[ordinal].empty()) {
+          par[j] = parity[ordinal].data();
+          have_par[j] = true;
+        }
+      }
+      if (!code_.decode(sym, have_sym, par, have_par, block_size))
+        return false;
+      for (const auto& [slot, off] : short_fixups) {
+        const std::size_t len = std::min(block_size, size - off);
+        std::copy(sym[slot], sym[slot] + len, data + off);
+      }
+    }
+    return true;
+  }
+
+ private:
+  RsCode code_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReliabilityPolicy> make_policy(Policy policy,
+                                               std::size_t rs_k,
+                                               std::size_t rs_m) {
+  switch (policy) {
+    case Policy::kNone:
+      return std::make_unique<NonePolicy>();
+    case Policy::kSelectiveRepeat:
+      return std::make_unique<SelectiveRepeatPolicy>();
+    case Policy::kErasure:
+      return std::make_unique<ErasurePolicy>(rs_k, rs_m);
+  }
+  return nullptr;
+}
+
+}  // namespace rdmc::reliability

@@ -1,0 +1,112 @@
+// Software-defined reliability policies for UD multicast (SDR-RDMA style).
+//
+// RC transports make loss a membership event: one dropped packet breaks the
+// QP and triggers group recovery — the right call inside a datacenter where
+// loss means a dying component, and exactly the wrong call on lossy/WAN
+// paths where sub-percent random loss is weather, not failure. The UD
+// service type (fabric::QueuePair::post_send_ud) never breaks on loss;
+// these policies put reliability back in software, on top of the same
+// block schedules src/sched already provides:
+//
+//   * kNone            — raw schedule over UD; losses are never repaired
+//                        (the strawman that motivates everything else);
+//   * kSelectiveRepeat — receivers NACK missing blocks when probed and the
+//                        root retransmits exactly those (bounded per-round
+//                        windows), ARQ style;
+//   * kErasure         — the root folds m Reed-Solomon parity blocks per k
+//                        data blocks into the wire rotation; any k of each
+//                        stripe's k+m symbols recover it, so most losses
+//                        are repaired with zero extra round trips. NACK
+//                        repair remains as a backstop for storms that
+//                        exceed the parity budget.
+//
+// A policy defines the *wire-block* universe the schedule rotates over
+// (data blocks, plus parity for kErasure), when a receiver's holdings
+// suffice to reconstruct the message, what to NACK, and how to repair.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace rdmc::reliability {
+
+enum class Policy { kNone, kSelectiveRepeat, kErasure };
+
+std::string_view policy_name(Policy policy);
+std::optional<Policy> parse_policy(std::string_view name);
+
+class ReliabilityPolicy {
+ public:
+  virtual ~ReliabilityPolicy() = default;
+
+  virtual Policy kind() const = 0;
+  std::string_view name() const { return policy_name(kind()); }
+
+  /// Size of the wire rotation for a message of `data_blocks` blocks.
+  /// The schedule runs over wire blocks, so parity rides the same binomial
+  /// pipeline / chain / tree as the data.
+  virtual std::size_t wire_blocks(std::size_t data_blocks) const = 0;
+
+  /// Data block carried by wire block `w`, or SIZE_MAX when `w` carries
+  /// repair information (parity).
+  virtual std::size_t data_block_of(std::size_t w,
+                                    std::size_t data_blocks) const = 0;
+
+  /// Dense parity index (stripe * m + j) of wire block `w`, or SIZE_MAX
+  /// when `w` is a data block.
+  virtual std::size_t parity_ordinal_of(std::size_t w,
+                                        std::size_t data_blocks) const = 0;
+
+  /// True when a receiver holding `have` (wire-block bitmap) can
+  /// reconstruct every data block.
+  virtual bool complete(const std::vector<bool>& have,
+                        std::size_t data_blocks) const = 0;
+
+  /// Wire blocks worth NACKing, most useful first, capped at `limit`.
+  /// kNone returns nothing: its losses are permanent by design.
+  virtual std::vector<std::uint32_t> nack_set(const std::vector<bool>& have,
+                                              std::size_t data_blocks,
+                                              std::size_t limit) const = 0;
+
+  /// Modelled decode work (bytes touched) to reconstruct the message from
+  /// `have` — charged to the receiver's virtual CPU in simulation. Zero
+  /// for non-coded policies.
+  virtual std::uint64_t decode_cost_bytes(const std::vector<bool>& have,
+                                          std::size_t data_blocks,
+                                          std::size_t block_size) const {
+    (void)have;
+    (void)data_blocks;
+    (void)block_size;
+    return 0;
+  }
+
+  /// Reconstruct the missing data blocks in place (real-buffer mode).
+  /// `data` is the message buffer, `parity` the receiver's parity store
+  /// indexed by dense parity ordinal (empty vector = never received).
+  /// Precondition: complete(have) — returns false if reconstruction is
+  /// impossible anyway.
+  virtual bool repair(const std::vector<bool>& have, std::size_t data_blocks,
+                      std::size_t block_size, std::byte* data,
+                      std::size_t size,
+                      const std::vector<std::vector<std::byte>>& parity)
+      const {
+    (void)have;
+    (void)data_blocks;
+    (void)block_size;
+    (void)data;
+    (void)size;
+    (void)parity;
+    return true;
+  }
+};
+
+/// `rs_k`/`rs_m` are the erasure stripe geometry (ignored by the others).
+std::unique_ptr<ReliabilityPolicy> make_policy(Policy policy,
+                                               std::size_t rs_k = 8,
+                                               std::size_t rs_m = 2);
+
+}  // namespace rdmc::reliability

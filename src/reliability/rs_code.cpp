@@ -1,0 +1,120 @@
+#include "reliability/rs_code.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "reliability/gf256.hpp"
+
+namespace rdmc::reliability {
+
+RsCode::RsCode(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  assert(k >= 1 && m >= 1 && k + m <= 256);
+  cauchy_.resize(m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // x_i = k + i, y_j = j: disjoint sets, so x_i ^ y_j is never zero
+      // (addition in GF(2^8) is xor).
+      const std::uint8_t x = static_cast<std::uint8_t>(k + i);
+      const std::uint8_t y = static_cast<std::uint8_t>(j);
+      cauchy_[i * k + j] = gf256::inv(x ^ y);
+    }
+  }
+}
+
+void RsCode::encode(const std::vector<const std::byte*>& data,
+                    const std::vector<std::byte*>& parity,
+                    std::size_t symbol_bytes) const {
+  assert(data.size() == k_ && parity.size() == m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::memset(parity[i], 0, symbol_bytes);
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (!data[j]) continue;  // zero pad symbol contributes nothing
+      gf256::muladd(reinterpret_cast<std::uint8_t*>(parity[i]),
+                    reinterpret_cast<const std::uint8_t*>(data[j]),
+                    cauchy_[i * k_ + j], symbol_bytes);
+    }
+  }
+}
+
+bool RsCode::decode(const std::vector<std::byte*>& data,
+                    const std::vector<bool>& have_data,
+                    const std::vector<const std::byte*>& parity,
+                    const std::vector<bool>& have_parity,
+                    std::size_t symbol_bytes) const {
+  assert(data.size() == k_ && have_data.size() == k_);
+  assert(parity.size() == m_ && have_parity.size() == m_);
+
+  // Pick k available symbols, data rows first (identity rows keep the
+  // system sparse and the common all-data case trivial).
+  struct Row {
+    bool is_parity;
+    std::size_t index;  // data index or parity index
+  };
+  std::vector<Row> rows;
+  rows.reserve(k_);
+  for (std::size_t j = 0; j < k_ && rows.size() < k_; ++j) {
+    if (have_data[j]) rows.push_back({false, j});
+  }
+  for (std::size_t i = 0; i < m_ && rows.size() < k_; ++i) {
+    if (have_parity[i]) rows.push_back({true, i});
+  }
+  if (rows.size() < k_) return false;
+
+  // Generator submatrix A (k x k): row t is e_{index} for a data row, the
+  // Cauchy row for a parity row. Invert via Gauss-Jordan over GF(256).
+  std::vector<std::uint8_t> a(k_ * k_, 0);
+  std::vector<std::uint8_t> ainv(k_ * k_, 0);
+  for (std::size_t t = 0; t < k_; ++t) {
+    if (rows[t].is_parity) {
+      std::memcpy(&a[t * k_], &cauchy_[rows[t].index * k_], k_);
+    } else {
+      a[t * k_ + rows[t].index] = 1;
+    }
+    ainv[t * k_ + t] = 1;
+  }
+  for (std::size_t col = 0; col < k_; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k_ && a[pivot * k_ + col] == 0) ++pivot;
+    if (pivot == k_) return false;  // cannot happen for a Cauchy generator
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k_; ++j) {
+        std::swap(a[pivot * k_ + j], a[col * k_ + j]);
+        std::swap(ainv[pivot * k_ + j], ainv[col * k_ + j]);
+      }
+    }
+    const std::uint8_t piv_inv = gf256::inv(a[col * k_ + col]);
+    for (std::size_t j = 0; j < k_; ++j) {
+      a[col * k_ + j] = gf256::mul(a[col * k_ + j], piv_inv);
+      ainv[col * k_ + j] = gf256::mul(ainv[col * k_ + j], piv_inv);
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a[r * k_ + col];
+      if (f == 0) continue;
+      for (std::size_t j = 0; j < k_; ++j) {
+        a[r * k_ + j] ^= gf256::mul(f, a[col * k_ + j]);
+        ainv[r * k_ + j] ^= gf256::mul(f, ainv[col * k_ + j]);
+      }
+    }
+  }
+
+  // d_i = sum_t Ainv[i][t] * y_t, only for the missing data symbols.
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (have_data[i] || !data[i]) continue;
+    std::memset(data[i], 0, symbol_bytes);
+    for (std::size_t t = 0; t < k_; ++t) {
+      const std::uint8_t c = ainv[i * k_ + t];
+      if (c == 0) continue;
+      const std::byte* y = rows[t].is_parity
+                               ? parity[rows[t].index]
+                               : data[rows[t].index];
+      if (!y) continue;  // zero pad symbol
+      gf256::muladd(reinterpret_cast<std::uint8_t*>(data[i]),
+                    reinterpret_cast<const std::uint8_t*>(y), c,
+                    symbol_bytes);
+    }
+  }
+  return true;
+}
+
+}  // namespace rdmc::reliability

@@ -1,0 +1,50 @@
+// Systematic Reed-Solomon code over GF(256), Cauchy construction.
+//
+// Encodes k data symbols (blocks) into m parity symbols such that *any* k
+// of the k+m symbols reconstruct the data. The generator is the identity
+// stacked on a Cauchy matrix C[i][j] = 1/(x_i + y_j) with x_i = k + i and
+// y_j = j, whose every square submatrix is invertible — the textbook
+// guarantee that an arbitrary loss pattern of up to m symbols per stripe is
+// repairable. Requires k + m <= 256 so the x/y evaluation points stay
+// distinct in the field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rdmc::reliability {
+
+class RsCode {
+ public:
+  RsCode(std::size_t k, std::size_t m);
+
+  std::size_t k() const { return k_; }
+  std::size_t m() const { return m_; }
+
+  /// Compute the m parity symbols from the k data symbols. A null data
+  /// pointer is a zero symbol (short final stripes pad with zeros).
+  /// Every symbol is `symbol_bytes` long; parity pointers must be valid.
+  void encode(const std::vector<const std::byte*>& data,
+              const std::vector<std::byte*>& parity,
+              std::size_t symbol_bytes) const;
+
+  /// Reconstruct the missing data symbols in place. `data[i]` /
+  /// `parity[j]` point at symbol storage; `have_data` / `have_parity` mark
+  /// which symbols actually arrived. Symbols marked missing are written
+  /// (their prior contents ignored); available symbols are read only.
+  /// Returns false when fewer than k symbols are available.
+  bool decode(const std::vector<std::byte*>& data,
+              const std::vector<bool>& have_data,
+              const std::vector<const std::byte*>& parity,
+              const std::vector<bool>& have_parity,
+              std::size_t symbol_bytes) const;
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  /// Cauchy coefficients, row-major m x k.
+  std::vector<std::uint8_t> cauchy_;
+};
+
+}  // namespace rdmc::reliability

@@ -74,4 +74,47 @@ ClusterProfile racked_profile(std::size_t num_nodes,
   return p;
 }
 
+ClusterProfile wan_profile(std::size_t num_regions,
+                           std::size_t nodes_per_region,
+                           double inter_region_rtt_ms,
+                           double inter_region_gbps, double nic_gbps) {
+  ClusterProfile p;
+  p.name = "wan";
+  p.topology.num_nodes = num_regions * nodes_per_region;
+  p.topology.nic_gbps = nic_gbps;
+  p.topology.nodes_per_rack = nodes_per_region;
+  // Each site's egress is the long-haul pipe, far below the aggregate of
+  // its local NICs.
+  p.topology.rack_uplink_gbps = inter_region_gbps;
+  p.topology.base_latency_s = 2.0e-6;  // intra-site is datacenter-grade
+  p.topology.inter_rack_extra_latency_s = inter_region_rtt_ms * 1e-3 / 2.0;
+  p.costs = SoftwareCosts{};
+  p.preemption.probability = 1e-3;
+  p.preemption.mean_duration_s = 100e-6;
+  return p;
+}
+
+ClusterProfile planetary_profile(std::size_t nodes_per_region) {
+  // One-way extras derived from typical public-cloud inter-region RTTs.
+  // Regions: 0 us-east, 1 us-west, 2 eu-west, 3 ap-northeast, 4 sa-east.
+  struct Pair {
+    std::size_t a, b;
+    double rtt_ms;
+  };
+  static constexpr Pair kRtts[] = {
+      {0, 1, 60.0},  {0, 2, 75.0},  {0, 3, 170.0}, {0, 4, 115.0},
+      {1, 2, 135.0}, {1, 3, 100.0}, {1, 4, 175.0}, {2, 3, 220.0},
+      {2, 4, 185.0}, {3, 4, 255.0},
+  };
+  ClusterProfile p = wan_profile(5, nodes_per_region,
+                                 /*inter_region_rtt_ms=*/150.0,
+                                 /*inter_region_gbps=*/10.0);
+  p.name = "planetary";
+  for (const Pair& r : kRtts) {
+    p.topology.rack_latency_overrides.push_back(
+        {r.a, r.b, r.rtt_ms * 1e-3 / 2.0});
+  }
+  return p;
+}
+
 }  // namespace rdmc::sim

@@ -49,4 +49,21 @@ ClusterProfile racked_profile(std::size_t num_nodes,
                               double oversubscription,
                               double nic_gbps = 56.0);
 
+/// WAN profile: `num_regions` sites (modelled as racks), each holding
+/// `nodes_per_region` nodes on fast local NICs, joined by long-haul links
+/// with `inter_region_rtt_ms` round-trip time and `inter_region_gbps`
+/// per-site egress capacity. RC-style break-on-loss is a poor fit here —
+/// this is the home turf of the UD service type + software reliability
+/// (SDR-RDMA's motivating deployment).
+ClusterProfile wan_profile(std::size_t num_regions = 4,
+                           std::size_t nodes_per_region = 4,
+                           double inter_region_rtt_ms = 30.0,
+                           double inter_region_gbps = 10.0,
+                           double nic_gbps = 100.0);
+
+/// Planetary preset: five geographic regions (us-east, us-west, eu-west,
+/// ap-northeast, sa-east) with realistic per-pair RTTs (60–255 ms) encoded
+/// as rack-pair latency overrides. The stress case for loss x RTT sweeps.
+ClusterProfile planetary_profile(std::size_t nodes_per_region = 4);
+
 }  // namespace rdmc::sim

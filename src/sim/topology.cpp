@@ -13,6 +13,11 @@ Topology::Topology(TopologyConfig config) : config_(config) {
         (config_.num_nodes + config_.nodes_per_rack - 1) /
         config_.nodes_per_rack;
   }
+  for (const auto& o : config_.rack_latency_overrides) {
+    assert(o.rack_a < num_racks_ && o.rack_b < num_racks_);
+    rack_extra_latency_s_[rack_pair_key(o.rack_a, o.rack_b)] =
+        o.extra_latency_s;
+  }
 }
 
 std::size_t Topology::rack_of(NodeId node) const {
@@ -23,7 +28,13 @@ std::size_t Topology::rack_of(NodeId node) const {
 
 double Topology::latency(NodeId src, NodeId dst) const {
   double lat = config_.base_latency_s;
-  if (!same_rack(src, dst)) lat += config_.inter_rack_extra_latency_s;
+  if (!same_rack(src, dst)) {
+    auto it = rack_extra_latency_s_.find(
+        rack_pair_key(rack_of(src), rack_of(dst)));
+    lat += it != rack_extra_latency_s_.end()
+               ? it->second
+               : config_.inter_rack_extra_latency_s;
+  }
   return lat;
 }
 

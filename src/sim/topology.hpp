@@ -14,6 +14,7 @@
 // uplink and the destination rack's downlink.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -36,6 +37,17 @@ struct TopologyConfig {
   double base_latency_s = 1.5e-6;
   /// Extra one-way latency for inter-rack hops, seconds.
   double inter_rack_extra_latency_s = 1.0e-6;
+  /// Per-rack-pair extra latency overrides (symmetric). When WAN topologies
+  /// model geographic regions as "racks", each region pair can carry its
+  /// own long-haul delay instead of the uniform inter-rack extra — this is
+  /// how the planetary profile encodes realistic inter-region RTTs without
+  /// changing any ClusterProfile plumbing.
+  struct RackLatencyOverride {
+    std::size_t rack_a = 0;
+    std::size_t rack_b = 0;
+    double extra_latency_s = 0.0;
+  };
+  std::vector<RackLatencyOverride> rack_latency_overrides;
 };
 
 class Topology {
@@ -84,12 +96,17 @@ class Topology {
   static std::uint64_t pair_key(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
+  static std::uint64_t rack_pair_key(std::size_t a, std::size_t b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+           static_cast<std::uint64_t>(std::max(a, b));
+  }
 
   TopologyConfig config_;
   std::size_t num_racks_ = 1;
   std::uint64_t version_ = 0;
   std::unordered_map<std::uint64_t, double> pair_caps_Bps_;
   std::unordered_map<NodeId, double> node_nic_Bps_;
+  std::unordered_map<std::uint64_t, double> rack_extra_latency_s_;
 };
 
 }  // namespace rdmc::sim

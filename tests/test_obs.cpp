@@ -325,16 +325,25 @@ TEST(Logging, PluggableSinkCapturesWarnings) {
   EXPECT_EQ(lines[1], "ERROR/core: oops");
 }
 
-TEST(GroupTrace, LegacyTraceRespectsLimit) {
+// The bounded-memory guarantee the retired per-group trace vector provided
+// now lives in the recorder ring: a traced multicast that outgrows the ring
+// keeps only the newest `capacity` events and reports the overwrites.
+TEST(GroupTrace, RecorderRingBoundsTracedMulticast) {
+  auto& rec = obs::TraceRecorder::instance();
+  obs::TraceRecorder::Options ring;
+  ring.capacity = 16;
+  rec.enable(ring);
   auto profile = sim::fractus_profile(4);
   harness::SimCluster cluster(profile);
   GroupOptions options;
   options.block_size = 64 << 10;
-  options.enable_trace = true;
-  options.trace_limit = 16;
   cluster.create_group(1, {0, 1, 2, 3}, options);
   ASSERT_TRUE(cluster.node(0).send(1, nullptr, 4u << 20));
   cluster.run_to_quiescence();
-  // 64 blocks produce far more than 16 events; the cap must hold.
-  EXPECT_EQ(cluster.node(0).group(1)->trace().size(), 16u);
+  // 64 blocks emit far more than 16 events; the cap must hold.
+  EXPECT_EQ(rec.snapshot().size(), 16u);
+  EXPECT_GT(rec.dropped(), 0u);
+  EXPECT_EQ(rec.recorded(), rec.dropped() + 16u);
+  rec.disable();
+  rec.clear();
 }
