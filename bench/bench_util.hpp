@@ -53,6 +53,8 @@ inline std::size_t thread_count(const char* value) {
 ///                     fill (FlowNetwork::set_fill_jobs); byte-identical
 ///                     for any N
 ///   --trace out.json  record the unified trace and dump it for Perfetto
+///   --telemetry out.jsonl  write the windowed telemetry time-series
+///                     (benches that support it pair with write_text)
 ///
 /// parse() ignores flags it does not know, so benches layer their own on
 /// top (chaos_campaign --seeds, wan_sweep --loss). When --trace was passed
@@ -63,6 +65,7 @@ struct BenchOptions {
   std::size_t jobs = 1;
   std::size_t fill_jobs = 1;
   const char* trace = nullptr;  // --trace output path, null = tracing off
+  const char* telemetry = nullptr;  // --telemetry output path, null = off
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -72,10 +75,26 @@ struct BenchOptions {
     o.fill_jobs =
         detail::thread_count(detail::flag_value(argc, argv, "--fill-jobs"));
     o.trace = detail::flag_value(argc, argv, "--trace");
+    o.telemetry = detail::flag_value(argc, argv, "--telemetry");
     if (o.trace != nullptr) obs::TraceRecorder::instance().enable();
     return o;
   }
 };
+
+/// Write `text` (telemetry JSONL, incident JSON, ...) to `path` verbatim.
+/// No-op when path is null. Prints a one-line confirmation.
+inline void write_text(const char* path, const std::string& text,
+                       const char* what) {
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: failed to open %s\n", what, path);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("%s: %zu bytes -> %s\n", what, text.size(), path);
+}
 
 /// Dump the recorder to `path` as Chrome trace_event JSON (open in
 /// ui.perfetto.dev). No-op when path is null.

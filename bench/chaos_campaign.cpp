@@ -19,11 +19,23 @@
 // --trace records the unified trace (the ring keeps the most recent
 // window across seeds) and writes a Perfetto-loadable timeline — combine
 // with --replay SEED to get the full fault/recovery picture of one seed.
+// Before the campaigns, an **incident drill** exercises the live-telemetry
+// path end to end: a chain multicast under a mid-run link degrade, watched
+// by an SLO burn-rate tracker whose alert triggers the flight recorder.
+// The drill fails the bench unless at least one incident is captured and
+// the incident's stall tiling sums exactly to the violating transfer's
+// latency. --incidents out.json writes the captured incidents.
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
 #include "bench_util.hpp"
 #include "harness/chaos.hpp"
+#include "harness/sim_harness.hpp"
+#include "obs/flight.hpp"
+#include "obs/slo.hpp"
+#include "obs/stall.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace rdmc;
 using namespace rdmc::bench;
@@ -83,6 +95,121 @@ int replay(std::uint64_t seed, bool quick) {
   return rc;
 }
 
+/// Incident drill: inject a link degrade mid-run and require the
+/// SLO -> flight-recorder path to capture it with an exact stall tiling.
+int incident_drill(const char* incidents_out) {
+  std::printf("\n-- incident drill: SLO burn-rate alert -> flight recorder "
+              "--------------------\n");
+  // Tracing must be live for the recorder's retroactive freeze-copy.
+  obs::TraceRecorder::instance().enable();
+
+  auto profile = sim::fractus_profile(4);
+  harness::SimCluster cluster(profile);
+  const std::vector<NodeId> members{0, 1, 2, 3};
+  GroupOptions gopts;
+  gopts.block_size = 64 << 10;
+  gopts.algorithm = sched::Algorithm::kChain;
+  auto& rec = cluster.create_group(1, members, gopts);
+
+  // Live per-delivery feed into a labeled histogram, plus enough
+  // bookkeeping to know the worst fully-delivered message at alert time.
+  auto& scope = cluster.metrics().scope("bench=chaos_drill,group=1");
+  auto& hist = scope.histogram("multicast.delivery_latency_s");
+  constexpr std::size_t kMessages = 10;
+  std::vector<std::size_t> delivered(kMessages, 0);
+  std::vector<double> seq_latency(kMessages, 0.0);
+  std::size_t worst_seq = kMessages;  // sentinel: none completed yet
+  rec.on_latency = [&](std::size_t seq, std::size_t, double latency) {
+    hist.add(latency);
+    seq_latency[seq] = std::max(seq_latency[seq], latency);
+    if (++delivered[seq] == members.size() - 1 &&
+        (worst_seq == kMessages || seq_latency[seq] > seq_latency[worst_seq]))
+      worst_seq = seq;
+  };
+
+  // Calibrate the clean chain latency with the first message.
+  const std::uint64_t bytes = 512u << 10;
+  cluster.send(1, bytes);
+  cluster.run_to_quiescence();
+  const double clean = seq_latency[0];
+
+  // Objective: p99 of the labeled delivery series below 2x the clean
+  // latency; the degraded messages run ~4x slow, so they breach it.
+  obs::TelemetryOptions topt;
+  topt.labels = "bench=chaos_drill";
+  obs::TelemetryHub hub(cluster.metrics(), topt);
+  const double gap = 2.0 * clean;
+  cluster.attach_telemetry(hub, gap / 2.0);
+
+  obs::SloObjective objective;
+  objective.name = "drill-p99";
+  objective.histogram = scope.decorate("multicast.delivery_latency_s");
+  objective.threshold = 2.0 * clean;
+  objective.budget = 0.1;
+  obs::SloTracker slo({objective});
+  obs::FlightRecorder flight;
+  double worst_closure = -1.0;
+  double incident_latency = 0.0;
+  slo.add_alert_listener([&](const obs::SloState& st,
+                             const obs::TelemetryWindow& w) {
+    const std::string key = "slo:" + st.objective.name;
+    if (worst_seq == kMessages || !flight.armed(key, w.seq)) return;
+    const std::vector<std::uint32_t> m32(members.begin(), members.end());
+    const auto analysis = obs::analyze_multicast(
+        obs::TraceRecorder::instance().snapshot(), 1, m32, worst_seq);
+    for (const auto& r : analysis.receivers)
+      worst_closure = std::max(worst_closure,
+                               std::abs(r.sum() - r.latency_s));
+    incident_latency = seq_latency[worst_seq];
+    char reason[160];
+    std::snprintf(reason, sizeof reason,
+                  "p99 %.6f s over threshold %.6f s (burn fast %.1f / "
+                  "slow %.1f); worst transfer seq %zu",
+                  st.fast_value, st.objective.threshold, st.fast_burn,
+                  st.slow_burn, worst_seq);
+    flight.record(key, w.seq, w.t_end, reason,
+                  obs::stall_tiling_json(analysis),
+                  obs::window_json(w, "bench=chaos_drill"));
+  });
+  slo.attach(hub);
+
+  // Messages 1..9 paced one per 2x clean latency; the degrade lands as
+  // message 5 starts and holds the link at 4x slow for the rest.
+  const double t0 = cluster.sim().now();
+  for (std::size_t i = 1; i < kMessages; ++i) {
+    const double at = t0 + static_cast<double>(i) * gap;
+    cluster.sim().at(at, [&cluster, bytes] { cluster.send(1, bytes); });
+  }
+  cluster.sim().at(t0 + 5.0 * gap, [&cluster, clean] {
+    cluster.fabric().degrade_link(1, 2, 0.25, clean * 100.0);
+  });
+  cluster.run_to_quiescence();
+
+  const auto& states = slo.states();
+  std::printf("clean latency %.3f ms, threshold %.3f ms; "
+              "alerts=%llu budget_consumed=%.2f\n",
+              clean * 1e3, objective.threshold * 1e3,
+              static_cast<unsigned long long>(states[0].alerts),
+              states[0].budget_consumed());
+  std::printf("incidents captured: %zu (suppressed %llu)\n",
+              flight.incidents().size(),
+              static_cast<unsigned long long>(flight.suppressed()));
+  for (const auto& inc : flight.incidents())
+    std::printf("  [%s] tick %llu t=%.4f: %s\n", inc.key.c_str(),
+                static_cast<unsigned long long>(inc.tick), inc.t,
+                inc.reason.c_str());
+  if (incidents_out != nullptr)
+    write_text(incidents_out, flight.to_json(), "incidents");
+
+  const bool ok = !flight.incidents().empty() && worst_closure >= 0.0 &&
+                  worst_closure < 1e-9;
+  std::printf("drill: %s (violating transfer %.3f ms, tiling gap %.2e s)\n",
+              ok ? "PASS — incident captured, stall tiling exact"
+                 : "FAIL — no incident or tiling gap",
+              incident_latency * 1e3, std::max(worst_closure, 0.0));
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,11 +219,14 @@ int main(int argc, char** argv) {
   const std::size_t jobs = opts.jobs;
   std::size_t seeds = quick ? 60 : 500;
   std::uint64_t first_seed = 1;
+  const char* incidents_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc)
       seeds = static_cast<std::size_t>(std::atoll(argv[++i]));
     else if (std::strcmp(argv[i], "--first-seed") == 0 && i + 1 < argc)
       first_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--incidents") == 0 && i + 1 < argc)
+      incidents_out = argv[++i];
     else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       const int rc = replay(
           static_cast<std::uint64_t>(std::atoll(argv[++i])), quick);
@@ -105,13 +235,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The drill runs first (it enables and consumes the trace recorder);
+  // afterwards the recorder is re-armed for the campaigns if --trace was
+  // requested, so the exported campaign trace stays drill-free.
+  int rc = incident_drill(incidents_out);
+  if (trace_out != nullptr) {
+    obs::TraceRecorder::instance().enable();
+  } else {
+    obs::TraceRecorder::instance().disable();
+    obs::TraceRecorder::instance().clear();
+  }
+
   header("Chaos campaign — seeded faults vs §4.6 recovery",
          "§3 reliability contract + §4.6 Recovery From Failure",
          "every seed passes: prefix delivery, no dup/corruption, all "
          "survivors notified, recovery completes");
 
   const std::size_t per_campaign = seeds / 4;
-  int rc = 0;
   util::TextTable table({"schedule", "seeds", "pass", "fault hit",
                          "reforms", "root lost", "window (ms)"});
   for (const Campaign& campaign :

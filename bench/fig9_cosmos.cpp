@@ -2,10 +2,20 @@
 // replication-layer workload — one traffic generator pushing 3-replica
 // writes to 15 host nodes through 455 pre-created overlapping RDMC groups,
 // compared across sequential send, binomial tree and binomial pipeline.
+//
+// Beyond the paper's aggregate CDF, the replay records per-size-class
+// delivery series through labeled metric scopes ("algo=...,size=2^k"),
+// exports the windowed telemetry time-series (--telemetry out.jsonl), and
+// re-runs the worst write under tracing to print its exact stall tiling
+// (which receiver's p-worst latency went where).
 #include <algorithm>
+#include <cmath>
+#include <map>
 
 #include "bench_util.hpp"
 #include "harness/sim_harness.hpp"
+#include "obs/stall.hpp"
+#include "obs/telemetry.hpp"
 #include "util/stats.hpp"
 #include "workload/cosmos.hpp"
 
@@ -14,18 +24,41 @@ using namespace rdmc::bench;
 
 namespace {
 
+/// Telemetry window period, virtual seconds. The replay spans ~10-25 s of
+/// virtual time, so this yields a few hundred deterministic windows.
+constexpr double kTickPeriod = 0.05;
+
+int size_class(std::uint64_t bytes) {
+  int k = 0;
+  while ((1ull << (k + 1)) <= bytes) ++k;
+  return k;
+}
+
 struct Replay {
   util::Sample latencies;  // seconds per write (to the last replica)
   double makespan = 0.0;
   double goodput_gbps = 0.0;
+  /// Per-delivery latency by write size class (log2 of bytes).
+  std::map<int, obs::HistogramSnapshot> size_classes;
+  /// Worst (submit -> last replica) write of the replay.
+  std::uint32_t worst_group = 0;
+  std::size_t worst_seq = 0;
+  double worst_latency = 0.0;
 };
 
 Replay replay(const std::vector<workload::CosmosWrite>& trace,
-              sched::Algorithm algorithm, double arrival_rate_per_s) {
+              sched::Algorithm algorithm, double arrival_rate_per_s,
+              const char* algo_label, std::string* telemetry_out) {
   // Node 15 generates traffic; nodes 0..14 host replicas (paper setup).
   auto profile = sim::fractus_profile(16);
   harness::SimCluster cluster(profile);
   workload::CosmosTraceGenerator generator;  // for group membership only
+
+  obs::TelemetryOptions topt;
+  topt.labels = std::string("bench=fig9,algo=") + algo_label;
+  topt.collect_jsonl = telemetry_out != nullptr;
+  obs::TelemetryHub hub(cluster.metrics(), topt);
+  cluster.attach_telemetry(hub, kTickPeriod);
 
   GroupOptions options;
   options.algorithm = algorithm;
@@ -34,11 +67,35 @@ Replay replay(const std::vector<workload::CosmosWrite>& trace,
   // path" (§5.2.2).
   std::vector<harness::SimCluster::GroupRecord*> groups(
       generator.num_groups());
+  // Size-class labeled series: deliveries land live in
+  // "cosmos.delivery_latency_s{algo=...,size=2^k}" (scope interned per
+  // class; the per-delivery path reuses the cached histogram reference).
+  std::map<int, obs::Log2Histogram*> class_hist;
+  auto class_for = [&](std::uint64_t bytes) -> obs::Log2Histogram& {
+    const int k = size_class(bytes);
+    auto it = class_hist.find(k);
+    if (it == class_hist.end()) {
+      auto& scope = cluster.metrics().scope(std::string("algo=") +
+                                            algo_label + ",size=2^" +
+                                            std::to_string(k));
+      it = class_hist
+               .emplace(k, &scope.histogram("cosmos.delivery_latency_s"))
+               .first;
+    }
+    return *it->second;
+  };
+  // Bytes of each write submitted to a group, in FIFO order (maps the
+  // on_latency sequence number back to the write).
+  std::vector<std::vector<std::uint64_t>> group_bytes(generator.num_groups());
   for (std::uint32_t g = 0; g < generator.num_groups(); ++g) {
     const auto combo = generator.group_members(g);
     std::vector<NodeId> members{15, combo[0], combo[1], combo[2]};
     groups[g] = &cluster.create_group(static_cast<GroupId>(g), members,
                                       options);
+    groups[g]->on_latency = [&, g](std::size_t seq, std::size_t,
+                                   double latency) {
+      class_for(group_bytes[g][seq]).add(latency);
+    };
   }
 
   // Poisson arrivals at the requested offered load.
@@ -51,12 +108,12 @@ Replay replay(const std::vector<workload::CosmosWrite>& trace,
     submit_times[i] = t;
     total_bytes += static_cast<double>(trace[i].bytes);
     const auto& w = trace[i];
+    group_bytes[w.group_index].push_back(w.bytes);
     cluster.sim().at(t, [&cluster, &w] {
-      cluster.node(15).send(static_cast<GroupId>(w.group_index), nullptr,
-                            w.bytes);
+      cluster.send(static_cast<GroupId>(w.group_index), w.bytes);
     });
   }
-  cluster.sim().run();
+  cluster.run_to_quiescence();
 
   // Per-write latency: writes to one group are FIFO, so the g-th group's
   // j-th delivery corresponds to its j-th submitted write.
@@ -73,19 +130,29 @@ Replay replay(const std::vector<workload::CosmosWrite>& trace,
         done = std::max(done, rec->delivery_times[m][j]);
     }
     if (done > 0.0) {
-      result.latencies.add(done - submit_times[i]);
+      const double latency = done - submit_times[i];
+      result.latencies.add(latency);
       last = std::max(last, done);
+      if (latency > result.worst_latency) {
+        result.worst_latency = latency;
+        result.worst_group = w.group_index;
+        result.worst_seq = j;
+      }
     }
   }
   result.makespan = last;
   result.goodput_gbps = total_bytes * 3.0 * 8.0 / last / 1e9;
+  for (const auto& [k, hist] : class_hist)
+    result.size_classes.emplace(k, hist->snapshot());
+  if (telemetry_out != nullptr) *telemetry_out += hub.jsonl();
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = BenchOptions::parse(argc, argv).quick;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
   header("Figure 9 — Cosmos replication-layer latency distribution",
          "Fig 9, §5.2.2 (synthetic trace: median 12 MB, mean 29 MB, "
          "3-replica writes over 15 hosts, 455 groups)",
@@ -105,26 +172,34 @@ int main(int argc, char** argv) {
                          "mean (ms)", "replicated goodput (Gb/s)"});
   struct Algo {
     const char* name;
+    const char* label;
     sched::Algorithm algorithm;
   };
+  std::string telemetry;
   util::Sample cdf_pipeline, cdf_tree, cdf_seq;
+  Replay pipeline_replay;
   for (const Algo& algo :
-       {Algo{"sequential", sched::Algorithm::kSequential},
-        Algo{"binomial tree", sched::Algorithm::kBinomialTree},
-        Algo{"binomial pipeline", sched::Algorithm::kBinomialPipeline}}) {
-    Replay r = replay(trace, algo.algorithm, rate);
+       {Algo{"sequential", "sequential", sched::Algorithm::kSequential},
+        Algo{"binomial tree", "binomial_tree",
+             sched::Algorithm::kBinomialTree},
+        Algo{"binomial pipeline", "binomial_pipeline",
+             sched::Algorithm::kBinomialPipeline}}) {
+    Replay r = replay(trace, algo.algorithm, rate, algo.label,
+                      opts.telemetry != nullptr ? &telemetry : nullptr);
     table.add_row({algo.name,
                    util::TextTable::num(r.latencies.median() * 1e3, 1),
                    util::TextTable::num(r.latencies.percentile(90) * 1e3, 1),
                    util::TextTable::num(r.latencies.percentile(99) * 1e3, 1),
                    util::TextTable::num(r.latencies.mean() * 1e3, 1),
                    util::TextTable::num(r.goodput_gbps, 1)});
-    if (algo.algorithm == sched::Algorithm::kBinomialPipeline)
+    if (algo.algorithm == sched::Algorithm::kBinomialPipeline) {
       cdf_pipeline = r.latencies;
-    else if (algo.algorithm == sched::Algorithm::kBinomialTree)
+      pipeline_replay = r;
+    } else if (algo.algorithm == sched::Algorithm::kBinomialTree) {
       cdf_tree = r.latencies;
-    else
+    } else {
       cdf_seq = r.latencies;
+    }
   }
   table.print();
 
@@ -139,5 +214,58 @@ int main(int argc, char** argv) {
                      cdf_pipeline.percentile(f * 100) * 1e3, 1)});
   }
   cdf.print();
+
+  // Per-size-class delivery latency (binomial pipeline), from the labeled
+  // scopes: which write sizes carry the tail.
+  std::printf("\nper-size-class delivery latency (binomial pipeline):\n");
+  util::TextTable classes({"write size", "deliveries", "p50 (ms)",
+                           "p99 (ms)", "max (ms)"});
+  for (const auto& [k, h] : pipeline_replay.size_classes) {
+    classes.add_row(
+        {"2^" + std::to_string(k) + " B",
+         std::to_string(h.total),
+         util::TextTable::num(h.quantile(0.5) * 1e3, 1),
+         util::TextTable::num(h.quantile(0.99) * 1e3, 1),
+         util::TextTable::num(h.max * 1e3, 1)});
+  }
+  classes.print();
+
+  // Worst-write stall attribution: re-run the pipeline replay traced (the
+  // sim is deterministic, so the same write is worst), then tile its
+  // latency exactly with the stall analyzer.
+  obs::TraceRecorder::instance().enable();
+  Replay traced = replay(trace, sched::Algorithm::kBinomialPipeline, rate,
+                         "binomial_pipeline", nullptr);
+  const auto events = obs::TraceRecorder::instance().snapshot();
+  const auto combo = generator.group_members(traced.worst_group);
+  const std::vector<std::uint32_t> members{15, combo[0], combo[1], combo[2]};
+  const auto analysis = obs::analyze_multicast(
+      events, static_cast<std::int32_t>(traced.worst_group), members,
+      traced.worst_seq);
+  std::printf("\nworst write: group %u seq %zu, %.1f ms submit-to-replicated"
+              " (%.1f ms of root-side queueing before message start)\n",
+              traced.worst_group, traced.worst_seq,
+              traced.worst_latency * 1e3,
+              traced.worst_latency * 1e3 -
+                  (analysis.receivers.empty()
+                       ? 0.0
+                       : analysis.receivers.front().latency_s * 1e3));
+  util::TextTable stall({"receiver", "latency (ms)", "transfer (ms)",
+                         "wait (ms)", "software (ms)", "tiling"});
+  for (const auto& r : analysis.receivers) {
+    const bool tiles = std::abs(r.sum() - r.latency_s) < 1e-9;
+    stall.add_row({std::to_string(r.node),
+                   util::TextTable::num(r.latency_s * 1e3, 3),
+                   util::TextTable::num(r.transfer_s * 1e3, 3),
+                   util::TextTable::num(r.wait_s * 1e3, 3),
+                   util::TextTable::num(r.software_s * 1e3, 3),
+                   tiles ? "exact" : "GAP"});
+  }
+  stall.print();
+  for (const auto& w : analysis.warnings)
+    std::printf("warning: %s\n", w.c_str());
+
+  write_text(opts.telemetry, telemetry, "telemetry");
+  write_trace(opts.trace);
   return 0;
 }

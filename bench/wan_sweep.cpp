@@ -22,12 +22,19 @@
 //
 // Deterministic for any --jobs N: cells share nothing, workers record
 // through TraceRecorder::ThreadShard, and rows assemble in input order.
+// Telemetry follows the same scheme — each cell runs its own registry and
+// TelemetryHub on virtual-time ticks, and --telemetry concatenates the
+// per-cell JSONL in input order, so the file is byte-identical for any
+// --jobs N. Cell latency histograms are merged (not dropped) across the
+// sweep for an aggregate selective-repeat quantile table.
 #include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "fabric/sim_fabric.hpp"
+#include "harness/telemetry_ticker.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/ud_stall.hpp"
 #include "reliability/session.hpp"
 #include "sim/cluster_profiles.hpp"
@@ -57,9 +64,23 @@ struct CellResult {
   std::uint64_t retx = 0;
   std::uint64_t probe_rounds = 0;
   std::uint64_t parity_blocks = 0;
+  std::string telemetry;              // this cell's JSONL (may be empty)
+  obs::HistogramSnapshot latency;     // per-receiver delivery latency
 };
 
-CellResult run_cell(const Cell& cell) {
+std::string cell_labels(const Cell& cell, std::size_t index) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "cell=%zu,loss=%g,rtt_ms=%g,mib=%llu,policy=%s,algo=%s",
+                index, cell.loss, cell.rtt_ms,
+                static_cast<unsigned long long>(cell.bytes >> 20),
+                std::string(reliability::policy_name(cell.policy)).c_str(),
+                std::string(sched::algorithm_name(cell.algorithm)).c_str());
+  return buf;
+}
+
+CellResult run_cell(const Cell& cell, std::size_t index,
+                    bool collect_telemetry) {
   auto profile = sim::wan_profile(kRegions, kNodesPerRegion, cell.rtt_ms);
   sim::Simulator simulator;
   sim::Topology topology(profile.topology);
@@ -77,6 +98,18 @@ CellResult run_cell(const Cell& cell) {
   for (std::size_t n = 0; n < members.size(); ++n)
     members[n] = static_cast<fabric::NodeId>(n);
 
+  // Per-cell metrics + telemetry: the registry is local so cells stay
+  // independent; the UD session records into a labeled scope and the hub
+  // ticks on virtual time (one window per RTT), which keeps the JSONL
+  // byte-identical for any --jobs N.
+  const std::string labels = cell_labels(cell, index);
+  obs::MetricsRegistry registry;
+  obs::TelemetryOptions topt;
+  topt.labels = labels;
+  topt.collect_jsonl = collect_telemetry;
+  obs::TelemetryHub hub(registry, topt);
+  harness::TelemetryTicker ticker(simulator, hub, cell.rtt_ms * 1e-3);
+
   reliability::SessionOptions sopts;
   sopts.algorithm = cell.algorithm;
   sopts.policy = cell.policy;
@@ -85,8 +118,10 @@ CellResult run_cell(const Cell& cell) {
   sopts.charge_cpu = [&fab](fabric::NodeId node, double seconds) {
     return fab.charge_app_seconds(node, seconds);
   };
+  sopts.metrics = &registry.scope(labels);
   reliability::UdMulticastSession session(fab, members, sopts);
   if (!session.send(nullptr, cell.bytes)) return {};
+  ticker.ensure_scheduled();
   simulator.run();
 
   CellResult r;
@@ -99,6 +134,10 @@ CellResult run_cell(const Cell& cell) {
   r.retx = stats.retx_datagrams;
   r.probe_rounds = stats.probe_rounds;
   r.parity_blocks = stats.parity_blocks;
+  r.telemetry = hub.jsonl();
+  if (const auto* h = registry.find_histogram(
+          sopts.metrics->decorate("ud.delivery_latency_s")))
+    r.latency = h->snapshot();
   return r;
 }
 
@@ -119,7 +158,7 @@ int traced_cell(std::uint64_t bytes) {
   obs::TraceRecorder::instance().enable();
   const Cell cell{0.01, 30.0, bytes, reliability::Policy::kSelectiveRepeat,
                   sched::Algorithm::kBinomialPipeline};
-  run_cell(cell);
+  run_cell(cell, 0, /*collect_telemetry=*/false);
   const auto events = obs::TraceRecorder::instance().snapshot();
   obs::TraceRecorder::instance().disable();
 
@@ -188,10 +227,11 @@ int main(int argc, char** argv) {
           cells.push_back(Cell{loss, rtt, bytes, policy,
                                sched::Algorithm::kBinomialPipeline});
 
+  const bool collect_telemetry = opts.telemetry != nullptr;
   std::vector<CellResult> results(cells.size());
   harness::parallel_for(cells.size(), opts.jobs, [&](std::size_t i) {
     obs::TraceRecorder::ThreadShard shard;
-    results[i] = run_cell(cells[i]);
+    results[i] = run_cell(cells[i], i, collect_telemetry);
   });
 
   util::TextTable table({"rtt (ms)", "size", "loss", "none (Gb/s)",
@@ -242,7 +282,8 @@ int main(int argc, char** argv) {
   std::vector<CellResult> sched_results(sched_cells.size());
   harness::parallel_for(sched_cells.size(), opts.jobs, [&](std::size_t i) {
     obs::TraceRecorder::ThreadShard shard;
-    sched_results[i] = run_cell(sched_cells[i]);
+    sched_results[i] = run_cell(sched_cells[i], cells.size() + i,
+                                collect_telemetry);
   });
   std::printf("\nSchedules at 1%% loss, 30 ms RTT, %s:\n",
               util::format_bytes(sched_bytes).c_str());
@@ -254,6 +295,30 @@ int main(int argc, char** argv) {
                     goodput_cell(sched_results[i + 1], 0)});
   }
   stable.print();
+
+  // -- Aggregate latency across cells (shard merge, not drop) --------------
+  // Every selective-repeat cell's per-receiver delivery-latency snapshot
+  // merges into one sweep-wide distribution.
+  obs::HistogramSnapshot sr_latency;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (cells[i].policy == reliability::Policy::kSelectiveRepeat)
+      sr_latency.merge(results[i].latency);
+  if (!sr_latency.empty()) {
+    std::printf("\nselective-repeat delivery latency across all cells "
+                "(%llu deliveries): p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, "
+                "max %.1f ms\n",
+                static_cast<unsigned long long>(sr_latency.total),
+                sr_latency.quantile(0.5) * 1e3,
+                sr_latency.quantile(0.9) * 1e3,
+                sr_latency.quantile(0.99) * 1e3, sr_latency.max * 1e3);
+  }
+
+  if (collect_telemetry) {
+    std::string telemetry;
+    for (const CellResult& r : results) telemetry += r.telemetry;
+    for (const CellResult& r : sched_results) telemetry += r.telemetry;
+    write_text(opts.telemetry, telemetry, "telemetry");
+  }
 
   const int rc = traced_cell(sizes.front());
   write_trace(opts.trace);

@@ -104,6 +104,15 @@ RecoveryResult RecoveryDriver::run() {
     const NodeId root = e.members.front();
     const std::size_t expect =
         config_.messages - e.base_seq;  // deliveries per receiver
+
+    // Per-epoch labeled series: each group instance gets its own scope, so
+    // telemetry windows show which epoch's deliveries/failures moved
+    // (counter lookups are cold; the callbacks below reuse the references).
+    cluster_.metrics().counter("recovery.epochs").add();
+    auto& epoch_scope =
+        cluster_.metrics().scope("gid=" + std::to_string(e.gid));
+    obs::Counter& epoch_deliveries = epoch_scope.counter("recovery.deliveries");
+    obs::Counter& epoch_failures = epoch_scope.counter("recovery.failures");
     if (auto* tr = obs::tracer())
       tr->begin(obs::Cat::kRecovery, "epoch", root,
                 static_cast<std::uint64_t>(e.gid), cluster_.sim().now(),
@@ -121,13 +130,15 @@ RecoveryResult RecoveryDriver::run() {
         m.rx.emplace_back(size);
         return fabric::MemoryView{m.rx.back().data(), size};
       };
-      auto completion = [this, &res, &m, &e, is_root](std::byte* data,
-                                                      std::size_t size) {
+      auto completion = [this, &res, &m, &e, is_root,
+                         &epoch_deliveries](std::byte* data,
+                                            std::size_t size) {
         if (is_root) {
           ++e.root_completed;
           return;
         }
         ++res.deliveries;
+        epoch_deliveries.add();
         if (m.epoch_failures > 0) {
           note_violation(res, "delivery after failure callback at node " +
                                   std::to_string(m.node));
@@ -158,9 +169,11 @@ RecoveryResult RecoveryDriver::run() {
         else
           m.delivered[seq] = true;
       };
-      auto on_failure = [this, &res, &m, &e](GroupId, NodeId suspect) {
+      auto on_failure = [this, &res, &m, &e,
+                         &epoch_failures](GroupId, NodeId suspect) {
         ++res.failures_observed;
         ++m.epoch_failures;
+        epoch_failures.add();
         if (m.epoch_failures > 1) {
           note_violation(res, "failure reported twice to node " +
                                   std::to_string(m.node));

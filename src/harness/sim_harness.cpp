@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
+
+#include "harness/telemetry_ticker.hpp"
+#include "obs/telemetry.hpp"
+#include "sched/schedule.hpp"
 
 namespace rdmc::harness {
 
@@ -40,6 +45,11 @@ SimCluster::GroupRecord& SimCluster::create_group(GroupId id,
         [](std::size_t size) { return fabric::MemoryView{nullptr, size}; },
         [this, r, m](std::byte*, std::size_t) {
           r->delivery_times[m].push_back(sim_.now());
+          if (m > 0 && r->on_latency) {
+            const std::size_t seq = r->delivery_times[m].size() - 1;
+            if (seq < r->submit_times.size())
+              r->on_latency(seq, m, sim_.now() - r->submit_times[seq]);
+          }
         },
         [this, r, node](GroupId, NodeId suspect) {
           r->failure_log.push_back({sim_.now(), node, suspect});
@@ -137,12 +147,27 @@ const SimCluster::GroupRecord& SimCluster::record(GroupId id) const {
   return *records_.front();
 }
 
-double SimCluster::run_one(GroupId group, std::uint64_t bytes) {
-  const GroupRecord& r = record(group);
-  const double start = sim_.now();
+SimCluster::~SimCluster() = default;
+
+void SimCluster::send(GroupId group, std::uint64_t bytes) {
+  GroupRecord& r = record(group);
+  r.submit_times.push_back(sim_.now());
   const bool ok = nodes_[r.members.front()]->send(group, nullptr, bytes);
   assert(ok && "send failed");
   (void)ok;
+  if (ticker_) ticker_->ensure_scheduled();
+}
+
+void SimCluster::attach_telemetry(obs::TelemetryHub& hub, double period_s) {
+  ticker_ = std::make_unique<TelemetryTicker>(
+      sim_, hub, period_s, [this] { sync_metrics(); });
+  ticker_->ensure_scheduled();
+}
+
+double SimCluster::run_one(GroupId group, std::uint64_t bytes) {
+  const GroupRecord& r = record(group);
+  const double start = sim_.now();
+  send(group, bytes);
   run_to_quiescence();
   double last = start;
   for (const auto& times : r.delivery_times)
@@ -186,13 +211,20 @@ MulticastResult run_multicast(const MulticastConfig& config) {
   group_options.make_schedule = config.make_schedule;
   auto& rec = cluster.create_group(1, members, group_options);
 
+  // Per-schedule labeled series: every (message, receiver) delivery latency
+  // lands in "multicast.delivery_latency_s{algo=...,group=1}" as it
+  // happens, so telemetry windows and SLO trackers see live deliveries.
+  auto& scope = cluster.metrics().scope(
+      "algo=" + std::string(sched::algorithm_name(config.algorithm)) +
+      ",group=1");
+  auto& scoped_hist = scope.histogram("multicast.delivery_latency_s");
+  rec.on_latency = [&scoped_hist](std::size_t, std::size_t, double latency) {
+    scoped_hist.add(latency);
+  };
+
   const double start = cluster.sim().now();
-  for (std::size_t m = 0; m < config.messages; ++m) {
-    const bool ok = cluster.node(members.front())
-                        .send(1, nullptr, config.message_bytes);
-    assert(ok);
-    (void)ok;
-  }
+  for (std::size_t m = 0; m < config.messages; ++m)
+    cluster.send(1, config.message_bytes);
   cluster.run_to_quiescence();
   const double end_time = cluster.sim().now();
 

@@ -22,7 +22,13 @@
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 
+namespace rdmc::obs {
+class TelemetryHub;
+}
+
 namespace rdmc::harness {
+
+class TelemetryTicker;
 
 /// Simulator-core performance observability, reported by every experiment
 /// (and dumped into BENCH_core.json by bench/perf_core). `wall_seconds` is
@@ -65,6 +71,7 @@ class SimCluster {
   explicit SimCluster(const sim::ClusterProfile& profile,
                       fabric::SimFabric::Options options_override = {},
                       bool use_profile_costs = true);
+  ~SimCluster();
 
   sim::Simulator& sim() { return sim_; }
   sim::Topology& topology() { return topology_; }
@@ -89,6 +96,15 @@ class SimCluster {
       NodeId suspect = 0;
     };
     std::vector<FailureObservation> failure_log;
+    /// Virtual submit time of each message sent through SimCluster::send,
+    /// in sequence order.
+    std::vector<double> submit_times;
+    /// Live per-delivery hook: (seq, member_index, latency_s) as each
+    /// non-root member delivers a message submitted via SimCluster::send.
+    /// Per-member delivery order is FIFO, so the member's delivery count
+    /// maps to the sequence number. Runs inside the simulator event, so
+    /// SLO trackers see deliveries as they happen, not post-hoc.
+    std::function<void(std::size_t, std::size_t, double)> on_latency;
   };
 
   /// Create `members.front()`-rooted group on every member with phantom
@@ -96,9 +112,19 @@ class SimCluster {
   GroupRecord& create_group(GroupId id, std::vector<NodeId> members,
                             GroupOptions options);
 
+  /// Submit a send from the group's root without running the simulator:
+  /// records the submit time for live latency attribution
+  /// (GroupRecord::on_latency) and re-arms the telemetry ticker.
+  void send(GroupId group, std::uint64_t bytes);
+
   /// Send and run the simulator to quiescence. Returns virtual makespan
   /// (send-submit to last delivery across all members).
   double run_one(GroupId group, std::uint64_t bytes);
+
+  /// Drive `hub` with deterministic virtual-time ticks every `period_s`,
+  /// refreshing this cluster's metrics (sync_metrics) before each tick.
+  /// The hub should be built over metrics() and must outlive the cluster.
+  void attach_telemetry(obs::TelemetryHub& hub, double period_s);
 
   /// Counter snapshot (cumulative since construction); wall_seconds covers
   /// the Simulator::run calls made through this cluster. Implemented as
@@ -125,6 +151,10 @@ class SimCluster {
   void note_reform() { ++reforms_; }
 
   const GroupRecord& record(GroupId id) const;
+  GroupRecord& record(GroupId id) {
+    return const_cast<GroupRecord&>(
+        static_cast<const SimCluster*>(this)->record(id));
+  }
 
  private:
   sim::Simulator sim_;
@@ -132,6 +162,7 @@ class SimCluster {
   std::unique_ptr<fabric::SimFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<GroupRecord>> records_;
+  std::unique_ptr<TelemetryTicker> ticker_;
   double wall_seconds_ = 0.0;
   std::uint64_t reforms_ = 0;
   mutable obs::MetricsRegistry metrics_;

@@ -1,0 +1,27 @@
+#include "harness/telemetry_ticker.hpp"
+
+namespace rdmc::harness {
+
+TelemetryTicker::TelemetryTicker(sim::Simulator& sim, obs::TelemetryHub& hub,
+                                 double period_s,
+                                 std::function<void()> pre_tick)
+    : sim_(sim), hub_(hub), period_(period_s),
+      pre_tick_(std::move(pre_tick)) {}
+
+void TelemetryTicker::ensure_scheduled() {
+  if (scheduled_) return;
+  scheduled_ = true;
+  sim_.after(period_, [this] { fire(); });
+}
+
+void TelemetryTicker::fire() {
+  scheduled_ = false;
+  ++fired_;
+  if (pre_tick_) pre_tick_();
+  hub_.tick(sim_.now());
+  // The tick event itself was already popped: an empty queue here means
+  // the run is quiescing, and rescheduling would keep it alive forever.
+  if (!sim_.idle()) ensure_scheduled();
+}
+
+}  // namespace rdmc::harness

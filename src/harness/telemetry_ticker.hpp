@@ -1,0 +1,47 @@
+// Virtual-time tick source for a TelemetryHub.
+//
+// The obs layer deliberately knows nothing about the simulator, so the
+// deterministic tick source lives here: a self-rescheduling simulator
+// event that closes a telemetry window every `period_s` of *virtual*
+// time. Ticks land at exact deterministic instants, which is what makes
+// the exported JSONL byte-identical across runs and --jobs settings.
+//
+// Termination: when a tick fires and finds the event queue otherwise
+// empty, it does not reschedule — so run()/run_to_quiescence() still
+// quiesce. Submitting more work re-arms the ticker (SimCluster::send
+// calls ensure_scheduled()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/telemetry.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdmc::harness {
+
+class TelemetryTicker {
+ public:
+  /// `pre_tick` runs right before every hub tick (SimCluster passes
+  /// sync_metrics, so windows see fresh simulator counters). The ticker
+  /// must not outlive `sim`, `hub` or anything `pre_tick` captures.
+  TelemetryTicker(sim::Simulator& sim, obs::TelemetryHub& hub,
+                  double period_s, std::function<void()> pre_tick = {});
+
+  /// Arm the next tick at now() + period if one is not already pending.
+  void ensure_scheduled();
+
+  std::uint64_t ticks_fired() const { return fired_; }
+
+ private:
+  void fire();
+
+  sim::Simulator& sim_;
+  obs::TelemetryHub& hub_;
+  double period_;
+  std::function<void()> pre_tick_;
+  bool scheduled_ = false;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace rdmc::harness

@@ -1,0 +1,163 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+namespace rdmc::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+}
+
+void append_warnings(std::string& out,
+                     const std::vector<std::string>& warnings) {
+  out += ",\"warnings\":[";
+  bool first = true;
+  for (const std::string& w : warnings) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, w);
+    out.push_back('"');
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightOptions options)
+    : options_(options) {}
+
+bool FlightRecorder::armed(const std::string& key, std::uint64_t tick) const {
+  if (incidents_.size() >= options_.max_incidents) return false;
+  auto it = last_tick_.find(key);
+  return it == last_tick_.end() || tick >= it->second + options_.dedup_ticks;
+}
+
+const Incident* FlightRecorder::record(const std::string& key,
+                                       std::uint64_t tick, double t,
+                                       const std::string& reason,
+                                       const std::string& analysis_json,
+                                       const std::string& window_json) {
+  if (!armed(key, tick)) {
+    ++suppressed_;
+    return nullptr;
+  }
+  last_tick_[key] = tick;
+
+  std::vector<TraceEvent> events = TraceRecorder::instance().snapshot();
+  if (events.size() > options_.max_trace_events)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(
+                                    options_.max_trace_events));
+
+  Incident inc;
+  inc.key = key;
+  inc.tick = tick;
+  inc.t = t;
+  inc.reason = reason;
+
+  char buf[64];
+  std::string& out = inc.json;
+  out += "{\"key\":\"";
+  append_escaped(out, key);
+  std::snprintf(buf, sizeof buf, "\",\"tick\":%llu,\"t\":%.9g",
+                static_cast<unsigned long long>(tick), t);
+  out += buf;
+  out += ",\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"analysis\":";
+  out += analysis_json.empty() ? "null" : analysis_json;
+  out += ",\"window\":";
+  out += window_json.empty() ? "null" : window_json;
+  out += ",\"trace\":";
+  out += to_chrome_json(events);
+  out.push_back('}');
+
+  incidents_.push_back(std::move(inc));
+  return &incidents_.back();
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out = "{\"incidents\":[";
+  bool first = true;
+  for (const Incident& inc : incidents_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += inc.json;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "],\"suppressed\":%llu}",
+                static_cast<unsigned long long>(suppressed_));
+  out += buf;
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+std::string stall_tiling_json(const MulticastAnalysis& a) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "{\"msg_start\":%.9g,\"receivers\":[",
+                a.msg_start);
+  out += buf;
+  bool first = true;
+  for (const StallBreakdown& r : a.receivers) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"node\":%u,\"latency_s\":%.9g,\"transfer_s\":%.9g,"
+                  "\"wait_s\":%.9g,\"software_s\":%.9g",
+                  r.node, r.latency_s, r.transfer_s, r.wait_s, r.software_s);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"injected_s\":%.9g,\"recovery_s\":%.9g,\"hops\":%zu,"
+                  "\"sum_s\":%.9g}",
+                  r.injected_s, r.recovery_s, r.hops, r.sum());
+    out += buf;
+  }
+  out += ']';
+  append_warnings(out, a.warnings);
+  return out;
+}
+
+std::string ud_stall_tiling_json(const UdMulticastAnalysis& a) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "{\"msg_start\":%.9g,\"receivers\":[",
+                a.msg_start);
+  out += buf;
+  bool first = true;
+  for (const UdStallBreakdown& r : a.receivers) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"node\":%u,\"latency_s\":%.9g,\"transfer_s\":%.9g,"
+                  "\"wait_s\":%.9g,\"retransmit_s\":%.9g,\"repair_s\":%.9g",
+                  r.node, r.latency_s, r.transfer_s, r.wait_s, r.retransmit_s,
+                  r.repair_s);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"datagrams\":%zu,\"retx_datagrams\":%zu,\"sum_s\":%.9g}",
+                  r.datagrams, r.retx_datagrams, r.sum());
+    out += buf;
+  }
+  out += ']';
+  append_warnings(out, a.warnings);
+  return out;
+}
+
+}  // namespace rdmc::obs

@@ -1,0 +1,94 @@
+// Flight recorder: violation-triggered incident capture.
+//
+// The TraceRecorder ring holds the recent past but is only dumped at
+// process exit — by the time a p999 outlier shows up in a report, its
+// causal trace has been overwritten. The flight recorder closes that gap:
+// when an SLO alert fires (or a caller-detected latency breach), it
+// freeze-copies the ring *right then*, trims it to the newest events, and
+// packages a self-contained incident JSON:
+//
+//   { key, tick, t, reason,
+//     analysis — the exact stall tiling of the offending transfer
+//                (stall_tiling_json / ud_stall_tiling_json),
+//     window   — the telemetry window that tripped the alert
+//                (obs::window_json),
+//     trace    — a Chrome trace_event slice, loadable in Perfetto }
+//
+// Sustained breaches don't flood: incidents are deduplicated per key by
+// tick distance (a key re-arms only after dedup_ticks further ticks) and
+// capped globally; everything refused is counted in suppressed().
+//
+// The recorder is passive — callers decide what a violation is (usually a
+// SloTracker alert listener) and hand in the analysis; this keeps obs
+// free of harness/session dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/stall.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/ud_stall.hpp"
+
+namespace rdmc::obs {
+
+struct FlightOptions {
+  /// Hard cap on stored incidents for the recorder's lifetime.
+  std::size_t max_incidents = 8;
+  /// A key that recorded at tick T is suppressed until tick T + dedup_ticks.
+  std::uint64_t dedup_ticks = 8;
+  /// Newest trace events embedded per incident (64 B each in the ring;
+  /// ~200 B each as JSON).
+  std::size_t max_trace_events = 4096;
+};
+
+struct Incident {
+  std::string key;       // dedup key, e.g. "slo:delivery-p99"
+  std::uint64_t tick = 0;
+  double t = 0.0;        // tick timestamp (virtual or wall seconds)
+  std::string reason;    // human-readable trigger description
+  std::string json;      // the self-contained incident document
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightOptions options = {});
+
+  /// Would record(key, tick, ...) be accepted right now? (Cap not hit and
+  /// the key is out of its dedup interval.) Lets callers skip an expensive
+  /// analysis for an incident that would be suppressed anyway.
+  bool armed(const std::string& key, std::uint64_t tick) const;
+
+  /// Capture an incident: freeze-copy the calling thread's TraceRecorder,
+  /// trim to the newest max_trace_events, and store the packaged JSON.
+  /// `analysis_json` / `window_json` may be empty (emitted as null).
+  /// Returns the stored incident, or nullptr if suppressed (cap/dedup).
+  const Incident* record(const std::string& key, std::uint64_t tick, double t,
+                         const std::string& reason,
+                         const std::string& analysis_json,
+                         const std::string& window_json);
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  /// Triggers refused by the cap or per-key dedup.
+  std::uint64_t suppressed() const { return suppressed_; }
+
+  /// {"incidents":[...],"suppressed":N} — deterministic given the inputs.
+  std::string to_json() const;
+  /// Write to_json() to `path`. Returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  FlightOptions options_;
+  std::vector<Incident> incidents_;
+  std::map<std::string, std::uint64_t> last_tick_;  // key -> last record tick
+  std::uint64_t suppressed_ = 0;
+};
+
+/// Stall tilings as JSON, for the incident `analysis` slot. Per-receiver
+/// class sums tile latency_s exactly (see the analyzers' contracts).
+std::string stall_tiling_json(const MulticastAnalysis& a);
+std::string ud_stall_tiling_json(const UdMulticastAnalysis& a);
+
+}  // namespace rdmc::obs

@@ -1,10 +1,142 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
 namespace rdmc::obs {
+
+namespace {
+
+/// floor(log2(value)) without rounding surprises at exact powers of two:
+/// frexp(v) = m * 2^e with m in [0.5, 1), so floor(log2(v)) == e - 1 and
+/// v == 2^k maps to exponent k exactly (m == 0.5, e == k + 1).
+int floor_log2(double value) {
+  int e = 0;
+  (void)std::frexp(value, &e);
+  return e - 1;
+}
+
+}  // namespace
+
+// -- HistogramSnapshot -----------------------------------------------------
+
+double HistogramSnapshot::bucket_lo(std::size_t i) const {
+  return std::ldexp(1.0, min_exp + static_cast<int>(i));
+}
+
+double HistogramSnapshot::bucket_hi(std::size_t i) const {
+  return std::ldexp(1.0, min_exp + static_cast<int>(i) + 1);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t seen = underflow;
+  if (rank < static_cast<double>(seen)) return 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(seen + c)) {
+      // Linear interpolation within the bucket: samples are assumed
+      // uniform, so rank r sits at fractional position (r - seen + 0.5)/c.
+      // Clamped to the recorded max — the interpolant can otherwise
+      // exceed every observed sample near the top of the distribution.
+      const double pos =
+          (rank - static_cast<double>(seen) + 0.5) / static_cast<double>(c);
+      const double lo = bucket_lo(i);
+      const double v = lo + (bucket_hi(i) - lo) * std::min(pos, 1.0);
+      return max > 0.0 ? std::min(v, max) : v;
+    }
+    seen += c;
+  }
+  return max;  // overflow bucket
+}
+
+double HistogramSnapshot::count_above(double threshold) const {
+  double above = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t c = counts[i];
+    if (c == 0) continue;
+    const double lo = bucket_lo(i), hi = bucket_hi(i);
+    if (threshold <= lo) {
+      above += static_cast<double>(c);
+    } else if (threshold < hi) {
+      above += static_cast<double>(c) * (hi - threshold) / (hi - lo);
+    }
+  }
+  // Overflow samples are all >= 2^(max_exp+1).
+  if (overflow > 0 && max_exp >= min_exp &&
+      threshold < bucket_hi(counts.size() - 1)) {
+    above += static_cast<double>(overflow);
+  }
+  return above;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.total == 0 && other.counts.empty()) return;
+  if (counts.empty() && total == 0) {
+    *this = other;
+    return;
+  }
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    if (other.counts[i] == 0) continue;
+    const int e = other.min_exp + static_cast<int>(i);
+    if (e < min_exp) {
+      underflow += other.counts[i];
+    } else if (e > max_exp) {
+      overflow += other.counts[i];
+    } else {
+      counts[static_cast<std::size_t>(e - min_exp)] += other.counts[i];
+    }
+  }
+  underflow += other.underflow;
+  overflow += other.overflow;
+  total += other.total;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& cur,
+                                           const HistogramSnapshot& prev) {
+  // An empty prev (first window) or a reset (total shrank, or the bucket
+  // range changed) makes the whole current state the delta.
+  if (prev.total > cur.total || prev.counts.size() != cur.counts.size() ||
+      prev.min_exp != cur.min_exp) {
+    return cur;
+  }
+  HistogramSnapshot d;
+  d.min_exp = cur.min_exp;
+  d.max_exp = cur.max_exp;
+  d.counts.resize(cur.counts.size());
+  int top = -1;
+  for (std::size_t i = 0; i < cur.counts.size(); ++i) {
+    const std::uint64_t c =
+        cur.counts[i] >= prev.counts[i] ? cur.counts[i] - prev.counts[i] : 0;
+    d.counts[i] = c;
+    if (c > 0) top = static_cast<int>(i);
+  }
+  d.underflow =
+      cur.underflow >= prev.underflow ? cur.underflow - prev.underflow : 0;
+  d.overflow =
+      cur.overflow >= prev.overflow ? cur.overflow - prev.overflow : 0;
+  d.total = cur.total - prev.total;
+  d.sum = cur.sum - prev.sum;
+  if (cur.max > prev.max) {
+    d.max = cur.max;
+  } else if (d.overflow > 0) {
+    d.max = cur.max;  // overflow samples are unbounded above; best we know
+  } else if (top >= 0) {
+    d.max = d.bucket_hi(static_cast<std::size_t>(top));
+  }
+  return d;
+}
+
+// -- Log2Histogram ---------------------------------------------------------
 
 Log2Histogram::Log2Histogram(int min_exp, int max_exp)
     : min_exp_(min_exp), max_exp_(max_exp) {
@@ -13,6 +145,7 @@ Log2Histogram::Log2Histogram(int min_exp, int max_exp)
 }
 
 void Log2Histogram::add(double value) {
+  std::lock_guard lock(mutex_);
   ++total_;
   if (value > 0.0) {
     sum_ += value;
@@ -22,12 +155,7 @@ void Log2Histogram::add(double value) {
     ++underflow_;
     return;
   }
-  // floor(log2(value)) without rounding surprises at exact powers of two:
-  // frexp(v) = m * 2^e with m in [0.5, 1), so floor(log2(v)) == e - 1 and
-  // v == 2^k maps to exponent k exactly (m == 0.5, e == k + 1).
-  int e = 0;
-  (void)std::frexp(value, &e);
-  const int exp = e - 1;
+  const int exp = floor_log2(value);
   if (exp < min_exp_) {
     ++underflow_;
   } else if (exp > max_exp_) {
@@ -35,6 +163,46 @@ void Log2Histogram::add(double value) {
   } else {
     ++counts_[static_cast<std::size_t>(exp - min_exp_)];
   }
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  // Snapshot the source first so self-merge and lock order are non-issues.
+  const HistogramSnapshot s = other.snapshot();
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    if (s.counts[i] == 0) continue;
+    const int e = s.min_exp + static_cast<int>(i);
+    if (e < min_exp_) {
+      underflow_ += s.counts[i];
+    } else if (e > max_exp_) {
+      overflow_ += s.counts[i];
+    } else {
+      counts_[static_cast<std::size_t>(e - min_exp_)] += s.counts[i];
+    }
+  }
+  underflow_ += s.underflow;
+  overflow_ += s.overflow;
+  total_ += s.total;
+  sum_ += s.sum;
+  max_ = std::max(max_, s.max);
+}
+
+HistogramSnapshot Log2Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  HistogramSnapshot s;
+  s.min_exp = min_exp_;
+  s.max_exp = max_exp_;
+  s.counts = counts_;
+  s.underflow = underflow_;
+  s.overflow = overflow_;
+  s.total = total_;
+  s.sum = sum_;
+  s.max = max_;
+  return s;
+}
+
+std::size_t Log2Histogram::bucket_count() const {
+  return static_cast<std::size_t>(max_exp_ - min_exp_ + 1);
 }
 
 double Log2Histogram::bucket_lo(std::size_t i) const {
@@ -45,22 +213,62 @@ double Log2Histogram::bucket_hi(std::size_t i) const {
   return std::ldexp(1.0, min_exp_ + static_cast<int>(i) + 1);
 }
 
-double Log2Histogram::approx_quantile(double q) const {
-  if (total_ == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const double rank = q * static_cast<double>(total_ - 1);
-  std::uint64_t seen = underflow_;
-  if (rank < static_cast<double>(seen)) return 0.0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (rank < static_cast<double>(seen)) {
-      // Geometric midpoint of the bucket: sqrt(lo * hi) = lo * sqrt(2).
-      return bucket_lo(i) * 1.4142135623730951;
-    }
-  }
-  return max_;  // overflow bucket
+std::uint64_t Log2Histogram::count_at(std::size_t i) const {
+  std::lock_guard lock(mutex_);
+  return counts_[i];
 }
+
+std::uint64_t Log2Histogram::underflow() const {
+  std::lock_guard lock(mutex_);
+  return underflow_;
+}
+
+std::uint64_t Log2Histogram::overflow() const {
+  std::lock_guard lock(mutex_);
+  return overflow_;
+}
+
+std::uint64_t Log2Histogram::total() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+double Log2Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+double Log2Histogram::mean() const {
+  std::lock_guard lock(mutex_);
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double Log2Histogram::max() const {
+  std::lock_guard lock(mutex_);
+  return max_;
+}
+
+double Log2Histogram::approx_quantile(double q) const {
+  return snapshot().quantile(q);
+}
+
+// -- MetricsScope ----------------------------------------------------------
+
+std::string MetricsScope::decorate(const std::string& name) const {
+  if (labels_.empty()) return name;
+  return name + "{" + labels_ + "}";
+}
+
+Counter& MetricsScope::counter(const std::string& name) {
+  return registry_->counter(decorate(name));
+}
+
+Log2Histogram& MetricsScope::histogram(const std::string& name, int min_exp,
+                                       int max_exp) {
+  return registry_->histogram(decorate(name), min_exp, max_exp);
+}
+
+// -- MetricsRegistry -------------------------------------------------------
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard lock(mutex_);
@@ -74,6 +282,13 @@ Log2Histogram& MetricsRegistry::histogram(const std::string& name,
   std::lock_guard lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Log2Histogram>(min_exp, max_exp);
+  return *slot;
+}
+
+MetricsScope& MetricsRegistry::scope(const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  auto& slot = scopes_[labels];
+  if (!slot) slot.reset(new MetricsScope(*this, labels));
   return *slot;
 }
 
@@ -110,7 +325,7 @@ std::string MetricsRegistry::to_json() const {
   std::lock_guard lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
-  char buf[64];
+  char buf[96];
   for (const auto& [name, c] : counters_) {
     if (!first) out.push_back(',');
     first = false;
@@ -124,29 +339,34 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) out.push_back(',');
     first = false;
-    out += "\"" + name + "\":{\"total\":";
+    const HistogramSnapshot s = h->snapshot();
+    out += "\"" + name + "\":{\"summary\":{\"count\":";
     std::snprintf(buf, sizeof buf, "%llu",
-                  static_cast<unsigned long long>(h->total()));
+                  static_cast<unsigned long long>(s.total));
     out += buf;
-    std::snprintf(buf, sizeof buf, ",\"mean\":%.9g", h->mean());
+    std::snprintf(buf, sizeof buf, ",\"mean\":%.9g,\"max\":%.9g", s.mean(),
+                  s.max);
     out += buf;
-    std::snprintf(buf, sizeof buf, ",\"max\":%.9g", h->max());
+    std::snprintf(buf, sizeof buf, ",\"p50\":%.9g,\"p90\":%.9g", s.quantile(0.5),
+                  s.quantile(0.9));
     out += buf;
-    std::snprintf(buf, sizeof buf, ",\"p50\":%.9g", h->approx_quantile(0.5));
+    std::snprintf(buf, sizeof buf, ",\"p99\":%.9g,\"p999\":%.9g",
+                  s.quantile(0.99), s.quantile(0.999));
     out += buf;
-    std::snprintf(buf, sizeof buf, ",\"p99\":%.9g",
-                  h->approx_quantile(0.99));
+    std::snprintf(buf, sizeof buf, "},\"underflow\":%llu,\"overflow\":%llu",
+                  static_cast<unsigned long long>(s.underflow),
+                  static_cast<unsigned long long>(s.overflow));
     out += buf;
     out += ",\"buckets\":[";
     // Sparse: [exponent, count] pairs for non-empty buckets only.
     bool bfirst = true;
-    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
-      if (h->count_at(i) == 0) continue;
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      if (s.counts[i] == 0) continue;
       if (!bfirst) out.push_back(',');
       bfirst = false;
       std::snprintf(buf, sizeof buf, "[%d,%llu]",
-                    h->min_exp() + static_cast<int>(i),
-                    static_cast<unsigned long long>(h->count_at(i)));
+                    s.min_exp + static_cast<int>(i),
+                    static_cast<unsigned long long>(s.counts[i]));
       out += buf;
     }
     out += "]}";
@@ -155,10 +375,109 @@ std::string MetricsRegistry::to_json() const {
   return out;
 }
 
+namespace {
+
+/// "name{k=v,k2=v2}" -> prometheus-safe base + rendered label set.
+void split_prom_name(const std::string& name, std::string& base,
+                     std::string& labels) {
+  const std::size_t brace = name.find('{');
+  std::string raw = name.substr(0, brace);
+  base = "rdmc_";
+  for (char ch : raw) {
+    base.push_back(std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_');
+  }
+  labels.clear();
+  if (brace == std::string::npos) return;
+  // "k=v,k2=v2}" -> k="v",k2="v2"
+  std::string inner = name.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.pop_back();
+  std::size_t start = 0;
+  while (start < inner.size()) {
+    std::size_t comma = inner.find(',', start);
+    if (comma == std::string::npos) comma = inner.size();
+    const std::string kv = inner.substr(start, comma - start);
+    const std::size_t eq = kv.find('=');
+    if (!labels.empty()) labels.push_back(',');
+    if (eq == std::string::npos) {
+      labels += kv + "=\"\"";
+    } else {
+      labels += kv.substr(0, eq) + "=\"" + kv.substr(eq + 1) + "\"";
+    }
+    start = comma + 1;
+  }
+}
+
+void append_prom_labels(std::string& out, const std::string& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return;
+  out.push_back('{');
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out.push_back(',');
+  out += extra;
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  char buf[96];
+  std::string base, labels, last_typed;
+  for (const auto& [name, c] : counters_) {
+    split_prom_name(name, base, labels);
+    if (base != last_typed) {
+      out += "# TYPE " + base + " counter\n";
+      last_typed = base;
+    }
+    out += base;
+    append_prom_labels(out, labels);
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  last_typed.clear();
+  for (const auto& [name, h] : histograms_) {
+    split_prom_name(name, base, labels);
+    const HistogramSnapshot s = h->snapshot();
+    if (base != last_typed) {
+      out += "# TYPE " + base + " histogram\n";
+      last_typed = base;
+    }
+    std::uint64_t cum = s.underflow;
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      if (s.counts[i] == 0) continue;
+      cum += s.counts[i];
+      out += base + "_bucket";
+      std::snprintf(buf, sizeof buf, "le=\"%.9g\"", s.bucket_hi(i));
+      append_prom_labels(out, labels, buf);
+      std::snprintf(buf, sizeof buf, " %llu\n",
+                    static_cast<unsigned long long>(cum));
+      out += buf;
+    }
+    out += base + "_bucket";
+    append_prom_labels(out, labels, "le=\"+Inf\"");
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(s.total));
+    out += buf;
+    out += base + "_sum";
+    append_prom_labels(out, labels);
+    std::snprintf(buf, sizeof buf, " %.9g\n", s.sum);
+    out += buf;
+    out += base + "_count";
+    append_prom_labels(out, labels);
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(s.total));
+    out += buf;
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   counters_.clear();
   histograms_.clear();
+  scopes_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

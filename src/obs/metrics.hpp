@@ -1,4 +1,5 @@
-// Metrics registry: named counters and log2-bucketed histograms.
+// Metrics registry: named counters and log2-bucketed histograms, with
+// labeled scopes and snapshot/delta support for windowed telemetry.
 //
 // Ends the one-struct-edit-per-counter plumbing around PerfStats: a layer
 // that wants a new counter calls registry.counter("sim.flow_starts") and
@@ -10,7 +11,15 @@
 // threads). Histograms bucket by powers of two — bucket i of a histogram
 // with min_exp m covers [2^(m+i), 2^(m+i+1)) — which spans nanoseconds to
 // kiloseconds in ~40 buckets at a fixed 2x resolution, the right shape for
-// latency tails.
+// latency tails. Histogram state is guarded by a per-histogram mutex so the
+// wall-clock telemetry tick thread can snapshot while fabric completion
+// threads record; adds are cold-path (per delivery, not per block).
+//
+// Labels: registry.scope("group=42,policy=sr") interns a child scope whose
+// counter()/histogram() lookups decorate the metric name as
+// "name{group=42,policy=sr}". Callers cache the returned references, so the
+// hot path never formats a string; the decorated names live in the same
+// sorted maps as unlabeled metrics, keeping every export deterministic.
 #pragma once
 
 #include <atomic>
@@ -37,6 +46,53 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// A point-in-time copy of a Log2Histogram's state: plain data, no locks.
+/// The telemetry layer stores one per (histogram, tick) and differences
+/// consecutive snapshots into per-window deltas; parallel sweep shards
+/// merge per-cell snapshots back in input order instead of dropping them.
+struct HistogramSnapshot {
+  int min_exp = 0;
+  int max_exp = -1;  // empty default: no buckets
+  std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  bool empty() const { return total == 0; }
+  double mean() const {
+    return total ? sum / static_cast<double>(total) : 0.0;
+  }
+  /// Inclusive lower / exclusive upper bound of bucket i.
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Value at quantile q in [0, 1], linearly interpolated within the
+  /// bucket holding that rank (samples are assumed uniform in-bucket).
+  /// Underflow ranks read as 0, overflow ranks as `max`.
+  double quantile(double q) const;
+
+  /// Samples with value > threshold, linearly interpolated within the
+  /// bucket straddling the threshold. Overflow samples count as above
+  /// whenever the threshold is below their range; underflow samples
+  /// (nonpositive or below-range values) never count. Fractional.
+  double count_above(double threshold) const;
+
+  /// Accumulate `other` into this snapshot. An empty (default) snapshot
+  /// adopts the other's bucket range; otherwise out-of-range buckets from
+  /// `other` clamp into this snapshot's under/overflow.
+  void merge(const HistogramSnapshot& other);
+
+  /// Per-window difference cur - prev. A shrinking total (histogram reset
+  /// between snapshots) yields `cur` unchanged, same as an empty `prev`.
+  /// The delta's `max` is the cumulative max when it advanced during the
+  /// window, else the upper bound of the highest non-empty delta bucket
+  /// (the tightest deterministic bound the buckets allow).
+  static HistogramSnapshot delta(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev);
+};
+
 /// Histogram over positive values with power-of-two buckets. Values below
 /// 2^min_exp land in the underflow bucket, values >= 2^(max_exp+1) in the
 /// overflow bucket; zero/negative values count as underflow.
@@ -46,21 +102,29 @@ class Log2Histogram {
 
   void add(double value);
 
-  std::size_t bucket_count() const { return counts_.size(); }
+  /// Merge another histogram's samples into this one (shard merge after a
+  /// parallel sweep). Buckets outside this histogram's exponent range
+  /// clamp into under/overflow.
+  void merge(const Log2Histogram& other);
+
+  /// Consistent point-in-time copy of the full state.
+  HistogramSnapshot snapshot() const;
+
+  std::size_t bucket_count() const;
   /// Inclusive lower bound of bucket i: 2^(min_exp + i).
   double bucket_lo(std::size_t i) const;
   /// Exclusive upper bound of bucket i: 2^(min_exp + i + 1).
   double bucket_hi(std::size_t i) const;
-  std::uint64_t count_at(std::size_t i) const { return counts_[i]; }
-  std::uint64_t underflow() const { return underflow_; }
-  std::uint64_t overflow() const { return overflow_; }
-  std::uint64_t total() const { return total_; }
-  double sum() const { return sum_; }
-  double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
-  double max() const { return max_; }
+  std::uint64_t count_at(std::size_t i) const;
+  std::uint64_t underflow() const;
+  std::uint64_t overflow() const;
+  std::uint64_t total() const;
+  double sum() const;
+  double mean() const;
+  double max() const;
 
-  /// Value at quantile q in [0, 1], approximated as the geometric midpoint
-  /// of the bucket holding that rank (exact for the min/max of a bucket).
+  /// Value at quantile q in [0, 1], linearly interpolated within the
+  /// bucket holding that rank (HistogramSnapshot::quantile).
   double approx_quantile(double q) const;
 
   int min_exp() const { return min_exp_; }
@@ -69,6 +133,7 @@ class Log2Histogram {
  private:
   int min_exp_;
   int max_exp_;
+  mutable std::mutex mutex_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
@@ -77,8 +142,37 @@ class Log2Histogram {
   double max_ = 0.0;
 };
 
+class MetricsRegistry;
+
+/// An interned labeled view of a registry. counter("x") resolves to the
+/// registry metric "x{<labels>}"; callers look up once (cold) and cache the
+/// returned reference, so per-event recording never touches a string.
+class MetricsScope {
+ public:
+  Counter& counter(const std::string& name);
+  Log2Histogram& histogram(const std::string& name, int min_exp = -30,
+                           int max_exp = 10);
+  const std::string& labels() const { return labels_; }
+  /// The decorated registry name: "name{labels}" (or "name" if unlabeled).
+  std::string decorate(const std::string& name) const;
+
+ private:
+  friend class MetricsRegistry;
+  MetricsScope(MetricsRegistry& registry, std::string labels)
+      : registry_(&registry), labels_(std::move(labels)) {}
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+  MetricsRegistry* registry_;
+  std::string labels_;
+};
+
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   /// Find-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name);
   /// Exponent bounds apply on creation only; later lookups reuse the
@@ -86,16 +180,31 @@ class MetricsRegistry {
   Log2Histogram& histogram(const std::string& name, int min_exp = -30,
                            int max_exp = 10);
 
-  /// Null if the name is unknown (lookup without creation).
+  /// Find-or-create an interned labeled scope. `labels` is a canonical
+  /// comma-separated "key=value" list; the caller is responsible for a
+  /// stable key order (scopes are interned by the exact string).
+  MetricsScope& scope(const std::string& labels);
+
+  /// Null if the name is unknown (lookup without creation). Labeled
+  /// metrics are found under their decorated name ("x{group=1}").
   const Counter* find_counter(const std::string& name) const;
   const Log2Histogram* find_histogram(const std::string& name) const;
 
   std::vector<std::string> counter_names() const;
   std::vector<std::string> histogram_names() const;
 
-  /// {"counters":{name:value,...},"histograms":{name:{...},...}} —
-  /// deterministic (names sorted by the underlying map).
+  /// {"counters":{name:value,...},"histograms":{name:{"summary":{...},
+  /// ...},...}} — deterministic (names sorted by the underlying map).
+  /// Each histogram carries a summary block (count/mean/max/p50/p90/p99/
+  /// p999) so consumers stop recomputing quantiles ad hoc, plus the
+  /// sparse bucket list and under/overflow counts.
   std::string to_json() const;
+
+  /// Prometheus text exposition of the full registry: counters as
+  /// rdmc_<name> counter samples, histograms as cumulative le-bucket
+  /// series plus _sum/_count. "{k=v,...}" label decorations become
+  /// standard prometheus label sets. Deterministic.
+  std::string to_prometheus() const;
 
   void reset();
 
@@ -106,6 +215,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<MetricsScope>> scopes_;
 };
 
 }  // namespace rdmc::obs

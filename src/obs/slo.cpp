@@ -1,0 +1,110 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+namespace rdmc::obs {
+
+namespace {
+
+// Burn rate of one merged window: violating-fraction / budget.
+double burn_rate(const HistogramSnapshot& s, double threshold, double budget) {
+  if (s.empty() || budget <= 0.0) return 0.0;
+  const double frac = s.count_above(threshold) / static_cast<double>(s.total);
+  return frac / budget;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+}
+
+}  // namespace
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives) {
+  states_.reserve(objectives.size());
+  for (auto& o : objectives) {
+    SloState st;
+    st.objective = std::move(o);
+    states_.push_back(std::move(st));
+  }
+}
+
+void SloTracker::attach(TelemetryHub& hub) {
+  hub.add_tick_listener([this, &hub](const TelemetryWindow& w) {
+    evaluate(hub, w);
+  });
+}
+
+void SloTracker::evaluate(const TelemetryHub& hub, const TelemetryWindow& w) {
+  for (SloState& st : states_) {
+    const SloObjective& o = st.objective;
+
+    // Ledger: this window's delta only (each sample counted once).
+    auto it = w.histograms.find(o.histogram);
+    if (it != w.histograms.end() && !it->second.empty()) {
+      st.violating += it->second.count_above(o.threshold);
+      st.total += static_cast<double>(it->second.total);
+    }
+
+    const HistogramSnapshot fast = hub.merged(o.histogram, o.fast_windows);
+    const HistogramSnapshot slow = hub.merged(o.histogram, o.slow_windows);
+    st.fast_value = fast.quantile(o.quantile);
+    st.slow_value = slow.quantile(o.quantile);
+    st.fast_burn = burn_rate(fast, o.threshold, o.budget);
+    st.slow_burn = burn_rate(slow, o.threshold, o.budget);
+
+    const bool now_alerting =
+        st.fast_burn >= o.alert_burn && st.slow_burn >= o.alert_burn;
+    const bool rising = now_alerting && !st.alerting;
+    st.alerting = now_alerting;
+    if (rising) {
+      ++st.alerts;
+      for (const AlertListener& listener : alert_listeners_) listener(st, w);
+    }
+  }
+}
+
+void SloTracker::add_alert_listener(AlertListener listener) {
+  alert_listeners_.push_back(std::move(listener));
+}
+
+std::string SloTracker::ledger_json() const {
+  char buf[128];
+  std::string out = "{\"objectives\":[";
+  bool first = true;
+  for (const SloState& st : states_) {
+    const SloObjective& o = st.objective;
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, o.name);
+    out += "\",\"histogram\":\"";
+    append_escaped(out, o.histogram);
+    std::snprintf(buf, sizeof buf,
+                  "\",\"quantile\":%.9g,\"threshold\":%.9g,\"budget\":%.9g",
+                  o.quantile, o.threshold, o.budget);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"fast_value\":%.9g,\"slow_value\":%.9g", st.fast_value,
+                  st.slow_value);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"fast_burn\":%.9g,\"slow_burn\":%.9g",
+                  st.fast_burn, st.slow_burn);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"violating\":%.9g,\"total\":%.9g,"
+                  "\"budget_consumed\":%.9g",
+                  st.violating, st.total, st.budget_consumed());
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"alerts\":%llu,\"alerting\":%s}",
+                  static_cast<unsigned long long>(st.alerts),
+                  st.alerting ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rdmc::obs

@@ -1,0 +1,101 @@
+// SLO tracker: declarative latency objectives evaluated per telemetry tick
+// with multi-window burn-rate alerting and an error-budget ledger.
+//
+// An objective says "quantile q of histogram H must stay below T over a
+// window of W ticks, with an error budget of B" (B = the fraction of
+// samples allowed above T — e.g. 0.01 for a 99%-within-threshold SLO).
+// On every tick the tracker merges the newest fast_windows and
+// slow_windows histogram deltas from the hub and computes, for each:
+//
+//     burn = (samples above T / total samples) / B
+//
+// burn == 1 means the budget is being consumed exactly at the sustainable
+// rate; burn == 20 means a month's budget burns in ~1.5 days. Following
+// the standard multi-window pattern, an alert fires only when BOTH the
+// fast and the slow burn rate exceed alert_burn — the fast window makes
+// the alert responsive, the slow window keeps a short blip from paging.
+//
+// The ledger accumulates (violating, total) sample counts over the whole
+// run from the per-window deltas, so budget_consumed() reports how much
+// of the error budget the run has spent regardless of window rotation.
+// Violating counts are fractional: samples inside the bucket straddling
+// the threshold are attributed by linear interpolation, matching
+// HistogramSnapshot::count_above.
+//
+// Evaluation is pure arithmetic on snapshots — deterministic under a
+// virtual-time tick source — and runs on the ticking thread via
+// attach(hub). Alert listeners see rising edges only (hook the flight
+// recorder there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace rdmc::obs {
+
+struct SloObjective {
+  std::string name;       // e.g. "delivery-p99"
+  std::string histogram;  // registry histogram the objective watches
+  double quantile = 0.99;
+  double threshold = 0.0;          // seconds; objective: q(quantile) < threshold
+  std::size_t fast_windows = 4;    // burn-rate fast window, in ticks
+  std::size_t slow_windows = 16;   // burn-rate slow window, in ticks
+  double budget = 0.01;            // allowed fraction of samples above threshold
+  double alert_burn = 2.0;         // alert when BOTH burn rates reach this
+};
+
+struct SloState {
+  SloObjective objective;
+
+  // Latest evaluation.
+  double fast_value = 0.0;  // measured quantile over the fast window
+  double slow_value = 0.0;  // measured quantile over the slow window
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alerting = false;
+  std::uint64_t alerts = 0;  // rising edges into the alerting state
+
+  // Error-budget ledger (cumulative over the run; fractional counts).
+  double violating = 0.0;  // samples above threshold
+  double total = 0.0;      // all samples
+
+  /// Fraction of the error budget spent: 1.0 = exactly exhausted.
+  double budget_consumed() const {
+    return total > 0.0 ? violating / (objective.budget * total) : 0.0;
+  }
+};
+
+class SloTracker {
+ public:
+  using AlertListener =
+      std::function<void(const SloState&, const TelemetryWindow&)>;
+
+  explicit SloTracker(std::vector<SloObjective> objectives);
+
+  /// Register as a tick listener on `hub`. The tracker (and any alert
+  /// listeners) must outlive the hub's ticking.
+  void attach(TelemetryHub& hub);
+
+  /// Evaluate all objectives against the hub's windows after `w` closed.
+  /// attach() wires this up; tests may call it directly.
+  void evaluate(const TelemetryHub& hub, const TelemetryWindow& w);
+
+  /// Fired on rising edges only (entering the alerting state).
+  void add_alert_listener(AlertListener listener);
+
+  const std::vector<SloState>& states() const { return states_; }
+
+  /// Deterministic JSON ledger: per-objective burn rates, budget
+  /// consumption and alert counts.
+  std::string ledger_json() const;
+
+ private:
+  std::vector<SloState> states_;
+  std::vector<AlertListener> alert_listeners_;
+};
+
+}  // namespace rdmc::obs

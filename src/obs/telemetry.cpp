@@ -1,0 +1,203 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace rdmc::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+}
+
+}  // namespace
+
+TelemetryHub::TelemetryHub(MetricsRegistry& registry, TelemetryOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+TelemetryHub::~TelemetryHub() { stop_wall_ticks(); }
+
+void TelemetryHub::tick(double now) {
+  TelemetryWindow window;
+  {
+    std::lock_guard lock(mutex_);
+    window.seq = ticks_;
+    window.t_start = ticks_ == 0 ? now : last_tick_t_;
+    window.t_end = now;
+
+    for (const std::string& name : registry_.counter_names()) {
+      const Counter* c = registry_.find_counter(name);
+      if (c == nullptr) continue;
+      const std::uint64_t value = c->value();
+      auto [it, fresh] = prev_counters_.try_emplace(name, 0);
+      TelemetryWindow::CounterSample sample;
+      sample.value = value;
+      if (value < it->second) {
+        sample.reset = true;  // counter restarted mid-window
+        sample.delta = value;
+      } else {
+        sample.delta = value - it->second;
+      }
+      (void)fresh;
+      it->second = value;
+      window.counters.emplace(name, sample);
+    }
+
+    for (const std::string& name : registry_.histogram_names()) {
+      const Log2Histogram* h = registry_.find_histogram(name);
+      if (h == nullptr) continue;
+      const HistogramSnapshot cur = h->snapshot();
+      auto [it, fresh] = prev_histograms_.try_emplace(name);
+      window.histograms.emplace(name,
+                                HistogramSnapshot::delta(cur, it->second));
+      (void)fresh;
+      it->second = cur;
+    }
+
+    windows_.push_back(window);
+    while (windows_.size() > options_.window_depth) windows_.pop_front();
+    ++ticks_;
+    last_tick_t_ = now;
+    if (options_.collect_jsonl) append_jsonl(window);
+  }
+  if (auto* tr = tracer())
+    tr->instant(Cat::kApp, "telemetry.tick", 0, now, "seq", window.seq);
+  for (const TickListener& listener : listeners_) listener(window);
+}
+
+std::uint64_t TelemetryHub::ticks() const {
+  std::lock_guard lock(mutex_);
+  return ticks_;
+}
+
+std::vector<TelemetryWindow> TelemetryHub::windows() const {
+  std::lock_guard lock(mutex_);
+  return {windows_.begin(), windows_.end()};
+}
+
+TelemetryWindow TelemetryHub::last_window() const {
+  std::lock_guard lock(mutex_);
+  return windows_.empty() ? TelemetryWindow{} : windows_.back();
+}
+
+HistogramSnapshot TelemetryHub::merged(const std::string& histogram,
+                                       std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  HistogramSnapshot out;
+  if (windows_.empty() || n == 0) return out;
+  const std::size_t take = std::min(n, windows_.size());
+  for (std::size_t i = windows_.size() - take; i < windows_.size(); ++i) {
+    auto it = windows_[i].histograms.find(histogram);
+    if (it != windows_[i].histograms.end()) out.merge(it->second);
+  }
+  return out;
+}
+
+void TelemetryHub::add_tick_listener(TickListener listener) {
+  std::lock_guard lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+std::string window_json(const TelemetryWindow& w, const std::string& labels) {
+  char buf[96];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "{\"seq\":%llu,\"t\":%.9g",
+                static_cast<unsigned long long>(w.seq), w.t_end);
+  out += buf;
+  if (!labels.empty()) {
+    out += ",\"labels\":\"";
+    append_escaped(out, labels);
+    out.push_back('"');
+  }
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : w.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, name);
+    std::snprintf(buf, sizeof buf, "\":{\"v\":%llu,\"d\":%llu",
+                  static_cast<unsigned long long>(c.value),
+                  static_cast<unsigned long long>(c.delta));
+    out += buf;
+    if (c.reset) out += ",\"reset\":true";
+    out.push_back('}');
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : w.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, name);
+    std::snprintf(buf, sizeof buf, "\":{\"n\":%llu",
+                  static_cast<unsigned long long>(h.total));
+    out += buf;
+    if (h.total > 0) {
+      std::snprintf(buf, sizeof buf, ",\"mean\":%.9g,\"max\":%.9g", h.mean(),
+                    h.max);
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"p50\":%.9g,\"p90\":%.9g",
+                    h.quantile(0.5), h.quantile(0.9));
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"p99\":%.9g,\"p999\":%.9g",
+                    h.quantile(0.99), h.quantile(0.999));
+      out += buf;
+      std::snprintf(buf, sizeof buf, ",\"uf\":%llu,\"of\":%llu",
+                    static_cast<unsigned long long>(h.underflow),
+                    static_cast<unsigned long long>(h.overflow));
+      out += buf;
+    }
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+void TelemetryHub::append_jsonl(const TelemetryWindow& w) {
+  jsonl_ += window_json(w, options_.labels);
+  jsonl_.push_back('\n');
+}
+
+std::string TelemetryHub::jsonl() const {
+  std::lock_guard lock(mutex_);
+  return jsonl_;
+}
+
+std::string TelemetryHub::prometheus_text() const {
+  return registry_.to_prometheus();
+}
+
+void TelemetryHub::start_wall_ticks(double period_s) {
+  stop_wall_ticks();
+  {
+    std::lock_guard lock(wall_mutex_);
+    wall_stop_ = false;
+  }
+  wall_thread_ = std::thread([this, period_s] {
+    const auto period = std::chrono::duration<double>(period_s);
+    std::unique_lock lock(wall_mutex_);
+    while (!wall_cv_.wait_for(lock, period, [this] { return wall_stop_; })) {
+      lock.unlock();
+      tick(wall_seconds());
+      lock.lock();
+    }
+  });
+}
+
+void TelemetryHub::stop_wall_ticks() {
+  {
+    std::lock_guard lock(wall_mutex_);
+    wall_stop_ = true;
+  }
+  wall_cv_.notify_all();
+  if (wall_thread_.joinable()) wall_thread_.join();
+}
+
+}  // namespace rdmc::obs

@@ -1,0 +1,143 @@
+// TelemetryHub: windowed time-series over a MetricsRegistry.
+//
+// The registry is cumulative — one number per counter, one distribution
+// per histogram, for the whole run. The hub turns that into a live
+// time-series: every tick it snapshots all registered counters and
+// histograms, differences them against the previous tick, and keeps the
+// per-window deltas (counter delta-rates, per-window histogram quantiles)
+// in a fixed-depth rolling window ring. Consumers:
+//
+//   * JSONL export — one deterministic line per tick, accumulated in
+//     memory and written by the bench (`--telemetry out.jsonl`). Under a
+//     virtual-time tick source the bytes are identical for any --jobs N.
+//   * Prometheus text exposition — the cumulative registry state in the
+//     standard scrape format, for the future service daemon.
+//   * Tick listeners — the SLO tracker and anything else that wants the
+//     freshly rotated window (invoked after the window is committed,
+//     outside the hub lock).
+//
+// Tick sources. The hub itself never decides when "now" is:
+//   * sim fabrics — harness::TelemetryTicker schedules a self-rescheduling
+//     event on the virtual clock, so ticks land at exact deterministic
+//     virtual instants and the exported JSONL is byte-stable;
+//   * mem/tcp fabrics — start_wall_ticks() runs a background thread that
+//     ticks on the host clock (inherently non-deterministic; the JSONL is
+//     still valid, just not byte-comparable across runs).
+//
+// Thread-safety: tick() and every accessor lock the hub; counters are
+// atomics and histograms lock internally, so a wall-clock tick thread can
+// snapshot while fabric completion threads record.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rdmc::obs {
+
+struct TelemetryOptions {
+  /// Rolling windows kept (oldest evicted). SLO burn-rate windows must
+  /// fit inside this depth.
+  std::size_t window_depth = 64;
+  /// Free-form labels stamped on every JSONL line (e.g. "cell=3,loss=1%").
+  std::string labels;
+  /// Accumulate the JSONL export in memory (off for long-running daemons
+  /// that only scrape the prometheus endpoint).
+  bool collect_jsonl = true;
+};
+
+/// One closed telemetry window: everything that changed between two ticks.
+struct TelemetryWindow {
+  std::uint64_t seq = 0;       // tick ordinal, 0-based
+  double t_start = 0.0;        // previous tick's timestamp (0 for first)
+  double t_end = 0.0;          // this tick's timestamp
+
+  struct CounterSample {
+    std::uint64_t value = 0;   // cumulative at t_end
+    std::uint64_t delta = 0;   // increase within the window
+    bool reset = false;        // value shrank (delta restarts from value)
+  };
+  std::map<std::string, CounterSample> counters;
+  /// Per-window histogram deltas (samples recorded within the window).
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// One window as a JSON object — the exact JSONL line shape (no trailing
+/// newline). Shared by the hub's export and the flight recorder's
+/// incident "window context" embedding.
+std::string window_json(const TelemetryWindow& w,
+                        const std::string& labels = "");
+
+class TelemetryHub {
+ public:
+  using TickListener = std::function<void(const TelemetryWindow&)>;
+
+  explicit TelemetryHub(MetricsRegistry& registry,
+                        TelemetryOptions options = {});
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// Close the current window at timestamp `now` (virtual or wall seconds,
+  /// the tick source's clock) and notify listeners.
+  void tick(double now);
+
+  std::uint64_t ticks() const;
+  /// Rolling windows, oldest first (copies; the ring keeps rotating).
+  std::vector<TelemetryWindow> windows() const;
+  /// The most recently closed window (empty default if never ticked).
+  TelemetryWindow last_window() const;
+
+  /// Merged histogram delta over the newest min(n, depth) windows —
+  /// the "p99 over window W" input for SLO evaluation.
+  HistogramSnapshot merged(const std::string& histogram,
+                           std::size_t n) const;
+
+  /// Listeners run on every tick, after the window is committed, outside
+  /// the hub lock, on the ticking thread. Register before ticking starts.
+  void add_tick_listener(TickListener listener);
+
+  /// Accumulated JSONL export (one line per tick). Deterministic given a
+  /// deterministic tick source.
+  std::string jsonl() const;
+
+  /// Cumulative registry state in prometheus text exposition format.
+  std::string prometheus_text() const;
+
+  /// Wall-clock tick source for the threaded fabrics: a background thread
+  /// calling tick(wall_seconds()) every `period_s`. stop_wall_ticks() (or
+  /// destruction) joins it.
+  void start_wall_ticks(double period_s);
+  void stop_wall_ticks();
+
+ private:
+  void append_jsonl(const TelemetryWindow& w);
+
+  MetricsRegistry& registry_;
+  TelemetryOptions options_;
+
+  mutable std::mutex mutex_;
+  std::deque<TelemetryWindow> windows_;
+  std::map<std::string, std::uint64_t> prev_counters_;
+  std::map<std::string, HistogramSnapshot> prev_histograms_;
+  std::vector<TickListener> listeners_;
+  std::string jsonl_;
+  std::uint64_t ticks_ = 0;
+  double last_tick_t_ = 0.0;
+
+  std::mutex wall_mutex_;
+  std::condition_variable wall_cv_;
+  std::thread wall_thread_;
+  bool wall_stop_ = false;
+};
+
+}  // namespace rdmc::obs

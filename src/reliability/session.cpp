@@ -113,6 +113,12 @@ UdMulticastSession::UdMulticastSession(fabric::Fabric& fabric,
   policy_ = make_policy(options_.policy, options_.rs_k, options_.rs_m);
   if (!options_.clock) options_.clock = [] { return obs::wall_seconds(); };
   results_.resize(members_.size());
+  if (options_.metrics != nullptr) {
+    metric_datagrams_ = &options_.metrics->counter("ud.datagrams");
+    metric_retx_ = &options_.metrics->counter("ud.retx_datagrams");
+    metric_probes_ = &options_.metrics->counter("ud.probe_rounds");
+    metric_latency_ = &options_.metrics->histogram("ud.delivery_latency_s");
+  }
 }
 
 UdMulticastSession::~UdMulticastSession() {
@@ -325,10 +331,13 @@ void UdMulticastSession::pump_link(Node& n, std::size_t link_idx) {
         link.qp->post_send_ud(wire_view(n, w), link_idx, imm);
     if (r != fabric::PostResult::kOk) continue;  // severed lane: give up
     link.inflight++;
-    if (link.repair)
+    if (link.repair) {
       stats_.retx_datagrams++;
-    else
+      if (metric_retx_ != nullptr) metric_retx_->add();
+    } else {
       stats_.datagrams_sent++;
+      if (metric_datagrams_ != nullptr) metric_datagrams_->add();
+    }
   }
 }
 
@@ -438,6 +447,8 @@ void UdMulticastSession::member_check_complete(Node& n) {
     tr->instant(obs::Cat::kApp, "ud.deliver", n.id, deliver_ts, "rank",
                 n.rank);
   results_[n.rank].deliver_ts = deliver_ts;
+  if (metric_latency_ != nullptr)
+    metric_latency_->add(deliver_ts - stats_.msg_start_ts);
   finish_member(n.rank, /*failed=*/false);
 
   // Tell the root (protocol-complete even though state is shared here).
@@ -479,6 +490,7 @@ void UdMulticastSession::root_probe(std::size_t member_rank) {
     }
     rm.round++;
     stats_.probe_rounds++;
+    if (metric_probes_ != nullptr) metric_probes_->add();
     msg.push_back(static_cast<std::byte>(Msg::kProbe));
     put_u32(msg, static_cast<std::uint32_t>(rm.round));
   }

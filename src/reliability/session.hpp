@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "reliability/policy.hpp"
 #include "sched/schedule.hpp"
 
@@ -80,6 +81,15 @@ struct SessionOptions {
   std::function<double(fabric::NodeId, double)> charge_cpu;
   /// Modelled erasure decode rate for the charge hook, bytes/second.
   double decode_Bps = 1.0e9;
+  /// Optional live metrics sink (a labeled obs::MetricsScope, e.g.
+  /// registry.scope("policy=sr,cell=3")). The session bumps datagram /
+  /// retransmit / probe counters as it posts and records per-member
+  /// delivery latency into "ud.delivery_latency_s" at delivery time, so
+  /// telemetry windows and SLO trackers see the session live rather than
+  /// via SessionStats after the fact. Lookups happen once at
+  /// construction; the hot path touches cached references only. Must
+  /// outlive the session.
+  obs::MetricsScope* metrics = nullptr;
 };
 
 struct MemberResult {
@@ -178,6 +188,12 @@ class UdMulticastSession {
   bool pumping_ = false;
   bool done_ = false;
   SessionStats stats_;
+
+  // Cached metric handles (null when options_.metrics is unset).
+  obs::Counter* metric_datagrams_ = nullptr;
+  obs::Counter* metric_retx_ = nullptr;
+  obs::Counter* metric_probes_ = nullptr;
+  obs::Log2Histogram* metric_latency_ = nullptr;
 };
 
 }  // namespace rdmc::reliability

@@ -1,0 +1,104 @@
+// Minimal JSON well-formedness checker shared by the observability tests
+// (no external JSON parser is available in this build).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace rdmc::tests {
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+
+  bool whole_document() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_lit();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++i_;  // '{'
+    ws();
+    if (peek('}')) { ++i_; return true; }
+    while (true) {
+      ws();
+      if (!string_lit()) return false;
+      ws();
+      if (!peek(':')) return false;
+      ++i_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++i_; continue; }
+      if (peek('}')) { ++i_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    ws();
+    if (peek(']')) { ++i_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek(',')) { ++i_; continue; }
+      if (peek(']')) { ++i_; return true; }
+      return false;
+    }
+  }
+  bool string_lit() {
+    if (!peek('"')) return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (peek('-')) ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-'))
+      ++i_;
+    return i_ > start;
+  }
+  bool lit(const char* t) {
+    const std::size_t n = std::char_traits<char>::length(t);
+    if (s_.compare(i_, n, t) != 0) return false;
+    i_ += n;
+    return true;
+  }
+  bool peek(char c) const { return i_ < s_.size() && s_[i_] == c; }
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace rdmc::tests

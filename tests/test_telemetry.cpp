@@ -1,0 +1,571 @@
+// Windowed telemetry: histogram snapshot algebra, hub window rotation,
+// SLO burn-rate math, flight-recorder dedup/cap, and determinism of the
+// JSONL export under virtual-time ticks (serial == parallel).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/sim_harness.hpp"
+#include "harness/telemetry_ticker.hpp"
+#include "json_scanner.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "sched/schedule.hpp"
+#include "util/parallel.hpp"
+
+using namespace rdmc;
+using rdmc::tests::JsonScanner;
+
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Every line of a JSONL blob is a well-formed JSON document.
+void expect_valid_jsonl(const std::string& jsonl) {
+  std::size_t start = 0, lines = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    JsonScanner scanner(line);
+    EXPECT_TRUE(scanner.whole_document()) << "bad JSONL line: " << line;
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+}  // namespace
+
+// -- HistogramSnapshot hand fixtures ---------------------------------------
+
+TEST(HistogramSnapshot, QuantileInterpolatesWithinBucketAndClampsToMax) {
+  obs::Log2Histogram h(0, 4);  // buckets [1,2) [2,4) [4,8) [8,16) [16,32)
+  h.add(1.5);
+  h.add(1.5);
+  h.add(3.0);
+  h.add(3.0);
+  for (int i = 0; i < 4; ++i) h.add(12.0);
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.total, 8u);
+  EXPECT_DOUBLE_EQ(s.max, 12.0);
+
+  // q=0: rank 0 in bucket [1,2) of 2 -> 1 + 1*(0.5/2) = 1.25.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.25);
+  // q=0.5: rank 3.5 lands at the top of bucket [2,4) -> exactly 4.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 4.0);
+  // q=1: rank 7 interpolates to 15 inside [8,16) but no sample exceeded
+  // 12, so the estimate clamps to the recorded max.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 12.0);
+}
+
+TEST(HistogramSnapshot, CountAboveIsFractionalWithinStraddledBucket) {
+  obs::Log2Histogram h(0, 4);
+  h.add(1.5);
+  h.add(1.5);
+  h.add(3.0);
+  h.add(3.0);
+  for (int i = 0; i < 4; ++i) h.add(12.0);
+  const obs::HistogramSnapshot s = h.snapshot();
+
+  // Threshold at/below every bucket counts everything.
+  EXPECT_DOUBLE_EQ(s.count_above(1.0), 8.0);
+  // Threshold 2 excludes exactly the [1,2) bucket.
+  EXPECT_DOUBLE_EQ(s.count_above(2.0), 6.0);
+  // Threshold 12 splits [8,16): 4 * (16-12)/(16-8) = 2.
+  EXPECT_DOUBLE_EQ(s.count_above(12.0), 2.0);
+  // Threshold past the top bucket counts nothing.
+  EXPECT_DOUBLE_EQ(s.count_above(32.0), 0.0);
+}
+
+TEST(HistogramSnapshot, OverflowSamplesCountAboveAndDriveMax) {
+  obs::Log2Histogram h(0, 4);
+  h.add(12.0);
+  h.add(100.0);  // exp 6 > max_exp -> overflow
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.overflow, 1u);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // 20 is past the [8,16) bucket but overflow samples are all above it.
+  EXPECT_DOUBLE_EQ(s.count_above(20.0), 1.0);
+  // The top rank sits in overflow -> reported as max.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(HistogramSnapshot, MergeClampsOutOfRangeBucketsAndAdoptsIntoEmpty) {
+  obs::Log2Histogram narrow(0, 2);   // [1,2) [2,4) [4,8)
+  narrow.add(1.5);
+  obs::Log2Histogram wide(-2, 4);
+  wide.add(0.3);    // exp -2: below narrow's range
+  wide.add(3.0);    // exp 1: shared range
+  wide.add(20.0);   // exp 4: above narrow's range
+
+  obs::HistogramSnapshot a = narrow.snapshot();
+  a.merge(wide.snapshot());
+  EXPECT_EQ(a.total, 4u);
+  EXPECT_EQ(a.underflow, 1u);
+  EXPECT_EQ(a.overflow, 1u);
+  EXPECT_EQ(a.counts[0], 1u);  // 1.5
+  EXPECT_EQ(a.counts[1], 1u);  // 3.0
+  EXPECT_DOUBLE_EQ(a.max, 20.0);
+  EXPECT_DOUBLE_EQ(a.sum, 0.3 + 1.5 + 3.0 + 20.0);
+
+  // A default-constructed snapshot adopts the other's bucket range.
+  obs::HistogramSnapshot empty;
+  empty.merge(wide.snapshot());
+  EXPECT_EQ(empty.total, 3u);
+  EXPECT_EQ(empty.min_exp, -2);
+  EXPECT_EQ(empty.max_exp, 4);
+}
+
+TEST(HistogramSnapshot, DeltaTracksOverflowAcrossSnapshotsAndBoundsMax) {
+  obs::Log2Histogram h(0, 4);
+  h.add(12.0);
+  h.add(100.0);  // overflow
+  const obs::HistogramSnapshot prev = h.snapshot();
+  h.add(3.0);
+  h.add(200.0);  // second overflow; advances cumulative max
+  const obs::HistogramSnapshot cur = h.snapshot();
+
+  const obs::HistogramSnapshot d = obs::HistogramSnapshot::delta(cur, prev);
+  EXPECT_EQ(d.total, 2u);
+  EXPECT_EQ(d.overflow, 1u);
+  EXPECT_EQ(d.counts[1], 1u);  // the 3.0
+  EXPECT_DOUBLE_EQ(d.max, 200.0);  // cumulative max advanced this window
+
+  // When the max did not advance and nothing overflowed, the delta's max
+  // is the tightest bucket bound the histogram can certify.
+  obs::Log2Histogram g(0, 4);
+  g.add(12.0);
+  const obs::HistogramSnapshot gprev = g.snapshot();
+  g.add(3.0);  // below the existing max of 12
+  const obs::HistogramSnapshot gd =
+      obs::HistogramSnapshot::delta(g.snapshot(), gprev);
+  EXPECT_EQ(gd.total, 1u);
+  EXPECT_DOUBLE_EQ(gd.max, 4.0);  // hi bound of the [2,4) bucket
+}
+
+TEST(HistogramSnapshot, DeltaDetectsResetByShrunkenTotal) {
+  obs::Log2Histogram big(0, 4);
+  big.add(1.5);
+  big.add(3.0);
+  big.add(3.0);
+  obs::Log2Histogram fresh(0, 4);
+  fresh.add(12.0);
+  // cur.total < prev.total: the histogram restarted; delta is cur itself.
+  const obs::HistogramSnapshot d =
+      obs::HistogramSnapshot::delta(fresh.snapshot(), big.snapshot());
+  EXPECT_EQ(d.total, 1u);
+  EXPECT_EQ(d.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(d.max, 12.0);
+}
+
+// -- MetricsScope / registry exports ---------------------------------------
+
+TEST(MetricsScope, DecoratesAndInternsIntoTheRegistry) {
+  obs::MetricsRegistry reg;
+  obs::MetricsScope& scope = reg.scope("group=1,policy=sr");
+  EXPECT_EQ(scope.decorate("ud.datagrams"), "ud.datagrams{group=1,policy=sr}");
+  // Same labels -> same interned scope object.
+  EXPECT_EQ(&scope, &reg.scope("group=1,policy=sr"));
+  // The scope's counter is the registry metric under the decorated name.
+  obs::Counter& c = scope.counter("ud.datagrams");
+  c.add(7);
+  const obs::Counter* found =
+      reg.find_counter("ud.datagrams{group=1,policy=sr}");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &c);
+  EXPECT_EQ(found->value(), 7u);
+}
+
+TEST(MetricsRegistry, ToJsonCarriesSummaryAndIsByteDeterministic) {
+  auto build = [] {
+    obs::MetricsRegistry reg;
+    reg.counter("sim.events").add(42);
+    auto& h = reg.histogram("lat", 0, 4);
+    h.add(1.5);
+    h.add(12.0);
+    reg.scope("group=1").counter("deliveries").add(3);
+    return reg.to_json();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+
+  JsonScanner scanner(a);
+  EXPECT_TRUE(scanner.whole_document());
+  EXPECT_TRUE(contains(a, "\"sim.events\":42"));
+  EXPECT_TRUE(contains(a, "\"deliveries{group=1}\":3"));
+  EXPECT_TRUE(contains(a, "\"summary\":{\"count\":2"));
+  EXPECT_TRUE(contains(a, "\"p50\""));
+  EXPECT_TRUE(contains(a, "\"p999\""));
+  EXPECT_TRUE(contains(a, "\"buckets\":[[0,1],[3,1]]"));
+}
+
+TEST(MetricsRegistry, PrometheusExpositionRendersLabelsAndBuckets) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.events").add(42);
+  reg.scope("group=1,policy=sr").counter("ud.datagrams").add(7);
+  auto& h = reg.histogram("lat", 0, 2);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string prom = reg.to_prometheus();
+
+  EXPECT_TRUE(contains(prom, "# TYPE rdmc_sim_events counter\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_sim_events 42\n"));
+  EXPECT_TRUE(
+      contains(prom, "rdmc_ud_datagrams{group=\"1\",policy=\"sr\"} 7\n"));
+  EXPECT_TRUE(contains(prom, "# TYPE rdmc_lat histogram\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_bucket{le=\"2\"} 1\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_bucket{le=\"4\"} 2\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_bucket{le=\"+Inf\"} 2\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_sum 4.5\n"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_count 2\n"));
+}
+
+// -- TelemetryHub window rotation ------------------------------------------
+
+TEST(TelemetryHub, RotatesWindowsThroughEmptyTicksResetsAndEviction) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Log2Histogram& h = reg.histogram("h", 0, 4);
+
+  obs::TelemetryOptions topt;
+  topt.window_depth = 2;
+  obs::TelemetryHub hub(reg, topt);
+
+  c.add(5);
+  h.add(2.0);
+  hub.tick(1.0);
+  {
+    const obs::TelemetryWindow w = hub.last_window();
+    EXPECT_EQ(w.seq, 0u);
+    EXPECT_DOUBLE_EQ(w.t_end, 1.0);
+    EXPECT_EQ(w.counters.at("c").value, 5u);
+    EXPECT_EQ(w.counters.at("c").delta, 5u);
+    EXPECT_FALSE(w.counters.at("c").reset);
+    EXPECT_EQ(w.histograms.at("h").total, 1u);
+  }
+
+  // Empty tick: zero deltas, window still emitted, times chain.
+  hub.tick(2.0);
+  {
+    const obs::TelemetryWindow w = hub.last_window();
+    EXPECT_EQ(w.seq, 1u);
+    EXPECT_DOUBLE_EQ(w.t_start, 1.0);
+    EXPECT_DOUBLE_EQ(w.t_end, 2.0);
+    EXPECT_EQ(w.counters.at("c").value, 5u);
+    EXPECT_EQ(w.counters.at("c").delta, 0u);
+    EXPECT_TRUE(w.histograms.at("h").empty());
+    EXPECT_TRUE(contains(obs::window_json(w), "\"h\":{\"n\":0}"));
+  }
+
+  // Counter shrank mid-window: reset flag, delta restarts from the value.
+  c.set(2);
+  hub.tick(3.0);
+  {
+    const obs::TelemetryWindow w = hub.last_window();
+    EXPECT_TRUE(w.counters.at("c").reset);
+    EXPECT_EQ(w.counters.at("c").delta, 2u);
+    EXPECT_EQ(w.counters.at("c").value, 2u);
+    EXPECT_TRUE(contains(obs::window_json(w), "\"reset\":true"));
+  }
+
+  // Depth 2: the first window has been evicted.
+  const auto windows = hub.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows.front().seq, 1u);
+  EXPECT_EQ(windows.back().seq, 2u);
+  EXPECT_EQ(hub.ticks(), 3u);
+  expect_valid_jsonl(hub.jsonl());
+}
+
+TEST(TelemetryHub, MergedCombinesNewestWindowDeltas) {
+  obs::MetricsRegistry reg;
+  obs::Log2Histogram& h = reg.histogram("h", 0, 4);
+  obs::TelemetryHub hub(reg);
+
+  h.add(2.0);
+  hub.tick(1.0);
+  h.add(12.0);
+  h.add(12.0);
+  hub.tick(2.0);
+
+  EXPECT_EQ(hub.merged("h", 1).total, 2u);  // newest window only
+  const obs::HistogramSnapshot both = hub.merged("h", 2);
+  EXPECT_EQ(both.total, 3u);
+  EXPECT_DOUBLE_EQ(both.max, 12.0);
+  EXPECT_EQ(hub.merged("absent", 2).total, 0u);
+}
+
+// -- SLO burn rates vs hand-computed fixtures ------------------------------
+
+TEST(SloTracker, BurnRatesAlertsAndLedgerMatchHandComputation) {
+  obs::MetricsRegistry reg;
+  obs::Log2Histogram& lat = reg.histogram("lat", 0, 4);
+  obs::TelemetryHub hub(reg);
+
+  obs::SloObjective o;
+  o.name = "lat-p50";
+  o.histogram = "lat";
+  o.quantile = 0.5;
+  o.threshold = 8.0;  // bucket boundary: 4.0 is below, 12.0 fully above
+  o.fast_windows = 1;
+  o.slow_windows = 2;
+  o.budget = 0.25;
+  o.alert_burn = 2.0;
+  obs::SloTracker slo({o});
+  slo.attach(hub);
+
+  std::vector<std::uint64_t> alert_seqs;
+  slo.add_alert_listener(
+      [&](const obs::SloState& st, const obs::TelemetryWindow& w) {
+        EXPECT_EQ(st.objective.name, "lat-p50");
+        alert_seqs.push_back(w.seq);
+      });
+
+  // Window 0: 1 of 4 samples above -> frac 0.25 -> burn exactly 1.0.
+  lat.add(12.0);
+  lat.add(4.0);
+  lat.add(4.0);
+  lat.add(4.0);
+  hub.tick(1.0);
+  {
+    const obs::SloState& st = slo.states()[0];
+    EXPECT_DOUBLE_EQ(st.fast_burn, 1.0);
+    EXPECT_DOUBLE_EQ(st.slow_burn, 1.0);
+    EXPECT_FALSE(st.alerting);
+    EXPECT_EQ(st.alerts, 0u);
+  }
+
+  // Window 1: 2 of 2 above -> fast burn 4; slow (3 of 6) -> burn 2.
+  // Both reach alert_burn -> rising edge.
+  lat.add(12.0);
+  lat.add(12.0);
+  hub.tick(2.0);
+  {
+    const obs::SloState& st = slo.states()[0];
+    EXPECT_DOUBLE_EQ(st.fast_burn, 4.0);
+    EXPECT_DOUBLE_EQ(st.slow_burn, 2.0);
+    EXPECT_TRUE(st.alerting);
+    EXPECT_EQ(st.alerts, 1u);
+  }
+
+  // Window 2: quiet -> fast window empty -> burn 0 -> alert clears.
+  hub.tick(3.0);
+  EXPECT_FALSE(slo.states()[0].alerting);
+  EXPECT_EQ(slo.states()[0].alerts, 1u);
+
+  // Window 3: breach again -> a second rising edge, not a repeat of the
+  // first (listeners only see edges).
+  lat.add(12.0);
+  lat.add(12.0);
+  hub.tick(4.0);
+  {
+    const obs::SloState& st = slo.states()[0];
+    EXPECT_DOUBLE_EQ(st.fast_burn, 4.0);
+    EXPECT_DOUBLE_EQ(st.slow_burn, 4.0);
+    EXPECT_EQ(st.alerts, 2u);
+    ASSERT_EQ(alert_seqs.size(), 2u);
+    EXPECT_EQ(alert_seqs[0], 1u);
+    EXPECT_EQ(alert_seqs[1], 3u);
+
+    // Ledger: violating 1+2+0+2 = 5 of total 4+2+0+2 = 8 samples;
+    // budget_consumed = 5 / (0.25 * 8) = 2.5.
+    EXPECT_DOUBLE_EQ(st.violating, 5.0);
+    EXPECT_DOUBLE_EQ(st.total, 8.0);
+    EXPECT_DOUBLE_EQ(st.budget_consumed(), 2.5);
+  }
+
+  const std::string ledger = slo.ledger_json();
+  JsonScanner scanner(ledger);
+  EXPECT_TRUE(scanner.whole_document());
+  EXPECT_TRUE(contains(ledger, "\"budget_consumed\":2.5"));
+  EXPECT_TRUE(contains(ledger, "\"alerts\":2"));
+}
+
+// -- Flight recorder dedup and cap -----------------------------------------
+
+TEST(FlightRecorder, DedupsPerKeyByTickDistanceAndEnforcesCap) {
+  obs::FlightOptions fo;
+  fo.max_incidents = 2;
+  fo.dedup_ticks = 5;
+  obs::FlightRecorder flight(fo);
+
+  EXPECT_TRUE(flight.armed("slo:a", 0));
+  ASSERT_NE(flight.record("slo:a", 0, 0.0, "first", "", ""), nullptr);
+
+  // Same key inside the dedup interval: refused and counted.
+  EXPECT_FALSE(flight.armed("slo:a", 4));
+  EXPECT_EQ(flight.record("slo:a", 4, 0.4, "dup", "", ""), nullptr);
+  EXPECT_EQ(flight.suppressed(), 1u);
+
+  // The key re-arms exactly dedup_ticks later.
+  EXPECT_TRUE(flight.armed("slo:a", 5));
+  ASSERT_NE(flight.record("slo:a", 5, 0.5, "second", "", ""), nullptr);
+
+  // Cap reached: even a fresh key is refused.
+  EXPECT_FALSE(flight.armed("slo:b", 0));
+  EXPECT_EQ(flight.record("slo:b", 0, 0.0, "over cap", "", ""), nullptr);
+  EXPECT_EQ(flight.incidents().size(), 2u);
+  EXPECT_EQ(flight.suppressed(), 2u);
+
+  const std::string json = flight.to_json();
+  JsonScanner scanner(json);
+  EXPECT_TRUE(scanner.whole_document());
+  EXPECT_TRUE(contains(json, "\"suppressed\":2"));
+  // Empty analysis/window slots serialize as null, not as empty strings.
+  EXPECT_TRUE(contains(json, "\"analysis\":null"));
+  EXPECT_TRUE(contains(json, "\"window\":null"));
+}
+
+TEST(FlightRecorder, IncidentEmbedsFrozenTraceSlice) {
+  obs::TraceRecorder::instance().enable();
+  harness::MulticastConfig cfg;
+  cfg.profile = sim::fractus_profile(4);
+  cfg.group_size = 4;
+  cfg.message_bytes = 1u << 20;
+  cfg.block_size = 64 << 10;
+  harness::run_multicast(cfg);
+
+  obs::FlightRecorder flight;
+  const obs::Incident* inc =
+      flight.record("slo:trace", 3, 1.5, "embed test", "", "");
+  obs::TraceRecorder::instance().disable();
+  ASSERT_NE(inc, nullptr);
+  JsonScanner scanner(inc->json);
+  EXPECT_TRUE(scanner.whole_document());
+  EXPECT_TRUE(contains(inc->json, "\"traceEvents\""));
+  EXPECT_TRUE(contains(inc->json, "\"key\":\"slo:trace\""));
+  EXPECT_TRUE(contains(inc->json, "\"tick\":3"));
+}
+
+// -- Virtual-time ticks: determinism and termination -----------------------
+
+namespace {
+
+// One wan_sweep-style cell: a private cluster + cell-local registry + hub
+// driven by the deterministic virtual-time ticker. The cluster's own
+// registry carries host-clock counters (harness.wall_ns), so byte-stable
+// exports must feed a local registry instead. Returns the cell's JSONL.
+std::string run_cell(std::size_t index) {
+  harness::SimCluster cluster(sim::fractus_profile(4));
+  GroupOptions gopts;
+  gopts.block_size = 64 << 10;
+  gopts.algorithm = sched::Algorithm::kBinomialPipeline;
+  auto& rec = cluster.create_group(1, {0, 1, 2, 3}, gopts);
+
+  obs::MetricsRegistry registry;
+  const std::string labels = "cell=" + std::to_string(index);
+  auto& hist = registry.scope(labels).histogram("cell.delivery_latency_s");
+  rec.on_latency = [&hist](std::size_t, std::size_t, double latency) {
+    hist.add(latency);
+  };
+
+  obs::TelemetryOptions topt;
+  topt.labels = labels;
+  obs::TelemetryHub hub(registry, topt);
+  harness::TelemetryTicker ticker(cluster.sim(), hub, 20e-6);
+
+  const std::uint64_t bytes = (128u << 10) * (index + 1);
+  cluster.send(1, bytes);
+  ticker.ensure_scheduled();
+  cluster.run_to_quiescence();
+  // The ticker must not keep the simulator alive (run_to_quiescence
+  // returned) and must re-arm for the next submission.
+  cluster.send(1, bytes);
+  ticker.ensure_scheduled();
+  cluster.run_to_quiescence();
+
+  EXPECT_GT(ticker.ticks_fired(), 0u);
+  EXPECT_EQ(ticker.ticks_fired(), hub.ticks());
+  return hub.jsonl();
+}
+
+}  // namespace
+
+TEST(TelemetryTicker, VirtualTimeJsonlIsByteIdenticalAcrossRuns) {
+  const std::string first = run_cell(0);
+  const std::string second = run_cell(0);
+  EXPECT_EQ(first, second);
+  expect_valid_jsonl(first);
+  EXPECT_TRUE(contains(first, "\"labels\":\"cell=0\""));
+}
+
+TEST(TelemetryTicker, ParallelCellsConcatenateIdenticallyToSerial) {
+  constexpr std::size_t kCells = 4;
+  std::vector<std::string> serial(kCells), parallel(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) serial[i] = run_cell(i);
+  util::parallel_for(kCells, 4,
+                     [&](std::size_t i) { parallel[i] = run_cell(i); });
+  std::string serial_cat, parallel_cat;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    serial_cat += serial[i];
+    parallel_cat += parallel[i];
+  }
+  EXPECT_EQ(serial_cat, parallel_cat);
+}
+
+TEST(TelemetryTicker, AttachTelemetrySyncsClusterCountersIntoWindows) {
+  harness::SimCluster cluster(sim::fractus_profile(4));
+  GroupOptions gopts;
+  gopts.block_size = 64 << 10;
+  gopts.algorithm = sched::Algorithm::kChain;
+  cluster.create_group(1, {0, 1, 2, 3}, gopts);
+
+  obs::TelemetryHub hub(cluster.metrics());
+  cluster.attach_telemetry(hub, 20e-6);
+  cluster.send(1, 256u << 10);
+  cluster.run_to_quiescence();
+
+  EXPECT_GT(hub.ticks(), 0u);
+  // sync_metrics ran before each tick, so the windows carry live
+  // simulator counters, not just end-of-run totals.
+  const obs::TelemetryWindow w = hub.last_window();
+  ASSERT_TRUE(w.counters.count("sim.events"));
+  EXPECT_GT(w.counters.at("sim.events").value, 0u);
+  expect_valid_jsonl(hub.jsonl());
+}
+
+// -- Wall-clock tick thread (exercised under TSan in CI) -------------------
+
+TEST(TelemetryHub, WallClockTicksSnapshotWhileWritersRecord) {
+  obs::MetricsRegistry reg;
+  obs::TelemetryHub hub(reg);
+  obs::Counter& c = reg.counter("events");
+  obs::Log2Histogram& h = reg.histogram("lat", -20, 4);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&c, &h, &stop, t] {
+      double v = 1e-4 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        h.add(v);
+        v *= 1.001;
+        if (v > 8.0) v = 1e-4;
+      }
+    });
+  }
+
+  hub.start_wall_ticks(1e-3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hub.stop_wall_ticks();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+
+  EXPECT_GT(hub.ticks(), 0u);
+  expect_valid_jsonl(hub.jsonl());
+  const std::string prom = hub.prometheus_text();
+  EXPECT_TRUE(contains(prom, "# TYPE rdmc_events counter"));
+  EXPECT_TRUE(contains(prom, "rdmc_lat_count"));
+}
