@@ -433,6 +433,11 @@ void Group::on_completion(const fabric::Completion& c,
     case fabric::WcOpcode::kDisconnect:
       fail(pair.peer, /*relay=*/true);
       break;
+    case fabric::WcOpcode::kWindowWrite:
+    case fabric::WcOpcode::kRecvWindowWrite:
+    case fabric::WcOpcode::kSendUd:
+    case fabric::WcOpcode::kRecvUd:
+      break;  // RC group QPs carry no window writes or datagrams
   }
 }
 

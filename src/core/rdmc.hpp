@@ -168,6 +168,11 @@ class Node {
   fabric::Endpoint& endpoint_;
   NodeId id_;
   Clock clock_;
+  /// Reentrant by necessity: completion dispatch re-enters the Node through
+  /// user callbacks (a delivery handler may create or destroy groups), and
+  /// Clang Thread Safety Analysis has no reentrancy model — so this stays a
+  /// raw recursive mutex outside the util::Mutex vocabulary (DESIGN.md §11).
+  // rdmc-lint: allow(raw-mutex) reentrant completion dispatch; TSA cannot model recursive locking
   mutable std::recursive_mutex mutex_;
   std::unordered_map<GroupId, std::unique_ptr<Group>> groups_;
   std::unordered_map<GroupId, std::unique_ptr<SmallMessageGroup>>

@@ -186,6 +186,9 @@ void SmallMessageGroup::on_completion(const fabric::Completion& c,
         fail(rank_ == 0 ? peers_[pair_index].node : members_[0], true);
       }
       break;
+    case fabric::WcOpcode::kSendUd:
+    case fabric::WcOpcode::kRecvUd:
+      break;  // datagrams never flow on small-group QPs
   }
 }
 

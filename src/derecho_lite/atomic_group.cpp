@@ -76,6 +76,16 @@ AtomicGroup::AtomicGroup(Node& node, GroupId id, std::vector<NodeId> members,
 }
 
 AtomicGroup::~AtomicGroup() {
+  // Retire the status-table queue pairs (registered with this object as
+  // their sink) under the Node lock BEFORE anything else: close() below
+  // flushes posted work, and those dead-epoch completions would otherwise
+  // dispatch through Node::qp_map_ into a freed sink — a teardown
+  // use-after-free the completion thread hit a few percent of the time.
+  // destroy_group does the same for the data-plane group's pairs.
+  {
+    std::lock_guard lock(node_.mutex_);
+    node_.retire_qps(this);
+  }
   for (auto* qp : status_qps_) {
     if (qp != nullptr) qp->close();
   }

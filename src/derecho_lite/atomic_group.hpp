@@ -24,6 +24,12 @@
 //
 // Like Derecho, the layer adds "a small delay" and no bandwidth cost: the
 // status writes are tiny one-sided updates off the bulk data path.
+//
+// Thread-safety: externally synchronised by the owning Node's recursive
+// lock (DESIGN.md §11). Every entry point except send() is a completion,
+// OOB, or control callback, which the Node invokes with its lock held;
+// send() takes the same lock itself. AtomicGroup therefore owns no mutex
+// and carries no annotations — its state inherits the Node's exclusion.
 #pragma once
 
 #include <cstdint>

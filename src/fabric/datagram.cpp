@@ -18,21 +18,21 @@ std::uint64_t mix(std::uint64_t x) {
 }  // namespace
 
 void DatagramEngine::set_profile(const DatagramFaultProfile& profile) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   profile_ = profile;
   pairs_.clear();
   counters_ = DatagramCounters{};
 }
 
 DatagramFaultProfile DatagramEngine::profile() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return profile_;
 }
 
 std::vector<UdDelivery> DatagramEngine::on_send(NodeId src, NodeId dst,
                                                 MemoryView buf,
                                                 std::uint32_t immediate) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   PairState& ps = pairs_[pair_key(src, dst)];
   const std::uint64_t index = ps.next_index++;
   ++counters_.sent;
@@ -109,17 +109,17 @@ std::vector<UdDelivery> DatagramEngine::on_send(NodeId src, NodeId dst,
 }
 
 void DatagramEngine::count_no_recv() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++counters_.no_recv;
 }
 
 void DatagramEngine::count_delivered() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++counters_.delivered;
 }
 
 DatagramCounters DatagramEngine::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return counters_;
 }
 

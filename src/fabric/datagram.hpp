@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::fabric {
 
@@ -81,10 +81,10 @@ class DatagramEngine {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
-  mutable std::mutex mutex_;
-  DatagramFaultProfile profile_{};
-  std::unordered_map<std::uint64_t, PairState> pairs_;
-  DatagramCounters counters_{};
+  mutable util::Mutex mutex_;
+  DatagramFaultProfile profile_ RDMC_GUARDED_BY(mutex_){};
+  std::unordered_map<std::uint64_t, PairState> pairs_ RDMC_GUARDED_BY(mutex_);
+  DatagramCounters counters_ RDMC_GUARDED_BY(mutex_){};
 };
 
 }  // namespace rdmc::fabric

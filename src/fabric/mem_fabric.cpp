@@ -26,7 +26,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
 
   void set_completion_handler(
       std::function<void(const Completion&)> handler) override {
-    std::lock_guard lock(handler_mutex_);
+    util::MutexLock lock(handler_mutex_);
     completion_handler_ = std::move(handler);
   }
 
@@ -37,7 +37,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
   void set_oob_handler(
       std::function<void(NodeId, std::span<const std::byte>)> handler)
       override {
-    std::lock_guard lock(handler_mutex_);
+    util::MutexLock lock(handler_mutex_);
     oob_handler_ = std::move(handler);
   }
 
@@ -49,13 +49,13 @@ class MemFabric::MemEndpoint final : public Endpoint {
   }
 
   void register_window(std::uint32_t window_id, MemoryView region) override {
-    std::lock_guard lock(window_mutex_);
+    util::MutexLock lock(window_mutex_);
     windows_[window_id] = region;
   }
 
   void unregister_window(std::uint32_t window_id) override {
     // The lock fences in-flight apply_window_write calls.
-    std::lock_guard lock(window_mutex_);
+    util::MutexLock lock(window_mutex_);
     windows_.erase(window_id);
   }
 
@@ -65,7 +65,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
   MemFabric::WindowApply apply_window_write(std::uint32_t window_id,
                                             std::uint64_t offset,
                                             MemoryView src) {
-    std::lock_guard lock(window_mutex_);
+    util::MutexLock lock(window_mutex_);
     auto it = windows_.find(window_id);
     if (it == windows_.end()) return MemFabric::WindowApply::kUnknown;
     const MemoryView window = it->second;
@@ -78,7 +78,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
 
   void push(NodeEvent event) {
     {
-      std::lock_guard lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       queue_.push_back(std::move(event));
     }
     cv_.notify_one();
@@ -86,7 +86,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
 
   void stop() {
     {
-      std::lock_guard lock(queue_mutex_);
+      util::MutexLock lock(queue_mutex_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -96,18 +96,18 @@ class MemFabric::MemEndpoint final : public Endpoint {
 
   /// True when nothing is queued and the thread is parked in a wait.
   bool quiescent() {
-    std::lock_guard lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     return queue_.empty() && !handling_;
   }
 
  private:
   void run() {
-    std::unique_lock lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     while (true) {
       // Hybrid mode in the real system polls for 50 ms after each event
       // before arming interrupts (§4.2); in-process the distinction is a
       // spin-vs-wait choice with identical semantics.
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      while (!(stopping_ || !queue_.empty())) cv_.wait(lock);
       if (stopping_ && queue_.empty()) return;
       while (!queue_.empty()) {
         NodeEvent event = std::move(queue_.front());
@@ -147,7 +147,7 @@ class MemFabric::MemEndpoint final : public Endpoint {
     // Invoke under handler_mutex_: once set_completion_handler(nullptr)
     // returns, no stale handler can still be mid-flight — the detach
     // guarantee rdmc::Node's destructor relies on.
-    std::lock_guard lock(handler_mutex_);
+    util::MutexLock lock(handler_mutex_);
     // The fabric.hpp single-dispatch contract: at most one handler
     // invocation per node at a time, even while fault injection races
     // with posts.
@@ -164,19 +164,21 @@ class MemFabric::MemEndpoint final : public Endpoint {
 
   MemFabric& fabric_;
   NodeId id_;
-  std::mutex window_mutex_;
-  std::map<std::uint32_t, MemoryView> windows_;
-  std::mutex handler_mutex_;
-  std::function<void(const Completion&)> completion_handler_;
-  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
+  util::Mutex window_mutex_;
+  std::map<std::uint32_t, MemoryView> windows_ RDMC_GUARDED_BY(window_mutex_);
+  util::Mutex handler_mutex_;
+  std::function<void(const Completion&)> completion_handler_
+      RDMC_GUARDED_BY(handler_mutex_);
+  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_
+      RDMC_GUARDED_BY(handler_mutex_);
   std::atomic<CompletionMode> mode_{CompletionMode::kHybrid};
   std::atomic<bool> in_dispatch_{false};
 
-  std::mutex queue_mutex_;
-  std::condition_variable cv_;
-  std::deque<NodeEvent> queue_;
-  bool stopping_ = false;
-  bool handling_ = false;
+  util::Mutex queue_mutex_;
+  util::CondVar cv_;
+  std::deque<NodeEvent> queue_ RDMC_GUARDED_BY(queue_mutex_);
+  bool stopping_ RDMC_GUARDED_BY(queue_mutex_) = false;
+  bool handling_ RDMC_GUARDED_BY(queue_mutex_) = false;
   std::atomic<std::int64_t> slow_delay_ns_{0};
   std::atomic<std::int64_t> slow_until_{0};  // steady_clock epoch ns; 0=off
   std::thread thread_;
@@ -208,6 +210,9 @@ class MemFabric::MemQueuePair final : public QueuePair {
 
   NodeId self_;
   Connection& conn_;
+  /// Guarded by conn_.mutex (Connection is incomplete here, so the
+  /// attribute cannot name it; every access is inside a REQUIRES(mutex)
+  /// Connection method or under a MutexLock on conn_.mutex).
   bool closed_ = false;
 };
 
@@ -242,13 +247,13 @@ struct MemFabric::Connection {
   MemQueuePair* side_for(NodeId node) {
     return node == side_a.self_ ? &side_a : &side_b;
   }
-  Direction& direction_from(NodeId node) {
+  Direction& direction_from(NodeId node) RDMC_REQUIRES(mutex) {
     return node == side_a.self_ ? a_to_b : b_to_a;
   }
 
   /// Match queued sends in `dir` (from `src`) against receives posted by
   /// the other side; copy bytes and emit completions. Call with lock held.
-  void try_match(NodeId src, Direction& dir) {
+  void try_match(NodeId src, Direction& dir) RDMC_REQUIRES(mutex) {
     MemQueuePair* sender_qp = side_for(src);
     MemQueuePair* receiver_qp = side_for(sender_qp->peer());
     if (receiver_qp->closed_) {
@@ -320,7 +325,7 @@ struct MemFabric::Connection {
   /// Returns false after breaking the connection on an access error.
   bool execute_window_write(MemQueuePair* sender_qp,
                             MemQueuePair* receiver_qp,
-                            const PendingSend& send) {
+                            const PendingSend& send) RDMC_REQUIRES(mutex) {
     if (auto* tr = obs::tracer())
       tr->end(obs::Cat::kFabric, "xferw", sender_qp->self_,
               obs::xfer_span_id(sender_qp->id(), send.wr_id),
@@ -370,7 +375,8 @@ struct MemFabric::Connection {
   /// Place one surviving datagram into the receiver's oldest posted UD
   /// recv; a missing or too-small recv discards the datagram (counted),
   /// never an error. Call with lock held.
-  void deliver_ud_locked(NodeId src, const UdDelivery& d) {
+  void deliver_ud_locked(NodeId src, const UdDelivery& d)
+      RDMC_REQUIRES(mutex) {
     MemQueuePair* sender_qp = side_for(src);
     MemQueuePair* receiver_qp = side_for(sender_qp->peer());
     Direction& dir = direction_from(src);
@@ -397,7 +403,7 @@ struct MemFabric::Connection {
   /// Flush all posted work with kFlushed and notify both sides of the
   /// break. Locally closed QPs receive nothing — close() fences. Call with
   /// lock held.
-  void flush_locked() {
+  void flush_locked() RDMC_REQUIRES(mutex) {
     broken = true;
     side_a.mark_broken();
     side_b.mark_broken();
@@ -443,18 +449,18 @@ struct MemFabric::Connection {
   }
 
   MemFabric& fabric;
-  std::mutex mutex;
+  util::Mutex mutex;
   MemQueuePair side_a;
   MemQueuePair side_b;
-  Direction a_to_b;
-  Direction b_to_a;
-  bool broken = false;
+  Direction a_to_b RDMC_GUARDED_BY(mutex);
+  Direction b_to_a RDMC_GUARDED_BY(mutex);
+  bool broken RDMC_GUARDED_BY(mutex) = false;
 };
 
 PostResult MemFabric::MemQueuePair::post_send(MemoryView buf,
                                               std::uint64_t wr_id,
                                               std::uint32_t immediate) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   if (auto* tr = obs::tracer())
@@ -469,7 +475,7 @@ PostResult MemFabric::MemQueuePair::post_send(MemoryView buf,
 
 PostResult MemFabric::MemQueuePair::post_recv(MemoryView buf,
                                               std::uint64_t wr_id) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   auto& dir = conn_.direction_from(peer_);
@@ -480,7 +486,7 @@ PostResult MemFabric::MemQueuePair::post_recv(MemoryView buf,
 
 PostResult MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
                                                    std::uint64_t wr_id) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   conn_.fabric.deliver(self_,
                        Completion{wr_id, WcOpcode::kWriteImm,
@@ -497,7 +503,7 @@ PostResult MemFabric::MemQueuePair::post_write_imm(std::uint32_t immediate,
 PostResult MemFabric::MemQueuePair::post_send_ud(MemoryView buf,
                                                  std::uint64_t wr_id,
                                                  std::uint32_t immediate) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   const auto deliveries =
@@ -515,7 +521,7 @@ PostResult MemFabric::MemQueuePair::post_send_ud(MemoryView buf,
 
 PostResult MemFabric::MemQueuePair::post_recv_ud(MemoryView buf,
                                                  std::uint64_t wr_id) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   conn_.direction_from(peer_).ud_recvs.push_back({buf, wr_id});
@@ -523,7 +529,7 @@ PostResult MemFabric::MemQueuePair::post_recv_ud(MemoryView buf,
 }
 
 void MemFabric::MemQueuePair::close() {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   closed_ = true;
   mark_broken();
   // Revoke our posted receives (they point at memory about to be freed)
@@ -537,7 +543,7 @@ void MemFabric::MemQueuePair::close() {
 PostResult MemFabric::MemQueuePair::post_window_write(
     std::uint32_t window_id, std::uint64_t offset, MemoryView local,
     std::uint32_t immediate, std::uint64_t wr_id, bool signaled) {
-  std::lock_guard lock(conn_.mutex);
+  util::MutexLock lock(conn_.mutex);
   if (conn_.broken || broken()) return PostResult::kQpBroken;
   if (local.data && local.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
   if (local.size > 0 && offset > ~std::uint64_t{0} - local.size)
@@ -600,7 +606,7 @@ void MemFabric::drain() {
 
 std::pair<std::size_t, bool> MemFabric::queue_state(NodeId node) {
   MemEndpoint& ep = *endpoints_[node];
-  std::lock_guard lock(ep.queue_mutex_);
+  util::MutexLock lock(ep.queue_mutex_);
   return {ep.queue_.size(), ep.handling_};
 }
 
@@ -613,7 +619,7 @@ QueuePair* MemFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
   assert(a < endpoints_.size() && b < endpoints_.size() && a != b);
   const NodeId lo = std::min(a, b);
   const NodeId hi = std::max(a, b);
-  std::lock_guard lock(connections_mutex_);
+  util::MutexLock lock(connections_mutex_);
   auto key = std::make_tuple(lo, hi, channel);
   auto it = connections_.find(key);
   if (it == connections_.end()) {
@@ -626,7 +632,7 @@ QueuePair* MemFabric::connect(NodeId a, NodeId b, std::uint32_t channel) {
   const bool dead_peer = crashed_.contains(lo) || crashed_.contains(hi);
   if (dead_peer) {
     // Born-broken rather than a silent hang (see FaultInjector contract).
-    std::lock_guard conn_lock(conn->mutex);
+    util::MutexLock conn_lock(conn->mutex);
     if (!conn->broken) conn->flush_locked();
   }
   return conn->side_for(a);
@@ -637,14 +643,14 @@ void MemFabric::break_link(NodeId a, NodeId b) {
   const NodeId hi = std::max(a, b);
   std::vector<Connection*> affected;
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     for (auto& [key, conn] : connections_) {
       if (std::get<0>(key) == lo && std::get<1>(key) == hi)
         affected.push_back(conn.get());
     }
   }
   for (auto* conn : affected) {
-    std::lock_guard lock(conn->mutex);
+    util::MutexLock lock(conn->mutex);
     if (!conn->broken) conn->flush_locked();
   }
 }
@@ -652,7 +658,7 @@ void MemFabric::break_link(NodeId a, NodeId b) {
 void MemFabric::crash_node(NodeId node) {
   std::vector<Connection*> affected;
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     crashed_.insert(node);
     for (auto& [key, conn] : connections_) {
       if (std::get<0>(key) == node || std::get<1>(key) == node)
@@ -660,7 +666,7 @@ void MemFabric::crash_node(NodeId node) {
     }
   }
   for (auto* conn : affected) {
-    std::lock_guard lock(conn->mutex);
+    util::MutexLock lock(conn->mutex);
     if (!conn->broken) conn->flush_locked();
   }
 }
@@ -689,7 +695,7 @@ bool MemFabric::slow_node(NodeId node, double factor, double duration_s) {
 }
 
 bool MemFabric::crashed(NodeId node) const {
-  std::lock_guard lock(connections_mutex_);
+  util::MutexLock lock(connections_mutex_);
   return crashed_.contains(node);
 }
 
@@ -708,7 +714,7 @@ void MemFabric::deliver_oob(NodeId from, NodeId to,
                             std::vector<std::byte> payload) {
   assert(to < endpoints_.size());
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     // A crashed node can neither send nor receive on the control mesh.
     if (crashed_.contains(from) || crashed_.contains(to)) return;
   }

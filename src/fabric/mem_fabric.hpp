@@ -13,11 +13,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <tuple>
@@ -25,6 +23,7 @@
 
 #include "fabric/datagram.hpp"
 #include "fabric/fabric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::fabric {
 
@@ -97,15 +96,18 @@ class MemFabric final : public Fabric, public FaultInjector {
                                           MemoryView src);
 
   std::vector<std::unique_ptr<MemEndpoint>> endpoints_;
-  mutable std::mutex connections_mutex_;
+  /// Lock order (DESIGN.md §11): connections_mutex_ before Connection::mutex
+  /// before MemEndpoint::queue_mutex_ (connect() holds it while breaking a
+  /// born-dead connection, which delivers flush completions).
+  mutable util::Mutex connections_mutex_;
   std::map<std::tuple<NodeId, NodeId, std::uint32_t>,
            std::unique_ptr<Connection>>
-      connections_;
+      connections_ RDMC_GUARDED_BY(connections_mutex_);
   /// Crashed nodes: their out-of-band mesh is dead too (a crash kills the
   /// bootstrap TCP connections along with the RDMA sessions).
-  std::set<NodeId> crashed_;
+  std::set<NodeId> crashed_ RDMC_GUARDED_BY(connections_mutex_);
   DatagramEngine datagrams_;
-  QpId next_qp_id_ = 1;
+  QpId next_qp_id_ RDMC_GUARDED_BY(connections_mutex_) = 1;
 };
 
 }  // namespace rdmc::fabric

@@ -59,16 +59,6 @@ bool read_exact(int fd, void* buf, std::size_t len) {
   return true;
 }
 
-bool discard_exact(int fd, std::size_t len) {
-  std::byte sink[4096];
-  while (len > 0) {
-    const std::size_t chunk = std::min(len, sizeof sink);
-    if (!read_exact(fd, sink, chunk)) return false;
-    len -= chunk;
-  }
-  return true;
-}
-
 bool write_all(int fd, const void* buf, std::size_t len) {
   auto* p = static_cast<const std::byte*>(buf);
   while (len > 0) {
@@ -115,6 +105,9 @@ class TcpFabric::TcpQueuePair final : public QueuePair {
 
   TcpEndpoint& owner_;
   std::uint32_t channel_;
+  /// Guarded by owner_.state_mutex_ (TcpEndpoint is incomplete here, so the
+  /// attribute cannot name it; every access happens under a MutexLock on
+  /// owner_.state_mutex_).
   bool closed_ = false;
 };
 
@@ -135,13 +128,13 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
 
   void set_completion_handler(
       std::function<void(const Completion&)> handler) override {
-    std::lock_guard lock(handler_mutex_);
+    util::MutexLock lock(handler_mutex_);
     completion_handler_ = std::move(handler);
   }
   void set_oob_handler(
       std::function<void(NodeId, std::span<const std::byte>)> handler)
       override {
-    std::lock_guard lock(handler_mutex_);
+    util::MutexLock lock(handler_mutex_);
     oob_handler_ = std::move(handler);
   }
   void set_completion_mode(CompletionMode mode) override {
@@ -151,12 +144,12 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
     return mode_.load(std::memory_order_relaxed);
   }
   void register_window(std::uint32_t window_id, MemoryView region) override {
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     windows_[window_id] = region;
   }
   void unregister_window(std::uint32_t window_id) override {
     // state_mutex_ fences in-flight window applications.
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     windows_.erase(window_id);
   }
 
@@ -194,7 +187,7 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
   void reader_loop(int fd);
   /// Handle one frame from `peer`; false on any protocol/socket error.
   bool handle_frame(int fd, NodeId peer, const FrameHeader& header);
-  int dial(NodeId peer);
+  int dial(NodeId peer) RDMC_REQUIRES(state_mutex_);
   void push(NodeEvent event);
   void completion_loop();
   void slow_dispatch_delay();
@@ -214,30 +207,41 @@ class TcpFabric::TcpEndpoint final : public Endpoint {
   int listen_fd_ = -1;
   std::thread accept_thread_;
 
-  std::mutex state_mutex_;
+  /// Lock order (DESIGN.md §11): a per-peer write mutex (out_mutexes_) is
+  /// acquired *before* state_mutex_ on the sever-on-write-failure path;
+  /// send_frame therefore releases state_mutex_ before taking the write
+  /// mutex, and nothing acquires a write mutex with state_mutex_ held.
+  util::Mutex state_mutex_;
   /// Outgoing sockets (we dial when we first talk to a peer).
-  std::map<NodeId, int> out_fds_;
-  std::map<NodeId, std::unique_ptr<std::mutex>> out_mutexes_;
+  std::map<NodeId, int> out_fds_ RDMC_GUARDED_BY(state_mutex_);
+  /// Per-peer write mutexes serialise frames on one socket; the map itself
+  /// is guarded, the pointed-to mutexes outlive any unlocked use (entries
+  /// are never erased before stop()).
+  std::map<NodeId, std::unique_ptr<util::Mutex>> out_mutexes_
+      RDMC_GUARDED_BY(state_mutex_);
   /// (peer, channel) -> queue pair.
   std::map<std::pair<NodeId, std::uint32_t>, std::unique_ptr<TcpQueuePair>>
-      qps_;
+      qps_ RDMC_GUARDED_BY(state_mutex_);
   /// (peer, channel) -> receive state.
-  std::map<std::pair<NodeId, std::uint32_t>, ChannelRx> rx_;
-  std::map<std::uint32_t, MemoryView> windows_;
-  std::vector<std::thread> reader_threads_;
-  std::vector<int> in_fds_;
-  std::map<NodeId, bool> severed_;
+  std::map<std::pair<NodeId, std::uint32_t>, ChannelRx> rx_
+      RDMC_GUARDED_BY(state_mutex_);
+  std::map<std::uint32_t, MemoryView> windows_ RDMC_GUARDED_BY(state_mutex_);
+  std::vector<std::thread> reader_threads_ RDMC_GUARDED_BY(state_mutex_);
+  std::vector<int> in_fds_ RDMC_GUARDED_BY(state_mutex_);
+  std::map<NodeId, bool> severed_ RDMC_GUARDED_BY(state_mutex_);
 
-  std::mutex handler_mutex_;
-  std::function<void(const Completion&)> completion_handler_;
-  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_;
+  util::Mutex handler_mutex_;
+  std::function<void(const Completion&)> completion_handler_
+      RDMC_GUARDED_BY(handler_mutex_);
+  std::function<void(NodeId, std::span<const std::byte>)> oob_handler_
+      RDMC_GUARDED_BY(handler_mutex_);
   std::atomic<CompletionMode> mode_{CompletionMode::kHybrid};
   std::atomic<bool> in_dispatch_{false};
 
-  std::mutex queue_mutex_;
-  std::condition_variable cv_;
-  std::deque<NodeEvent> queue_;
-  bool stopping_ = false;
+  util::Mutex queue_mutex_;
+  util::CondVar cv_;
+  std::deque<NodeEvent> queue_ RDMC_GUARDED_BY(queue_mutex_);
+  bool stopping_ RDMC_GUARDED_BY(queue_mutex_) = false;
   std::atomic<std::int64_t> slow_delay_ns_{0};
   std::atomic<std::int64_t> slow_until_{0};  // steady_clock epoch ns; 0=off
   std::thread completion_thread_;
@@ -276,7 +280,7 @@ void TcpFabric::TcpEndpoint::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // listener closed: shutting down
     set_nodelay(fd);
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     in_fds_.push_back(fd);
     reader_threads_.emplace_back([this, fd] { reader_loop(fd); });
   }
@@ -313,7 +317,7 @@ bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
       // receive's buffer can never be freed mid-copy.
       std::vector<std::byte> payload(header.length);
       if (!read_exact(fd, payload.data(), header.length)) return false;
-      std::lock_guard lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       if (qp->closed_) return true;  // destroyed locally: discard
       ChannelRx& rx = rx_[{peer, header.channel}];
       if (!rx.recvs.empty()) {
@@ -344,7 +348,7 @@ bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
       std::vector<std::byte> payload(header.length);
       if (!read_exact(fd, payload.data(), header.length)) return false;
       DatagramEngine& engine = fabric_.datagrams();
-      std::lock_guard lock(state_mutex_);
+      util::MutexLock lock(state_mutex_);
       ChannelRx& rx = rx_[{peer, header.channel}];
       if (qp->closed_ || rx.ud_recvs.empty() ||
           rx.ud_recvs.front().buf.size < header.length) {
@@ -378,7 +382,7 @@ bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
       std::vector<std::byte> payload(header.length);
       if (!read_exact(fd, payload.data(), header.length)) return false;
       {
-        std::lock_guard lock(state_mutex_);
+        util::MutexLock lock(state_mutex_);
         auto it = windows_.find(header.window_id);
         if (it == windows_.end()) {
           // Deregistered mid-flight: drop, like DMA after deregistration.
@@ -414,7 +418,6 @@ bool TcpFabric::TcpEndpoint::handle_frame(int fd, NodeId peer,
 }
 
 int TcpFabric::TcpEndpoint::dial(NodeId peer) {
-  // Caller holds state_mutex_.
   auto it = out_fds_.find(peer);
   if (it != out_fds_.end()) return it->second;
   if (severed_[peer]) return -1;
@@ -458,7 +461,7 @@ int TcpFabric::TcpEndpoint::dial(NodeId peer) {
     return -1;
   }
   out_fds_[peer] = fd;
-  out_mutexes_[peer] = std::make_unique<std::mutex>();
+  out_mutexes_[peer] = std::make_unique<util::Mutex>();
   return fd;
 }
 
@@ -466,14 +469,14 @@ bool TcpFabric::TcpEndpoint::send_frame(NodeId peer,
                                         const FrameHeader& header,
                                         MemoryView payload) {
   int fd;
-  std::mutex* write_mutex;
+  util::Mutex* write_mutex;
   {
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     fd = dial(peer);
     if (fd < 0) return false;
     write_mutex = out_mutexes_[peer].get();
   }
-  std::lock_guard lock(*write_mutex);
+  util::MutexLock lock(*write_mutex);
   if (!write_all(fd, &header, sizeof header)) {
     sever_peer(peer);
     return false;
@@ -504,7 +507,7 @@ bool TcpFabric::TcpEndpoint::send_frame(NodeId peer,
 
 QueuePair* TcpFabric::TcpEndpoint::get_or_create_qp(NodeId peer,
                                                     std::uint32_t channel) {
-  std::lock_guard lock(state_mutex_);
+  util::MutexLock lock(state_mutex_);
   auto& slot = qps_[{peer, channel}];
   if (!slot) {
     slot = std::make_unique<TcpQueuePair>(
@@ -516,7 +519,7 @@ QueuePair* TcpFabric::TcpEndpoint::get_or_create_qp(NodeId peer,
 void TcpFabric::TcpEndpoint::sever_peer(NodeId peer) {
   std::vector<Completion> flushes;
   {
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     if (severed_[peer]) return;
     severed_[peer] = true;
     if (auto it = out_fds_.find(peer); it != out_fds_.end()) {
@@ -569,7 +572,7 @@ void TcpFabric::TcpEndpoint::send_oob(NodeId to,
 
 void TcpFabric::TcpEndpoint::push(NodeEvent event) {
   {
-    std::lock_guard lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     if (stopping_) return;
     queue_.push_back(std::move(event));
   }
@@ -577,9 +580,9 @@ void TcpFabric::TcpEndpoint::push(NodeEvent event) {
 }
 
 void TcpFabric::TcpEndpoint::completion_loop() {
-  std::unique_lock lock(queue_mutex_);
+  util::MutexLock lock(queue_mutex_);
   while (true) {
-    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!(stopping_ || !queue_.empty())) cv_.wait(lock);
     if (stopping_ && queue_.empty()) return;
     while (!queue_.empty()) {
       NodeEvent event = std::move(queue_.front());
@@ -608,7 +611,7 @@ void TcpFabric::TcpEndpoint::slow_dispatch_delay() {
 }
 
 void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
-  std::lock_guard lock(handler_mutex_);
+  util::MutexLock lock(handler_mutex_);
   // The fabric.hpp single-dispatch contract: at most one handler
   // invocation per node at a time, even while fault injection races
   // with posts.
@@ -625,7 +628,7 @@ void TcpFabric::TcpEndpoint::dispatch(const NodeEvent& event) {
 
 void TcpFabric::TcpEndpoint::stop() {
   {
-    std::lock_guard lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -636,7 +639,7 @@ void TcpFabric::TcpEndpoint::stop() {
     listen_fd_ = -1;
   }
   {
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     for (auto& [peer, fd] : out_fds_) {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
@@ -645,10 +648,18 @@ void TcpFabric::TcpEndpoint::stop() {
     for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : reader_threads_)
+  // Joining the accept thread first means no new reader can be spawned;
+  // move the vector out under the lock rather than iterating the guarded
+  // field unlocked.
+  std::vector<std::thread> readers;
+  {
+    util::MutexLock lock(state_mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& t : readers)
     if (t.joinable()) t.join();
   {
-    std::lock_guard lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     for (int fd : in_fds_) ::close(fd);
     in_fds_.clear();
   }
@@ -662,7 +673,7 @@ void TcpFabric::TcpEndpoint::stop() {
 void TcpFabric::TcpQueuePair::close() {
   // state_mutex_ fences concurrent frame application; afterwards no
   // transfer touches this QP's posted buffers.
-  std::lock_guard lock(owner_.state_mutex_);
+  util::MutexLock lock(owner_.state_mutex_);
   closed_ = true;
   mark_broken();
   auto it = owner_.rx_.find({peer_, channel_});
@@ -703,7 +714,7 @@ PostResult TcpFabric::TcpQueuePair::post_recv(MemoryView buf,
                                               std::uint64_t wr_id) {
   if (broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
-  std::unique_lock lock(owner_.state_mutex_);
+  util::MutexLock lock(owner_.state_mutex_);
   auto& rx = owner_.rx_[{peer_, channel_}];
   if (!rx.pending.empty()) {
     auto [payload, immediate] = std::move(rx.pending.front());
@@ -754,7 +765,7 @@ PostResult TcpFabric::TcpQueuePair::post_recv_ud(MemoryView buf,
                                                  std::uint64_t wr_id) {
   if (broken()) return PostResult::kQpBroken;
   if (buf.data && buf.size > 0xFFFFFFFFu) return PostResult::kBadArgs;
-  std::lock_guard lock(owner_.state_mutex_);
+  util::MutexLock lock(owner_.state_mutex_);
   owner_.rx_[{peer_, channel_}].ud_recvs.push_back({buf, wr_id});
   return PostResult::kOk;
 }
@@ -841,7 +852,7 @@ void TcpFabric::break_link(NodeId a, NodeId b) {
 
 void TcpFabric::crash_node(NodeId node) {
   {
-    std::lock_guard lock(crashed_mutex_);
+    util::MutexLock lock(crashed_mutex_);
     if (node < crashed_.size()) crashed_[node] = true;
   }
   // Close everything the node owns; peers discover via EOF/reset, exactly
@@ -872,7 +883,7 @@ bool TcpFabric::slow_node(NodeId node, double factor, double duration_s) {
 }
 
 bool TcpFabric::crashed(NodeId node) const {
-  std::lock_guard lock(crashed_mutex_);
+  util::MutexLock lock(crashed_mutex_);
   return node < crashed_.size() && crashed_[node];
 }
 

@@ -26,12 +26,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <variant>
@@ -39,6 +37,7 @@
 
 #include "fabric/datagram.hpp"
 #include "fabric/fabric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::fabric {
 
@@ -101,8 +100,8 @@ class TcpFabric final : public Fabric, public FaultInjector {
 
   std::vector<TcpAddress> addresses_;
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;  // index = node id
-  mutable std::mutex crashed_mutex_;
-  std::vector<bool> crashed_;  // index = node id
+  mutable util::Mutex crashed_mutex_;
+  std::vector<bool> crashed_ RDMC_GUARDED_BY(crashed_mutex_);  // by node id
   DatagramEngine datagrams_;
   std::atomic<QpId> next_qp_id_{1};
 };

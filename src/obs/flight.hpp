@@ -21,6 +21,13 @@
 // The recorder is passive — callers decide what a violation is (usually a
 // SloTracker alert listener) and hand in the analysis; this keeps obs
 // free of harness/session dependencies.
+//
+// Thread-safety: none needed (DESIGN.md §11). record() runs inside an SLO
+// alert listener on the single ticking thread, with no hub lock held; the
+// TraceRecorder freeze-copy it takes (snapshot()) locks only the trace
+// ring mutex, and every histogram lock acquired while building the
+// snapshot inputs was released before the listener fired — so no lock is
+// ever held across record() and no ordering edge is created.
 #pragma once
 
 #include <cstdint>

@@ -145,7 +145,7 @@ Log2Histogram::Log2Histogram(int min_exp, int max_exp)
 }
 
 void Log2Histogram::add(double value) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++total_;
   if (value > 0.0) {
     sum_ += value;
@@ -168,7 +168,7 @@ void Log2Histogram::add(double value) {
 void Log2Histogram::merge(const Log2Histogram& other) {
   // Snapshot the source first so self-merge and lock order are non-issues.
   const HistogramSnapshot s = other.snapshot();
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < s.counts.size(); ++i) {
     if (s.counts[i] == 0) continue;
     const int e = s.min_exp + static_cast<int>(i);
@@ -188,7 +188,7 @@ void Log2Histogram::merge(const Log2Histogram& other) {
 }
 
 HistogramSnapshot Log2Histogram::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   HistogramSnapshot s;
   s.min_exp = min_exp_;
   s.max_exp = max_exp_;
@@ -214,37 +214,37 @@ double Log2Histogram::bucket_hi(std::size_t i) const {
 }
 
 std::uint64_t Log2Histogram::count_at(std::size_t i) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return counts_[i];
 }
 
 std::uint64_t Log2Histogram::underflow() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return underflow_;
 }
 
 std::uint64_t Log2Histogram::overflow() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return overflow_;
 }
 
 std::uint64_t Log2Histogram::total() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_;
 }
 
 double Log2Histogram::sum() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return sum_;
 }
 
 double Log2Histogram::mean() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_ ? sum_ / static_cast<double>(total_) : 0.0;
 }
 
 double Log2Histogram::max() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return max_;
 }
 
@@ -271,7 +271,7 @@ Log2Histogram& MetricsScope::histogram(const std::string& name, int min_exp,
 // -- MetricsRegistry -------------------------------------------------------
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -279,34 +279,34 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Log2Histogram& MetricsRegistry::histogram(const std::string& name,
                                           int min_exp, int max_exp) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Log2Histogram>(min_exp, max_exp);
   return *slot;
 }
 
 MetricsScope& MetricsRegistry::scope(const std::string& labels) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& slot = scopes_[labels];
   if (!slot) slot.reset(new MetricsScope(*this, labels));
   return *slot;
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Log2Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, c] : counters_) names.push_back(name);
@@ -314,7 +314,7 @@ std::vector<std::string> MetricsRegistry::counter_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) names.push_back(name);
@@ -322,7 +322,7 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   char buf[96];
@@ -420,7 +420,7 @@ void append_prom_labels(std::string& out, const std::string& labels,
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out;
   char buf[96];
   std::string base, labels, last_typed;
@@ -474,7 +474,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   counters_.clear();
   histograms_.clear();
   scopes_.clear();

@@ -26,9 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::obs {
 
@@ -131,15 +132,15 @@ class Log2Histogram {
   int max_exp() const { return max_exp_; }
 
  private:
-  int min_exp_;
-  int max_exp_;
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t underflow_ = 0;
-  std::uint64_t overflow_ = 0;
-  std::uint64_t total_ = 0;
-  double sum_ = 0.0;
-  double max_ = 0.0;
+  int min_exp_;  // immutable after construction
+  int max_exp_;  // immutable after construction
+  mutable util::Mutex mutex_;
+  std::vector<std::uint64_t> counts_ RDMC_GUARDED_BY(mutex_);
+  std::uint64_t underflow_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t overflow_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_ RDMC_GUARDED_BY(mutex_) = 0;
+  double sum_ RDMC_GUARDED_BY(mutex_) = 0.0;
+  double max_ RDMC_GUARDED_BY(mutex_) = 0.0;
 };
 
 class MetricsRegistry;
@@ -212,10 +213,16 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<MetricsScope>> scopes_;
+  mutable util::Mutex mutex_;
+  /// The maps are guarded; the metrics they own are not (Counter is atomic,
+  /// Log2Histogram locks internally) — find-or-create hands out stable
+  /// references that outlive the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      RDMC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_
+      RDMC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<MetricsScope>> scopes_
+      RDMC_GUARDED_BY(mutex_);
 };
 
 }  // namespace rdmc::obs

@@ -26,6 +26,11 @@
 // virtual-time tick source — and runs on the ticking thread via
 // attach(hub). Alert listeners see rising edges only (hook the flight
 // recorder there).
+//
+// Thread-safety: none, by design (DESIGN.md §11). All state is mutated
+// only from the tick-listener callback, which the hub invokes on the
+// single ticking thread with no hub lock held; readers (report printing)
+// run after ticking stops. Adding a mutex here would only mask misuse.
 #pragma once
 
 #include <cstdint>

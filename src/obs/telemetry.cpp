@@ -25,8 +25,9 @@ TelemetryHub::~TelemetryHub() { stop_wall_ticks(); }
 
 void TelemetryHub::tick(double now) {
   TelemetryWindow window;
+  std::vector<TickListener> listeners;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     window.seq = ticks_;
     window.t_start = ticks_ == 0 ? now : last_tick_t_;
     window.t_end = now;
@@ -65,30 +66,33 @@ void TelemetryHub::tick(double now) {
     ++ticks_;
     last_tick_t_ = now;
     if (options_.collect_jsonl) append_jsonl(window);
+    // Copy the listener list so the callbacks run without the hub lock —
+    // reading listeners_ here also races with add_tick_listener otherwise.
+    listeners = listeners_;
   }
   if (auto* tr = tracer())
     tr->instant(Cat::kApp, "telemetry.tick", 0, now, "seq", window.seq);
-  for (const TickListener& listener : listeners_) listener(window);
+  for (const TickListener& listener : listeners) listener(window);
 }
 
 std::uint64_t TelemetryHub::ticks() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ticks_;
 }
 
 std::vector<TelemetryWindow> TelemetryHub::windows() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return {windows_.begin(), windows_.end()};
 }
 
 TelemetryWindow TelemetryHub::last_window() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return windows_.empty() ? TelemetryWindow{} : windows_.back();
 }
 
 HistogramSnapshot TelemetryHub::merged(const std::string& histogram,
                                        std::size_t n) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   HistogramSnapshot out;
   if (windows_.empty() || n == 0) return out;
   const std::size_t take = std::min(n, windows_.size());
@@ -100,7 +104,7 @@ HistogramSnapshot TelemetryHub::merged(const std::string& histogram,
 }
 
 void TelemetryHub::add_tick_listener(TickListener listener) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   listeners_.push_back(std::move(listener));
 }
 
@@ -166,7 +170,7 @@ void TelemetryHub::append_jsonl(const TelemetryWindow& w) {
 }
 
 std::string TelemetryHub::jsonl() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return jsonl_;
 }
 
@@ -174,26 +178,36 @@ std::string TelemetryHub::prometheus_text() const {
   return registry_.to_prometheus();
 }
 
+void TelemetryHub::wall_loop(double period_s) {
+  const auto period = std::chrono::duration<double>(period_s);
+  util::MutexLock lock(wall_mutex_);
+  while (true) {
+    // Desugared timed predicate wait: sleep until the next tick deadline or
+    // until stop is requested, whichever comes first.
+    const auto deadline = std::chrono::steady_clock::now() + period;
+    while (!wall_stop_) {
+      if (wall_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+        break;
+    }
+    if (wall_stop_) return;
+    lock.unlock();  // tick() takes mutex_; never hold wall_mutex_ across it
+    tick(wall_seconds());
+    lock.lock();
+  }
+}
+
 void TelemetryHub::start_wall_ticks(double period_s) {
   stop_wall_ticks();
   {
-    std::lock_guard lock(wall_mutex_);
+    util::MutexLock lock(wall_mutex_);
     wall_stop_ = false;
   }
-  wall_thread_ = std::thread([this, period_s] {
-    const auto period = std::chrono::duration<double>(period_s);
-    std::unique_lock lock(wall_mutex_);
-    while (!wall_cv_.wait_for(lock, period, [this] { return wall_stop_; })) {
-      lock.unlock();
-      tick(wall_seconds());
-      lock.lock();
-    }
-  });
+  wall_thread_ = std::thread([this, period_s] { wall_loop(period_s); });
 }
 
 void TelemetryHub::stop_wall_ticks() {
   {
-    std::lock_guard lock(wall_mutex_);
+    util::MutexLock lock(wall_mutex_);
     wall_stop_ = true;
   }
   wall_cv_.notify_all();

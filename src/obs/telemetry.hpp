@@ -27,19 +27,25 @@
 // Thread-safety: tick() and every accessor lock the hub; counters are
 // atomics and histograms lock internally, so a wall-clock tick thread can
 // snapshot while fabric completion threads record.
+//
+// Lock hierarchy (DESIGN.md §11): `mutex_` (hub state) and `wall_mutex_`
+// (wall-ticker control) are never held together — the wall thread releases
+// wall_mutex_ before calling tick(), and tick() releases mutex_ before
+// invoking listeners. Histogram locks nest strictly inside mutex_ (the
+// snapshot loop in tick()); nothing is acquired while a histogram lock is
+// held.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::obs {
 
@@ -88,8 +94,9 @@ class TelemetryHub {
   TelemetryHub& operator=(const TelemetryHub&) = delete;
 
   /// Close the current window at timestamp `now` (virtual or wall seconds,
-  /// the tick source's clock) and notify listeners.
-  void tick(double now);
+  /// the tick source's clock) and notify listeners. Listeners run after the
+  /// window is committed, with no hub lock held.
+  void tick(double now) RDMC_EXCLUDES(mutex_);
 
   std::uint64_t ticks() const;
   /// Rolling windows, oldest first (copies; the ring keeps rotating).
@@ -120,24 +127,30 @@ class TelemetryHub {
   void stop_wall_ticks();
 
  private:
-  void append_jsonl(const TelemetryWindow& w);
+  void append_jsonl(const TelemetryWindow& w) RDMC_REQUIRES(mutex_);
+  void wall_loop(double period_s) RDMC_EXCLUDES(mutex_, wall_mutex_);
 
   MetricsRegistry& registry_;
   TelemetryOptions options_;
 
-  mutable std::mutex mutex_;
-  std::deque<TelemetryWindow> windows_;
-  std::map<std::string, std::uint64_t> prev_counters_;
-  std::map<std::string, HistogramSnapshot> prev_histograms_;
-  std::vector<TickListener> listeners_;
-  std::string jsonl_;
-  std::uint64_t ticks_ = 0;
-  double last_tick_t_ = 0.0;
+  mutable util::Mutex mutex_;
+  std::deque<TelemetryWindow> windows_ RDMC_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> prev_counters_ RDMC_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramSnapshot> prev_histograms_
+      RDMC_GUARDED_BY(mutex_);
+  std::vector<TickListener> listeners_ RDMC_GUARDED_BY(mutex_);
+  std::string jsonl_ RDMC_GUARDED_BY(mutex_);
+  std::uint64_t ticks_ RDMC_GUARDED_BY(mutex_) = 0;
+  double last_tick_t_ RDMC_GUARDED_BY(mutex_) = 0.0;
 
-  std::mutex wall_mutex_;
-  std::condition_variable wall_cv_;
+  /// Wall-ticker control. Never held together with mutex_ (see the lock
+  /// hierarchy note above).
+  util::Mutex wall_mutex_;
+  util::CondVar wall_cv_;
+  /// Started/joined only by the controlling thread (start/stop/destructor),
+  /// which the TelemetryHub API requires to be a single thread.
   std::thread wall_thread_;
-  bool wall_stop_ = false;
+  bool wall_stop_ RDMC_GUARDED_BY(wall_mutex_) = false;
 };
 
 }  // namespace rdmc::obs

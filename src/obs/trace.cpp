@@ -50,7 +50,7 @@ std::vector<TraceEvent> TraceRecorder::ThreadShard::take() {
 }
 
 std::size_t TraceRecorder::capacity() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return capacity_;
 }
 
@@ -59,7 +59,7 @@ void TraceRecorder::absorb(const std::vector<TraceEvent>& events) {
 }
 
 void TraceRecorder::enable(Options options) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   capacity_ = options.capacity > 0 ? options.capacity : 1;
   ring_.clear();
   ring_.reserve(capacity_);
@@ -73,7 +73,7 @@ void TraceRecorder::disable() {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ring_.clear();
   head_ = 0;
   recorded_ = 0;
@@ -81,7 +81,7 @@ void TraceRecorder::clear() {
 
 void TraceRecorder::record(const TraceEvent& e) {
   if (!enabled()) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -92,7 +92,7 @@ void TraceRecorder::record(const TraceEvent& e) {
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Oldest first: [head_, end) then [0, head_).
@@ -102,12 +102,12 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 }
 
 std::uint64_t TraceRecorder::recorded() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return recorded_;
 }
 
 std::uint64_t TraceRecorder::dropped() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return recorded_ - ring_.size();
 }
 

@@ -20,8 +20,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::obs {
 
@@ -138,11 +139,11 @@ class TraceRecorder {
   static thread_local TraceRecorder* tls_override_;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_ = 0;
-  std::size_t head_ = 0;      // next write position
-  std::uint64_t recorded_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> ring_ RDMC_GUARDED_BY(mutex_);
+  std::size_t capacity_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::size_t head_ RDMC_GUARDED_BY(mutex_) = 0;  // next write position
+  std::uint64_t recorded_ RDMC_GUARDED_BY(mutex_) = 0;
 };
 
 /// The recorder if tracing is on, nullptr otherwise. The usual hook shape:

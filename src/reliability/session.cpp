@@ -111,6 +111,7 @@ UdMulticastSession::UdMulticastSession(fabric::Fabric& fabric,
       root_(std::make_unique<RootState>()) {
   assert(members_.size() >= 2);
   policy_ = make_policy(options_.policy, options_.rs_k, options_.rs_m);
+  // rdmc-lint: allow(wall-clock) documented default for threaded fabrics; SimFabric callers pass the virtual clock
   if (!options_.clock) options_.clock = [] { return obs::wall_seconds(); };
   results_.resize(members_.size());
   if (options_.metrics != nullptr) {
@@ -150,7 +151,7 @@ fabric::MemoryView UdMulticastSession::wire_view(const Node& n,
 }
 
 bool UdMulticastSession::send(const std::byte* data, std::size_t size) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (size == 0 || data_blocks_ != 0) return false;  // one message/session
   data_ = data;
   size_ = size;
@@ -353,7 +354,7 @@ void UdMulticastSession::block_available(Node& n, std::size_t w) {
 
 void UdMulticastSession::on_completion(std::size_t rank,
                                        const fabric::Completion& c) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (rank >= nodes_.size() || !nodes_[rank]) return;
   Node& n = *nodes_[rank];
   auto it = n.link_by_qp.find(c.qp);
@@ -479,7 +480,7 @@ void UdMulticastSession::finish_member(std::size_t rank, bool failed) {
 void UdMulticastSession::root_probe(std::size_t member_rank) {
   std::vector<std::byte> msg;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     RootState::Member& rm = root_->members[member_rank];
     if (rm.done || done_) return;
     if (rm.round >= options_.max_rounds) {
@@ -500,7 +501,7 @@ void UdMulticastSession::root_probe(std::size_t member_rank) {
 void UdMulticastSession::root_on_status(
     std::size_t member_rank, const std::vector<std::uint32_t>& missing,
     std::uint64_t have_count) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   RootState::Member& rm = root_->members[member_rank];
   if (rm.done || done_) return;
 
@@ -553,7 +554,7 @@ void UdMulticastSession::on_oob(std::size_t rank, fabric::NodeId from,
     }
     case Msg::kReady: {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ready_count_++;
         if (ready_count_ == members_.size() - 1 && !pumping_) {
           pumping_ = true;
@@ -575,7 +576,7 @@ void UdMulticastSession::on_oob(std::size_t rank, fabric::NodeId from,
       const std::uint32_t round = get_u32(payload, 1);
       std::vector<std::byte> msg;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         Node& n = *nodes_[rank];
         if (n.complete || results_[rank].failed) {
           msg.push_back(static_cast<std::byte>(Msg::kComplete));
@@ -611,7 +612,7 @@ void UdMulticastSession::on_oob(std::size_t rank, fabric::NodeId from,
       return;
     }
     case Msg::kComplete: {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (from_rank < root_->members.size())
         root_->members[from_rank].done = true;
       return;
@@ -620,12 +621,12 @@ void UdMulticastSession::on_oob(std::size_t rank, fabric::NodeId from,
 }
 
 bool UdMulticastSession::done() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return done_;
 }
 
 bool UdMulticastSession::all_complete() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!done_) return false;
   for (std::size_t r = 1; r < members_.size(); ++r)
     if (!results_[r].complete) return false;
@@ -633,13 +634,13 @@ bool UdMulticastSession::all_complete() const {
 }
 
 void UdMulticastSession::wait_done() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return done_; });
+  util::MutexLock lock(mutex_);
+  while (!done_) done_cv_.wait(lock);
 }
 
 std::span<const std::byte> UdMulticastSession::member_data(
     std::size_t rank) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (rank == 0 || rank >= nodes_.size() || phantom_) return {};
   return {nodes_[rank]->buffer.data(), nodes_[rank]->buffer.size()};
 }

@@ -34,12 +34,10 @@
 // timers, so the same logic terminates under virtual and wall clocks.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -47,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "reliability/policy.hpp"
 #include "sched/schedule.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::reliability {
 
@@ -134,8 +133,18 @@ class UdMulticastSession {
   /// simulator instead; events drive the session to completion).
   void wait_done();
 
-  const SessionStats& stats() const { return stats_; }
-  const std::vector<MemberResult>& results() const { return results_; }
+  /// Quiescent-read accessors: valid once done() returned true (or under
+  /// SimFabric after the simulator drained). Returning a reference to
+  /// guarded state without the lock is deliberate — copies per poll would
+  /// be waste, and a post-done reader races nothing; hence the analysis
+  /// opt-out.
+  const SessionStats& stats() const RDMC_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
+  const std::vector<MemberResult>& results() const
+      RDMC_NO_THREAD_SAFETY_ANALYSIS {
+    return results_;
+  }
 
   /// Reconstructed message at a non-root member (real mode only).
   std::span<const std::byte> member_data(std::size_t rank) const;
@@ -148,10 +157,13 @@ class UdMulticastSession {
   static constexpr std::uint32_t kImmRetx = 0x80000000u;
 
   double now() const;
-  void setup_node(std::size_t rank);
-  void post_recvs(Node& n, std::size_t link);
-  void pump_link(Node& n, std::size_t link);
-  void block_available(Node& n, std::size_t wire_block);
+  // Lock-held helpers: callers are send() and the completion/OOB handlers,
+  // which each take mutex_ themselves.
+  void setup_node(std::size_t rank) RDMC_REQUIRES(mutex_);
+  void post_recvs(Node& n, std::size_t link) RDMC_REQUIRES(mutex_);
+  void pump_link(Node& n, std::size_t link) RDMC_REQUIRES(mutex_);
+  void block_available(Node& n, std::size_t wire_block)
+      RDMC_REQUIRES(mutex_);
   void on_completion(std::size_t rank, const fabric::Completion& c);
   void on_oob(std::size_t rank, fabric::NodeId from,
               std::span<const std::byte> payload);
@@ -159,35 +171,37 @@ class UdMulticastSession {
   void root_on_status(std::size_t member_rank,
                       const std::vector<std::uint32_t>& missing,
                       std::uint64_t have_count);
-  void member_check_complete(Node& n);
-  void finish_member(std::size_t member_rank, bool failed);
-  fabric::MemoryView wire_view(const Node& n, std::size_t wire_block) const;
+  void member_check_complete(Node& n) RDMC_REQUIRES(mutex_);
+  void finish_member(std::size_t member_rank, bool failed)
+      RDMC_REQUIRES(mutex_);
+  fabric::MemoryView wire_view(const Node& n, std::size_t wire_block) const
+      RDMC_REQUIRES(mutex_);
 
   fabric::Fabric& fabric_;
   std::vector<fabric::NodeId> members_;
   SessionOptions options_;
   std::unique_ptr<ReliabilityPolicy> policy_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
+  mutable util::Mutex mutex_;
+  util::CondVar done_cv_;
 
   // Message geometry (fixed at send()).
-  const std::byte* data_ = nullptr;  // root's buffer (null = phantom)
-  std::size_t size_ = 0;
-  std::size_t data_blocks_ = 0;
-  std::size_t wire_blocks_ = 0;
-  bool phantom_ = true;
+  const std::byte* data_ RDMC_GUARDED_BY(mutex_) = nullptr;  // null = phantom
+  std::size_t size_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::size_t data_blocks_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::size_t wire_blocks_ RDMC_GUARDED_BY(mutex_) = 0;
+  bool phantom_ RDMC_GUARDED_BY(mutex_) = true;
   /// Root-side parity symbols, dense ordinal -> block_size bytes.
-  std::vector<std::vector<std::byte>> root_parity_;
+  std::vector<std::vector<std::byte>> root_parity_ RDMC_GUARDED_BY(mutex_);
 
-  std::vector<std::unique_ptr<Node>> nodes_;  // index = rank
-  std::unique_ptr<RootState> root_;
-  std::vector<MemberResult> results_;         // index = rank (0 unused)
-  std::size_t ready_count_ = 0;
-  std::size_t finished_members_ = 0;
-  bool pumping_ = false;
-  bool done_ = false;
-  SessionStats stats_;
+  std::vector<std::unique_ptr<Node>> nodes_ RDMC_GUARDED_BY(mutex_);
+  std::unique_ptr<RootState> root_ RDMC_GUARDED_BY(mutex_);
+  std::vector<MemberResult> results_ RDMC_GUARDED_BY(mutex_);  // by rank
+  std::size_t ready_count_ RDMC_GUARDED_BY(mutex_) = 0;
+  std::size_t finished_members_ RDMC_GUARDED_BY(mutex_) = 0;
+  bool pumping_ RDMC_GUARDED_BY(mutex_) = false;
+  bool done_ RDMC_GUARDED_BY(mutex_) = false;
+  SessionStats stats_ RDMC_GUARDED_BY(mutex_);
 
   // Cached metric handles (null when options_.metrics is unset).
   obs::Counter* metric_datagrams_ = nullptr;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
-#include <mutex>
 
 #include "util/bitops.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::sched {
 
@@ -61,10 +61,10 @@ BinomialPipelineSchedule::vertex_send(std::uint32_t vertex,
 // ---------------------------------------------------------------------------
 
 namespace {
-std::mutex g_plan_mutex;
+util::Mutex g_plan_mutex;
 std::map<std::pair<std::size_t, std::size_t>,
          std::shared_ptr<const BinomialPipelineSchedule::Plan>>
-    g_plan_cache;
+    g_plan_cache RDMC_GUARDED_BY(g_plan_mutex);
 }  // namespace
 
 std::shared_ptr<const BinomialPipelineSchedule::Plan>
@@ -72,7 +72,7 @@ BinomialPipelineSchedule::plan_for(std::size_t num_blocks) const {
   if (cached_plan_ && cached_k_ == num_blocks) return cached_plan_;
   const auto key = std::make_pair(num_nodes_, num_blocks);
   {
-    std::lock_guard lock(g_plan_mutex);
+    util::MutexLock lock(g_plan_mutex);
     auto it = g_plan_cache.find(key);
     if (it != g_plan_cache.end()) {
       cached_plan_ = it->second;
@@ -122,7 +122,7 @@ BinomialPipelineSchedule::plan_for(std::size_t num_blocks) const {
       assert(have[h][b] && "pruned plan left a host incomplete");
 #endif
 
-  std::lock_guard lock(g_plan_mutex);
+  util::MutexLock lock(g_plan_mutex);
   auto [it, inserted] = g_plan_cache.emplace(key, std::move(plan));
   // Bound the cache: distinct (n, k) pairs are few in practice, but guard
   // against pathological churn.

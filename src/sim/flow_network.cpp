@@ -174,6 +174,7 @@ void FlowNetwork::rebuild_all_membership() {
   for (auto& r : rx_) reset(r);
   for (auto& r : rack_up_) reset(r);
   for (auto& r : rack_down_) reset(r);
+  // rdmc-lint: allow(unordered-iter) per-entry reset; order-independent
   for (auto& [key, r] : pair_res_) reset(r);
   for (std::uint32_t slot = 0; slot < slab_.size(); ++slot) {
     Flow& f = slab_[slot];
@@ -301,6 +302,7 @@ void FlowNetwork::gather_all_active(std::vector<std::uint32_t>& flows,
   for (auto& r : rx_) add(r);
   for (auto& r : rack_up_) add(r);
   for (auto& r : rack_down_) add(r);
+  // rdmc-lint: allow(unordered-iter) collection order cannot change the max-min fixpoint (the allocation is unique); kept unsorted to preserve golden bench bytes
   for (auto& [key, r] : pair_res_) add(r);
 }
 

@@ -2,18 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_emit_mutex;
-LogSink g_sink;  // empty = default stderr sink; guarded by g_emit_mutex
+Mutex g_emit_mutex;
+LogSink g_sink RDMC_GUARDED_BY(g_emit_mutex);  // empty = default stderr sink
 }  // namespace
 
 LogSink set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   LogSink previous = std::move(g_sink);
   g_sink = std::move(sink);
   return previous;
@@ -43,7 +44,7 @@ void log(LogLevel level, const char* tag, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   if (g_sink) {
     g_sink(level, tag, body);
   } else {

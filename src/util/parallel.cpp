@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdmc::util {
 
@@ -23,8 +24,10 @@ void parallel_for(std::size_t count, std::size_t jobs,
   }
 
   std::atomic<std::size_t> next{0};
+  Mutex error_mutex;
+  // Guarded by error_mutex while workers run (GUARDED_BY does not apply to
+  // locals); the final read happens after every worker has joined.
   std::exception_ptr first_error;
-  std::mutex error_mutex;
   const auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -32,7 +35,7 @@ void parallel_for(std::size_t count, std::size_t jobs,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -1,0 +1,158 @@
+// Clang Thread Safety Analysis annotations + the annotated lock vocabulary.
+//
+// Every mutex-guarded field in the tree declares which lock protects it
+// (RDMC_GUARDED_BY), every function that expects a lock held says so
+// (RDMC_REQUIRES), and the compiler — clang with -Wthread-safety, which the
+// static-analysis CI job runs with -Werror — proves the discipline at
+// compile time. On GCC (the default local toolchain) every macro expands to
+// nothing and util::Mutex degrades to a plain std::mutex wrapper, so the
+// annotations cost nothing where they cannot be checked.
+//
+// The analysis does not understand std::lock_guard/std::unique_lock over a
+// libstdc++ std::mutex (the declarations carry no attributes there), so the
+// tree uses the wrapper types below instead of raw standard-library
+// primitives. rdmc-lint rule `raw-mutex` enforces that: a `std::mutex`
+// member outside this header is a lint failure unless suppressed with a
+// reason.
+//
+// Vocabulary (mirrors the official attribute names, RDMC_-prefixed):
+//   RDMC_CAPABILITY(x)      — type is a lockable capability named x
+//   RDMC_SCOPED_CAPABILITY  — RAII type that acquires/releases a capability
+//   RDMC_GUARDED_BY(mu)     — field may only be touched with mu held
+//   RDMC_PT_GUARDED_BY(mu)  — pointee may only be touched with mu held
+//   RDMC_REQUIRES(mu...)    — caller must hold mu (exclusive)
+//   RDMC_ACQUIRE(mu...)     — function acquires mu and does not release it
+//   RDMC_RELEASE(mu...)     — function releases mu
+//   RDMC_TRY_ACQUIRE(b,mu.) — acquires mu iff the return value equals b
+//   RDMC_EXCLUDES(mu...)    — caller must NOT hold mu (self-deadlock guard)
+//   RDMC_ACQUIRED_BEFORE / _AFTER — document lock ordering between members
+//   RDMC_RETURN_CAPABILITY(mu)    — function returns a reference to mu
+//   RDMC_NO_THREAD_SAFETY_ANALYSIS — opt a function out; every use site in
+//     this tree must carry a written justification (DESIGN.md §11).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define RDMC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RDMC_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define RDMC_CAPABILITY(x) RDMC_THREAD_ANNOTATION_(capability(x))
+#define RDMC_SCOPED_CAPABILITY RDMC_THREAD_ANNOTATION_(scoped_lockable)
+#define RDMC_GUARDED_BY(x) RDMC_THREAD_ANNOTATION_(guarded_by(x))
+#define RDMC_PT_GUARDED_BY(x) RDMC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define RDMC_REQUIRES(...) \
+  RDMC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RDMC_ACQUIRE(...) \
+  RDMC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RDMC_RELEASE(...) \
+  RDMC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RDMC_TRY_ACQUIRE(...) \
+  RDMC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RDMC_EXCLUDES(...) RDMC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RDMC_ACQUIRED_BEFORE(...) \
+  RDMC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define RDMC_ACQUIRED_AFTER(...) \
+  RDMC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define RDMC_RETURN_CAPABILITY(x) RDMC_THREAD_ANNOTATION_(lock_returned(x))
+#define RDMC_NO_THREAD_SAFETY_ANALYSIS \
+  RDMC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rdmc::util {
+
+/// std::mutex with the capability attribute the analysis needs. Use with
+/// MutexLock (scoped) — never std::lock_guard, whose libstdc++ declaration
+/// is invisible to the analysis.
+class RDMC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RDMC_ACQUIRE() { mu_.lock(); }
+  void unlock() RDMC_RELEASE() { mu_.unlock(); }
+  bool try_lock() RDMC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex, with the manual unlock()/lock() needed around a
+/// blocking call (the telemetry wall ticker) and for CondVar waits. The
+/// destructor releases only if still held.
+class RDMC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RDMC_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() RDMC_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RDMC_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() RDMC_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Waits go through the
+/// underlying std::mutex directly, so there is no condition_variable_any
+/// overhead; from the analysis' point of view the capability is held across
+/// a wait (released and reacquired inside, as usual).
+///
+/// Predicate waits are deliberately absent: a predicate lambda reading
+/// guarded state cannot carry a REQUIRES annotation portably, so callers
+/// desugar to the standard-defined loop
+///     while (!pred) cv.wait(lock);
+/// which the analysis checks exactly (pred is evaluated with the lock held).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> inner(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    std::unique_lock<std::mutex> inner(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, tp);
+    inner.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return wait_until(lock, std::chrono::steady_clock::now() + d);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rdmc::util

@@ -1,0 +1,7 @@
+// Fixture: floating-point accumulate without an ordering comment must flag.
+#include <numeric>
+#include <vector>
+
+double bad_sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

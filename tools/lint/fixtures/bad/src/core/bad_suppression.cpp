@@ -1,0 +1,15 @@
+// Fixture: allow() without a reason, or naming an unknown rule, is itself a
+// finding (bad-suppression) and does not suppress anything.
+#include <chrono>
+
+double bad_now() {
+  // rdmc-lint: allow(wall-clock)
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double worse_now() {
+  // rdmc-lint: allow(no-such-rule) reasons do not rescue unknown rules
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads in a deterministic path (src/core) must flag.
+#include <chrono>
+#include <ctime>
+
+double bad_now() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double bad_system() {
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_time() { return time(nullptr); }

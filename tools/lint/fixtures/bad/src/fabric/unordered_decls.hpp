@@ -1,0 +1,10 @@
+// Fixture header: unordered member declared here, iterated in the sibling
+// .cpp — exercises the per-directory declaration harvest.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<std::uint64_t, int> by_id_;
+  long sum() const;
+};

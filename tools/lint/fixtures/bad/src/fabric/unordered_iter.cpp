@@ -1,0 +1,20 @@
+// Fixture: iteration over unordered containers must flag — both a same-file
+// declaration and one harvested from the sibling header.
+#include <string>
+#include <unordered_set>
+
+#include "unordered_decls.hpp"
+
+long Table::sum() const {
+  long total = 0;
+  for (const auto& [id, v] : by_id_) total += v;  // header-declared member
+  return total;
+}
+
+std::size_t local_iter() {
+  std::unordered_set<std::string> names;
+  std::size_t n = 0;
+  for (const auto& name : names) n += name.size();
+  for (auto it = names.begin(); it != names.end(); ++it) ++n;
+  return n;
+}

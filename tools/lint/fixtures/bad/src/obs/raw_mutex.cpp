@@ -1,0 +1,9 @@
+// Fixture: raw standard mutex/condvar members in src/ must flag.
+#include <condition_variable>
+#include <mutex>
+
+class BadGuard {
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::recursive_mutex reentrant_;
+};

@@ -1,0 +1,12 @@
+// Fixture: ambient randomness in a deterministic path (src/sim) must flag.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return rand() % 7; }
+
+unsigned bad_device() {
+  std::random_device rd;
+  return rd();
+}
+
+void bad_seed() { srand(42); }

@@ -1,0 +1,16 @@
+// Fixture: ordering by pointer value must flag.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Widget {
+  int x;
+};
+
+std::set<Widget*, std::less<Widget*>> bad_comparator;
+std::map<Widget*, int> bad_key;
+
+std::uintptr_t bad_cast(Widget* w) {
+  return reinterpret_cast<std::uintptr_t>(w);
+}

@@ -1,0 +1,10 @@
+// Fixture: raw-mutex is scoped to src/ — examples are API clients and may
+// use standard primitives directly; this must pass.
+#include <condition_variable>
+#include <mutex>
+
+struct Waiter {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+};

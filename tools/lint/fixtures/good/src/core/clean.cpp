@@ -1,0 +1,48 @@
+// Fixture: deterministic idioms that must pass every rule.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+// Injected clock instead of an ambient wall-clock read.
+using Clock = std::function<double()>;
+
+double stamped(const Clock& clock) { return clock(); }
+
+// Seeded generator owned by the caller (no rand()/random_device).
+std::uint64_t next_rand(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return state >> 33;
+}
+
+// Lookup into an unordered map is fine; only iteration is order-sensitive.
+int lookup(const std::unordered_map<int, int>& m, int k) {
+  auto it = m.find(k);
+  return it == m.end() ? 0 : it->second;
+}
+
+// Iterating an ordered map and a vector is deterministic.
+long ordered_sum(const std::map<int, int>& m, const std::vector<int>& v) {
+  long total = 0;
+  for (const auto& [k, x] : m) total += x;
+  for (int x : v) total += x;
+  return total;
+}
+
+// Accumulate with the traversal order pinned and documented.
+double documented_sum(const std::vector<double>& xs) {
+  // Summed in vector index order (stable across runs), so the FP rounding
+  // is reproducible.
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+// Integer accumulate needs no ordering comment (addition is associative).
+long int_sum(const std::vector<long>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0L);
+}
+
+// Prose mentioning std::mutex or steady_clock::now() must not trip rules:
+// comments and strings are stripped before matching.
+const char* kDoc = "guards with std::mutex; reads steady_clock::now()";

@@ -1,0 +1,14 @@
+// Fixture: wall-clock and rng rules are scoped to the deterministic paths;
+// src/harness is wall-side orchestration, so these must pass.
+#include <chrono>
+#include <random>
+
+double harness_now() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+unsigned harness_entropy() {
+  std::random_device rd;
+  return rd();
+}
