@@ -12,6 +12,7 @@
 // The incremental-reallocation work targets >= 3x on the 512-node Fig 8
 // pipeline point.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,9 @@ void append_json(std::string& out, const Point& p) {
       "      \"hier_fills\": %llu,\n"
       "      \"hier_rounds\": %llu,\n"
       "      \"hier_fallbacks\": %llu,\n"
+      "      \"split_cuts\": %llu,\n"
+      "      \"split_pieces\": %llu,\n"
+      "      \"island_par_rounds\": %llu,\n"
       "      \"solver_mode\": \"%s\",\n",
       p.name.c_str(), p.perf.wall_seconds, p.virtual_seconds,
       (unsigned long long)p.perf.events_processed,
@@ -82,7 +86,10 @@ void append_json(std::string& out, const Point& p) {
       (unsigned long long)p.perf.component_fills,
       (unsigned long long)p.perf.hier_fills,
       (unsigned long long)p.perf.hier_rounds,
-      (unsigned long long)p.perf.hier_fallbacks, solver_mode(p.perf));
+      (unsigned long long)p.perf.hier_fallbacks,
+      (unsigned long long)p.perf.split_cuts,
+      (unsigned long long)p.perf.split_pieces,
+      (unsigned long long)p.perf.island_par_rounds, solver_mode(p.perf));
   out += buf;
   // No recorded seed reference: emit null, not a misleading 0.000.
   if (p.seed_wall_seconds > 0.0 && p.perf.wall_seconds > 0.0) {
@@ -101,12 +108,15 @@ void append_json(std::string& out, const Point& p) {
   out += buf;
 }
 
+std::size_t g_fill_jobs = 1;  // --fill-jobs; results byte-identical for any N
+
 Point run_fig8(std::size_t nodes, std::uint64_t bytes, double seed_wall) {
   harness::MulticastConfig cfg;
   cfg.profile = sim::sierra_profile(nodes);
   cfg.group_size = nodes;
   cfg.message_bytes = bytes;
   cfg.block_size = 1 << 20;
+  cfg.fill_jobs = g_fill_jobs;
   const auto result = harness::run_multicast(cfg);
   Point p;
   p.name = "fig8_" + std::to_string(nodes) + "_pipeline";
@@ -124,6 +134,7 @@ Point run_fig10(std::size_t groups, std::size_t size, std::uint64_t bytes,
   cfg.senders = groups;
   cfg.message_bytes = bytes;
   cfg.messages = messages;
+  cfg.fill_jobs = g_fill_jobs;
   const auto result = harness::run_concurrent(cfg);
   Point p;
   p.name = "fig10_" + std::to_string(groups) + "x" + std::to_string(size) +
@@ -146,6 +157,7 @@ Point run_racked(std::size_t groups, std::size_t size, std::uint64_t bytes,
   cfg.senders = groups;
   cfg.message_bytes = bytes;
   cfg.messages = messages;
+  cfg.fill_jobs = g_fill_jobs;
   const auto result = harness::run_concurrent(cfg);
   Point p;
   p.name = "fig10b_" + std::to_string(groups) + "x" + std::to_string(size) +
@@ -159,29 +171,50 @@ Point run_racked(std::size_t groups, std::size_t size, std::uint64_t bytes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::BenchOptions::parse(argc, argv).quick;
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  const bool quick = opts.quick;
+  g_fill_jobs = opts.fill_jobs;
   bench::header("Simulator-core performance (wall time + counters)",
                 "infrastructure for Figs 8 and 10 (not a paper figure)",
                 "incremental reallocation keeps wall time flat as the "
                 "active flow count grows");
 
-  // Seed references: wall times of the pre-optimization tree for the
-  // identical configurations (measured where this bench was developed;
-  // 0 means no reference recorded for that point). The 512-node and
-  // fig10 seeds are the original growth-seed tree; the 1024/4096 seeds
-  // are the pre-hierarchical tree (the growth-seed solver is quadratic
-  // in active flows and those points would not finish in useful time).
+  // Seed references: wall times of the previous tree for the identical
+  // configurations (measured where this bench was developed; 0 means no
+  // reference recorded for that point). The 512-node and fig10 seeds are
+  // the original growth-seed tree (the growth-seed solver is quadratic in
+  // active flows; larger points would not finish in useful time). The
+  // 1024/4096/16384 seeds are the pre-splitting tree — hierarchical
+  // solver and memo in place, but with the short expansion cap and no
+  // saturation-cut splitter — so speedup_vs_seed on those rows tracks
+  // exactly what this optimization bought.
   std::vector<Point> points;
   if (quick) {
     points.push_back(run_fig8(128, 8ull << 20, 0.0));
     points.push_back(run_fig10(8, 8, 16ull << 20, 1, 0.0));
+    // Racked point small enough for smoke runs but big enough that the
+    // island solver and (with --fill-jobs > 1) the parallel island
+    // dispatch engage (island_par_rounds > 0 needs components of >= 512
+    // island members) — this is the row the TSan CI step watches.
+    points.push_back(run_racked(16, 256, 2ull << 20, 1, 0.0));
   } else {
     points.push_back(run_fig8(128, 32ull << 20, 0.0));
     points.push_back(run_fig8(512, 32ull << 20, 14.57));
-    points.push_back(run_fig8(1024, 32ull << 20, 1.42));
-    points.push_back(run_fig8(4096, 32ull << 20, 10.62));
+    points.push_back(run_fig8(1024, 32ull << 20, 1.63));
+    points.push_back(run_fig8(4096, 32ull << 20, 12.06));
     points.push_back(run_fig10(16, 16, 100ull << 20, 2, 16.7));
     points.push_back(run_racked(8, 128, 8ull << 20, 1, 0.0));
+    // 2 MB, not 8: the point exists to track the island-parallel path
+    // (island_par_rounds > 0), which engages identically at 2 MB, and the
+    // concurrent-flow blow-up at 8 MB costs ~50 s of bench wall for no
+    // extra coverage.
+    points.push_back(run_racked(16, 256, 2ull << 20, 1, 0.0));
+    // Mega-scale point: ~27 s here vs ~2.5 min on the pre-splitting
+    // tree (seed extrapolated from its measured n^1.8 wall scaling at
+    // 1024/4096/8192). Too heavy for every CI run — opt in with
+    // RDMC_BIG_BENCH=1; the CI fill-jobs determinism cmp step sets it.
+    if (std::getenv("RDMC_BIG_BENCH") != nullptr)
+      points.push_back(run_fig8(16384, 32ull << 20, 150.0));
   }
 
   std::printf("%-24s %10s %12s %12s %12s %10s %9s %13s\n", "point", "wall_s",

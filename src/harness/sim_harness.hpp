@@ -56,6 +56,9 @@ struct PerfStats {
   std::uint64_t hier_fills = 0;           // sim.hier_fills
   std::uint64_t hier_rounds = 0;          // sim.hier_rounds
   std::uint64_t hier_fallbacks = 0;       // sim.hier_fallbacks
+  std::uint64_t split_cuts = 0;           // sim.split_cuts
+  std::uint64_t split_pieces = 0;         // sim.split_pieces
+  std::uint64_t island_par_rounds = 0;    // sim.island_par_rounds
   // Fault-path counters (SimFabric::FaultCounters + harness bookkeeping).
   std::uint64_t breaks_delivered = 0;     // fault.disconnects
   std::uint64_t flushed_completions = 0;  // fault.flushed

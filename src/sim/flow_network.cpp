@@ -14,6 +14,7 @@
 
 namespace rdmc::sim {
 
+
 FlowNetwork::FlowNetwork(Simulator& sim, Topology& topology)
     : sim_(sim), topology_(topology), topo_version_(topology.version()) {
   const auto n = static_cast<std::uint32_t>(topology.num_nodes());
@@ -351,6 +352,8 @@ void FlowNetwork::split_components(std::uint64_t mark,
     CompSpan comp;
     comp.flow_off = static_cast<std::uint32_t>(split_flows_.size());
     comp.res_off = static_cast<std::uint32_t>(split_res_.size());
+    comp.stamp = stoken;
+    const auto ci = static_cast<std::uint32_t>(comps_.size());
     bool dirty = false;
     freeze_epoch_[seed] = stoken;
     split_flows_.push_back(seed);
@@ -363,6 +366,7 @@ void FlowNetwork::split_components(std::uint64_t mark,
         if (mark != 0 && r->visit_epoch != mark) continue;
         if (r->split_epoch == stoken) continue;
         r->split_epoch = stoken;
+        r->comp_id = ci;  // validated against comp.stamp, not comp.fill
         split_res_.push_back(r);
         for (const std::uint32_t m : r->members) {
           if (mark != 0 && visit_epoch_[m] != mark) continue;  // boundary
@@ -500,7 +504,9 @@ void FlowNetwork::reallocate_dirty() {
     }
 
     bool converged = false;
+    bool split_clean = false;  // comps_ holds true connected components
     std::size_t wired = 0;
+    std::size_t fresh_begin = 0;
     for (int iter = 0; iter < kMaxExpandRounds; ++iter) {
       // Pull the resources of newly added local flows into the fill set.
       for (; wired < comp_flows_.size(); ++wired) {
@@ -520,8 +526,10 @@ void FlowNetwork::reallocate_dirty() {
       // exact (each component freezes at its own saturations; the shared
       // rising level only interleaves them), and none of the split's
       // payoffs (dirty skip, hierarchical solve, parallel dispatch)
-      // engage at this size. Expansion rounds always split so components
-      // that gained no flow keep their round-one rates untouched.
+      // engage at this size. Expansion rounds merge the fresh flows into
+      // the components they touch (merge_expansion) instead of re-running
+      // the global BFS; components that gained no flow keep their
+      // round-one rates untouched either way.
       if (iter == 0 && comp_flows_.size() < kSplitMinFlows) {
         split_flows_.assign(comp_flows_.begin(), comp_flows_.end());
         split_res_.assign(comp_resources_.begin(), comp_resources_.end());
@@ -531,20 +539,29 @@ void FlowNetwork::reallocate_dirty() {
         comp.res_cnt = static_cast<std::uint32_t>(split_res_.size());
         comp.dirty = true;  // every executed round added a flow
         comps_.push_back(comp);
-      } else {
+      } else if (!split_clean) {
+        // First real split: round 0 at size, or the round after a pseudo-
+        // split (whose single span may hold several true components — a
+        // merge would keep them joint and refill the lot every round).
         split_components(mark, fresh);
+        split_clean = true;
+      } else {
+        // Unions of true components are true components, so once split,
+        // expansion rounds just merge the fresh flows in.
+        merge_expansion(mark, fresh_begin);
       }
       fill_dirty_components(mark);
       const std::size_t before = comp_flows_.size();
       const std::uint64_t next_fresh = ++epoch_;
       for (const CompSpan& comp : comps_)
-        if (comp.dirty) validate_boundary(comp, mark, next_fresh);
+        if (comp.dirty && !comp.dead) validate_boundary(comp, mark, next_fresh);
       if (comp_flows_.size() == before) {
         converged = true;
         break;
       }
       ++counters_.expand_rounds;
       fresh = next_fresh;
+      fresh_begin = before;
     }
 
     if (converged) {
@@ -601,7 +618,8 @@ void FlowNetwork::reallocate_dirty() {
 // ---------------------------------------------------- exact bottleneck fill --
 
 std::uint64_t FlowNetwork::fill_prepare(CompSpan& comp,
-                                        std::uint64_t local_mark) {
+                                        std::uint64_t local_mark,
+                                        std::uint32_t ci) {
   const std::uint64_t fill = ++epoch_;
   comp.fill = fill;
   comp.has_pair = false;
@@ -653,6 +671,7 @@ std::uint64_t FlowNetwork::fill_prepare(CompSpan& comp,
     r->live = r->lmem_cnt;
     r->fill_epoch = fill;
     r->comp_index = ordinal++;
+    r->comp_id = ci;
     r->usage_b = usage_b;
     r->max_b = max_b;
     r->min_b = min_b;
@@ -731,7 +750,12 @@ std::uint64_t FlowNetwork::fill_exact(const CompSpan& comp,
   heap.clear();
   for (std::uint32_t ri = 0; ri < comp.res_cnt; ++ri) {
     Resource* r = res[ri];
-    r->fill_key = r->rem / r->live;
+    // last_lambda + rem/live, not rem/live: a peeled piece arrives with
+    // resources already refreshed to the peel levels, whose exhaust
+    // estimate continues from last_lambda. Fresh prepares have
+    // last_lambda == 0 and 0.0 + x is bitwise x for x >= 0, so unsplit
+    // fills are unchanged.
+    r->fill_key = r->last_lambda + r->rem / r->live;
     r->fill_pos = ri;
     heap.push_back(r);
   }
@@ -754,9 +778,14 @@ std::uint64_t FlowNetwork::fill_exact(const CompSpan& comp,
     Resource* r = heap.front();
     res_heap_remove(heap, r);
     assert(r->live > 0);
-    refresh(r);
-    const double exhaust = lambda + r->rem / r->live;
-    lambda = exhaust;
+    // The stored key IS the exhaust level: every sift already computed it
+    // as last_lambda + rem/live right after a refresh, so adopting it here
+    // (instead of re-deriving it through a refresh at the current global
+    // level) makes each pop's arithmetic a function of the popped
+    // resource's own state alone. That locality is what lets a peeled
+    // piece reproduce the flat fill bit-for-bit: the piece fill never
+    // sees the other pieces' lambda history.
+    lambda = r->fill_key;
     r->rem = 0.0;
     r->last_lambda = lambda;
     r->sat_lambda = lambda;
@@ -819,11 +848,483 @@ std::uint64_t FlowNetwork::fill_exact(const CompSpan& comp,
   return pops;
 }
 
+// ------------------------------------------------- saturation-cut peeling --
+
+std::size_t FlowNetwork::peel_and_split(std::uint32_t ci, std::uint64_t mark) {
+  // Schedule-aware splitting (DESIGN.md §"Saturation-cut splitting"). A
+  // *cut* is a live resource whose exhaust level lastl + rem/live is below
+  // every other exhaust level within graph distance two by the relative
+  // kCutMargin. The flat fill provably pops a cut before any resource that
+  // could interact with it (everything freezing its members, and everything
+  // refreshing the resources its members cross, lies within distance two
+  // and carries a strictly higher key), so freezing a cut's members here —
+  // with the pop's exact arithmetic — commutes with the rest of the fill
+  // bit-for-bit. The margin also forces cuts >= distance three apart, so
+  // the cuts of one round never interact with each other, and iterating
+  // rounds only raises every later refresh level. What survives splits
+  // into independent pieces that fill (and memoize) separately.
+  //
+  // peel appends pieces to comps_ (possibly reallocating), so the
+  // component is addressed by index throughout. The parent's
+  // split_flows_/split_res_ spans are only permuted in place — pieces are
+  // sub-slices — so the span arrays never grow here.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::uint32_t nf = comps_[ci].flow_cnt;
+  const std::uint32_t nr = comps_[ci].res_cnt;
+  const std::uint32_t foff = comps_[ci].flow_off;
+  const std::uint32_t roff = comps_[ci].res_off;
+  const std::uint32_t* flows = split_flows_.data() + foff;
+  Resource* const* res = split_res_.data() + roff;
+
+  // --- Cut detection over the live sub-graph (pure: no mutation). Three
+  // passes: per-flow two lowest adjacent keys with the owner of the
+  // lowest; per-resource distance-1 minimum plus the two lowest per-flow
+  // minima with distinct owners (so a resource can exclude contributions
+  // whose minimum it is itself); per-resource distance-2 guard. A flow
+  // sharing a resource r with owner != r fails r's guard through the
+  // distance-1 minimum, which is what makes the two-owner trick sound.
+  const auto detect = [&]() {
+    const std::uint64_t fill = comps_[ci].fill;
+    cut_key_.assign(nr, kInf);
+    for (std::uint32_t ri = 0; ri < nr; ++ri) {
+      const Resource* r = res[ri];
+      if (r->live > 0)
+        cut_key_[ri] = r->last_lambda + r->rem / r->live;
+    }
+    cut_s1_.assign(nf, kInf);
+    cut_s2_.assign(nf, kInf);
+    cut_o1_.assign(nf, kNone);
+    for (std::uint32_t fi = 0; fi < nf; ++fi) {
+      const std::uint32_t slot = flows[fi];
+      if (freeze_epoch_[slot] == fill) continue;  // frozen by earlier round
+      const Flow& f = slab_[slot];
+      double s1 = kInf, s2 = kInf;
+      std::uint32_t o1 = kNone;
+      for (std::uint32_t j = 0; j < f.res_count; ++j) {
+        const std::uint32_t ord = f.res[j]->comp_index;
+        const double k = cut_key_[ord];
+        if (k < s1) {
+          s2 = s1;
+          s1 = k;
+          o1 = ord;
+        } else if (k < s2) {
+          s2 = k;
+        }
+      }
+      cut_s1_[fi] = s1;
+      cut_s2_[fi] = s2;
+      cut_o1_[fi] = o1;
+    }
+    cut_nb1_.assign(nr, kInf);
+    cut_e1_.assign(nr, kInf);
+    cut_e2_.assign(nr, kInf);
+    cut_eo1_.assign(nr, kNone);
+    for (std::uint32_t fi = 0; fi < nf; ++fi) {
+      if (cut_o1_[fi] == kNone) continue;  // frozen
+      const Flow& f = slab_[flows[fi]];
+      const double s1 = cut_s1_[fi], s2 = cut_s2_[fi];
+      const std::uint32_t o1 = cut_o1_[fi];
+      for (std::uint32_t j = 0; j < f.res_count; ++j) {
+        const std::uint32_t ord = f.res[j]->comp_index;
+        const double nb = o1 == ord ? s2 : s1;
+        if (nb < cut_nb1_[ord]) cut_nb1_[ord] = nb;
+        // Two lowest s1 contributions with distinct owners.
+        if (o1 == cut_eo1_[ord]) {
+          if (s1 < cut_e1_[ord]) cut_e1_[ord] = s1;
+        } else if (s1 < cut_e1_[ord]) {
+          cut_e2_[ord] = cut_e1_[ord];
+          cut_e1_[ord] = s1;
+          cut_eo1_[ord] = o1;
+        } else if (s1 < cut_e2_[ord]) {
+          cut_e2_[ord] = s1;
+        }
+      }
+    }
+    cut_list_.clear();
+    for (std::uint32_t ri = 0; ri < nr; ++ri) {
+      const Resource* r = res[ri];
+      if (r->live == 0) continue;
+      double guard = cut_nb1_[ri];
+      const std::uint32_t* lm = local_arena_.data() + r->lmem_off;
+      for (std::uint32_t m = 0; m < r->lmem_cnt; ++m) {
+        const std::uint32_t slot = lm[m];
+        if (freeze_epoch_[slot] == fill) continue;
+        const Flow& f = slab_[slot];
+        for (std::uint32_t j = 0; j < f.res_count; ++j) {
+          const std::uint32_t o2 = f.res[j]->comp_index;
+          if (o2 == ri) continue;
+          const double d2 = cut_eo1_[o2] == ri ? cut_e2_[o2] : cut_e1_[o2];
+          if (d2 < guard) guard = d2;
+        }
+      }
+      if (guard < kInf && cut_key_[ri] < guard * (1.0 - kCutMargin))
+        cut_list_.push_back(ri);
+    }
+  };
+
+  detect();
+  if (cut_list_.empty()) return 0;
+
+  if (cross_check_ && !comps_[ci].prepared) {
+    // Byte-equality oracle: run the flat fill over the unsplit component
+    // and record its verdicts; the epilogue of fill_dirty_components
+    // compares them bitwise against the peel + piece results. Then restore
+    // the prepared state by re-running the (deterministic) prepare — a
+    // fresh fill epoch invalidates the oracle's freeze and saturation
+    // marks. Peeled pieces that re-peel skip this: their parent's oracle
+    // already covers every flow, and a piece's refreshed state cannot be
+    // rebuilt by fill_prepare.
+    fill_exact(comps_[ci], res_heap_);
+    for (std::uint32_t fi = 0; fi < nf; ++fi) {
+      const std::uint32_t slot = flows[fi];
+      oracle_slots_.push_back(slot);
+      oracle_rates_.push_back(rates_scratch_[slot]);
+      oracle_bns_.push_back(bottleneck_scratch_[slot]);
+    }
+    fill_prepare(comps_[ci], mark, ci);
+    detect();
+    assert(!cut_list_.empty() && "prepare is deterministic");
+  }
+
+  // --- Peel rounds: freeze each cut exactly as the flat fill's pop would,
+  // then re-detect on the refreshed remainder until no cut survives. Cuts
+  // within one round are >= distance three apart, so their freeze cascades
+  // touch disjoint resources; they are still applied in (key, ordinal)
+  // order — the flat fill's pop order — for determinism by construction.
+  const std::uint64_t fill = comps_[ci].fill;
+  std::uint64_t total_cuts = 0;
+  while (!cut_list_.empty()) {
+    total_cuts += cut_list_.size();
+    std::sort(cut_list_.begin(), cut_list_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (cut_key_[a] != cut_key_[b])
+                  return cut_key_[a] < cut_key_[b];
+                return a < b;
+              });
+    for (const std::uint32_t ord : cut_list_) {
+      Resource* r = res[ord];
+      const double lambda = cut_key_[ord];
+      r->rem = 0.0;
+      r->last_lambda = lambda;
+      r->sat_lambda = lambda;
+      r->sat_fill = fill;
+      const std::uint32_t* fmem = local_arena_.data() + r->lmem_off;
+      for (std::uint32_t m = 0; m < r->lmem_cnt; ++m) {
+        const std::uint32_t slot = fmem[m];
+        if (freeze_epoch_[slot] == fill) continue;
+        freeze_epoch_[slot] = fill;
+        rates_scratch_[slot] = lambda;
+        bottleneck_scratch_[slot] = r;
+        const Flow& af = slab_[slot];
+        for (std::uint32_t i = 0; i < af.res_count; ++i) {
+          Resource* r2 = af.res[i];
+          assert(r2->fill_epoch == fill);
+          r2->rem -= (lambda - r2->last_lambda) * r2->live;
+          if (r2->rem < 0.0) r2->rem = 0.0;
+          r2->last_lambda = lambda;
+          assert(r2->live > 0);
+          --r2->live;
+          r2->usage_local += lambda;
+          r2->max_local = lambda;  // freeze levels are non-decreasing
+          // Drained neighbours (live == 0) join the residue unmarked —
+          // uncoupled components keep pop-only saturation marks, same as
+          // the flat fill.
+        }
+      }
+      assert(r->live == 0);
+    }
+    detect();
+  }
+
+  // --- Piece assignment: BFS over the surviving live flows/resources.
+  // Every live resource still has a live member and vice versa, so the
+  // BFS partitions exactly the unfrozen remainder.
+  if (piece_flow_stamp_.size() < slab_.size()) {
+    piece_flow_stamp_.resize(slab_.size(), 0);
+    piece_of_slot_.resize(slab_.size(), 0);
+  }
+  const std::uint64_t btoken = ++epoch_;
+  piece_of_res_.assign(nr, kNone);
+  std::uint32_t npieces = 0;
+  for (std::uint32_t fi = 0; fi < nf; ++fi) {
+    const std::uint32_t seed = flows[fi];
+    if (freeze_epoch_[seed] == fill) continue;
+    if (piece_flow_stamp_[seed] == btoken) continue;
+    const std::uint32_t pid = npieces++;
+    piece_flow_stamp_[seed] = btoken;
+    piece_of_slot_[seed] = pid;
+    part_flows_.clear();
+    part_flows_.push_back(seed);
+    for (std::size_t qi = 0; qi < part_flows_.size(); ++qi) {
+      const Flow& f = slab_[part_flows_[qi]];
+      for (std::uint32_t j = 0; j < f.res_count; ++j) {
+        Resource* r = f.res[j];
+        const std::uint32_t ord = r->comp_index;
+        if (piece_of_res_[ord] != kNone) continue;
+        piece_of_res_[ord] = pid;
+        const std::uint32_t* lm = local_arena_.data() + r->lmem_off;
+        for (std::uint32_t m = 0; m < r->lmem_cnt; ++m) {
+          const std::uint32_t s2 = lm[m];
+          if (freeze_epoch_[s2] == fill) continue;
+          if (piece_flow_stamp_[s2] == btoken) continue;
+          piece_flow_stamp_[s2] = btoken;
+          piece_of_slot_[s2] = pid;
+          part_flows_.push_back(s2);
+        }
+      }
+    }
+  }
+
+  // --- Stable partition of the parent spans: residue (frozen flows /
+  // exhausted resources) first, then the pieces in id order. Stability
+  // keeps relative order, so within a piece the ordinal ordering — the
+  // heap tie-break — is order-isomorphic to the parent's, and a piece fill
+  // resolves exact-level ties identically to the flat fill.
+  std::vector<std::uint32_t> fcur(npieces + 2, 0);
+  for (std::uint32_t fi = 0; fi < nf; ++fi) {
+    const std::uint32_t slot = flows[fi];
+    const std::uint32_t b =
+        freeze_epoch_[slot] == fill ? 0 : piece_of_slot_[slot] + 1;
+    ++fcur[b + 1];
+  }
+  std::partial_sum(fcur.begin(), fcur.end(), fcur.begin());
+  std::vector<std::uint32_t> fout(fcur.begin(), fcur.end() - 1);
+  part_flows_.resize(nf);
+  for (std::uint32_t fi = 0; fi < nf; ++fi) {
+    const std::uint32_t slot = flows[fi];
+    const std::uint32_t b =
+        freeze_epoch_[slot] == fill ? 0 : piece_of_slot_[slot] + 1;
+    part_flows_[fout[b]++] = slot;
+  }
+  std::copy(part_flows_.begin(), part_flows_.end(),
+            split_flows_.begin() + foff);
+
+  std::vector<std::uint32_t> rcur(npieces + 2, 0);
+  for (std::uint32_t ri = 0; ri < nr; ++ri) {
+    const std::uint32_t b =
+        piece_of_res_[ri] == kNone ? 0 : piece_of_res_[ri] + 1;
+    ++rcur[b + 1];
+  }
+  std::partial_sum(rcur.begin(), rcur.end(), rcur.begin());
+  std::vector<std::uint32_t> rout(rcur.begin(), rcur.end() - 1);
+  part_res_.resize(nr);
+  std::vector<std::uint8_t> piece_pair(npieces, 0);
+  for (std::uint32_t ri = 0; ri < nr; ++ri) {
+    Resource* r = res[ri];
+    const std::uint32_t b =
+        piece_of_res_[ri] == kNone ? 0 : piece_of_res_[ri] + 1;
+    if (b > 0 && r->kind == Resource::Kind::kPair) piece_pair[b - 1] = 1;
+    part_res_[rout[b]++] = ri;
+  }
+  const std::uint32_t first_piece_ci =
+      static_cast<std::uint32_t>(comps_.size());
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    Resource* r = res[part_res_[i]];
+    // Renumber ordinals relative to the sub-span the resource lands in
+    // (residue or piece) and point comp_id at its new component.
+    std::uint32_t b = 0;
+    for (std::uint32_t p = 0; p <= npieces; ++p)
+      if (i < rcur[p + 1]) {
+        b = p;
+        break;
+      }
+    r->comp_index = i - rcur[b];
+    r->comp_id = b == 0 ? ci : first_piece_ci + (b - 1);
+  }
+  // part_res_ holds span positions; materialise the permuted pointer order
+  // through a temporary (the positions index the *old* order).
+  {
+    std::vector<Resource*> tmp(nr);
+    for (std::uint32_t i = 0; i < nr; ++i) tmp[i] = res[part_res_[i]];
+    std::copy(tmp.begin(), tmp.end(), split_res_.begin() + roff);
+  }
+
+  const std::uint32_t nfrozen = fcur[1];
+  const std::uint32_t nfin = rcur[1];
+  comps_[ci].flow_cnt = nfrozen;
+  comps_[ci].res_cnt = nfin;
+  comps_[ci].solved = true;  // rates final; still boundary-validated
+  for (std::uint32_t p = 0; p < npieces; ++p) {
+    CompSpan pc;
+    pc.flow_off = foff + fcur[p + 1];
+    pc.flow_cnt = fcur[p + 2] - fcur[p + 1];
+    pc.res_off = roff + rcur[p + 1];
+    pc.res_cnt = rcur[p + 2] - rcur[p + 1];
+    pc.fill = fill;
+    pc.stamp = comps_[ci].stamp;  // span resources keep the parent's token
+    pc.dirty = true;
+    pc.prepared = true;  // shares the parent's prepared/refreshed state
+    pc.has_pair = piece_pair[p] != 0;
+    pc.has_coupling = false;  // cut-eligible parents are uncoupled
+    assert(pc.flow_cnt > 0 && pc.res_cnt > 0);
+    comps_.push_back(pc);
+  }
+  counters_.split_cuts += total_cuts;
+  counters_.split_pieces += npieces;
+  counters_.filling_rounds += total_cuts;  // each cut is one pop
+  return npieces;
+}
+
+// ------------------------------------------- expansion-round merging --
+
+void FlowNetwork::merge_expansion(std::uint64_t mark, std::size_t fresh_begin) {
+  // Round >= 2 of the expansion loop: instead of re-running the global
+  // component BFS, union the freshly expanded flows with the components
+  // their resources already belong to. A component span is a BFS closure
+  // and a resource first seen this round can only carry fresh in-set
+  // members (an old in-set member would have pulled it into a span
+  // already), so the merged component is exactly: the absorbed spans +
+  // the fresh flows + their brand-new resources — no old member list is
+  // walked. Untouched components keep their spans, rates and verdicts.
+  (void)mark;
+  const std::size_t nfresh = comp_flows_.size() - fresh_begin;
+  assert(nfresh > 0);
+  for (CompSpan& c : comps_) c.dirty = false;
+
+  // Union-find over {fresh flows} ∪ {touched components} ∪ {new
+  // resources}; unions point at the smaller id so a class root is always
+  // its first fresh flow — deterministic class order.
+  std::vector<std::uint32_t> ufp(nfresh);
+  std::iota(ufp.begin(), ufp.end(), 0u);
+  const auto uf_find = [&ufp](std::uint32_t x) {
+    while (ufp[x] != x) {
+      ufp[x] = ufp[ufp[x]];
+      x = ufp[x];
+    }
+    return x;
+  };
+  const auto uf_union = [&](std::uint32_t a, std::uint32_t b) {
+    a = uf_find(a);
+    b = uf_find(b);
+    if (a == b) return;
+    if (a < b)
+      ufp[b] = a;
+    else
+      ufp[a] = b;
+  };
+  // A peeled component leaves a residue whose frozen flows still cross the
+  // pieces' resources, so residue and piece spans are only closed as a
+  // group. The whole peel tree shares one fill epoch (pieces inherit the
+  // parent's), so absorption is by *fill group*: touching any member pulls
+  // in every live component with the same fill.
+  std::vector<std::uint32_t> group_head(comps_.size(), kNone);
+  {
+    std::unordered_map<std::uint64_t, std::uint32_t> fill_head;
+    fill_head.reserve(comps_.size());
+    for (std::uint32_t cid = 0; cid < comps_.size(); ++cid) {
+      if (comps_[cid].dead) continue;
+      // fill == 0: built by a split this realloc but never refilled (no
+      // fresh flow yet) — not part of any peel tree, its own group.
+      group_head[cid] =
+          comps_[cid].fill == 0
+              ? cid
+              : fill_head.try_emplace(comps_[cid].fill, cid).first->second;
+    }
+  }
+  std::vector<std::uint32_t> comp_node(comps_.size(), kNone);  // by head
+  const std::uint64_t mtoken = ++epoch_;
+  std::vector<Resource*> new_res;          // first-touch order
+  std::vector<std::uint32_t> new_res_node;
+  for (std::size_t i = 0; i < nfresh; ++i) {
+    const Flow& f = slab_[comp_flows_[fresh_begin + i]];
+    const auto fnode = static_cast<std::uint32_t>(i);
+    for (std::uint32_t j = 0; j < f.res_count; ++j) {
+      Resource* r = f.res[j];
+      const std::uint32_t cid = r->comp_id;
+      if (cid < comps_.size() && !comps_[cid].dead &&
+          comps_[cid].stamp != 0 && comps_[cid].stamp == r->split_epoch) {
+        const std::uint32_t head = group_head[cid];
+        if (comp_node[head] == kNone) {
+          comp_node[head] = static_cast<std::uint32_t>(ufp.size());
+          ufp.push_back(comp_node[head]);
+        }
+        uf_union(fnode, comp_node[head]);
+      } else if (r->split_epoch == mtoken) {
+        uf_union(fnode, r->fill_pos);  // new resource seen this round
+      } else {
+        r->split_epoch = mtoken;
+        const auto node = static_cast<std::uint32_t>(ufp.size());
+        ufp.push_back(node);
+        r->fill_pos = node;  // scratch: reassigned by the next heap build
+        new_res.push_back(r);
+        new_res_node.push_back(node);
+        uf_union(fnode, node);
+      }
+    }
+  }
+
+  // Group members per class, then materialise each merged component at the
+  // span tails: absorbed spans (component-index order), fresh flows, new
+  // resources. The absorbed components are tombstoned in place.
+  struct Merged {
+    std::vector<std::uint32_t> comps;
+    std::vector<std::uint32_t> fresh;
+    std::vector<Resource*> nres;
+  };
+  std::vector<Merged> merged;
+  std::vector<std::uint32_t> class_of(ufp.size(), kNone);
+  for (std::size_t i = 0; i < nfresh; ++i) {
+    const std::uint32_t root = uf_find(static_cast<std::uint32_t>(i));
+    if (class_of[root] == kNone) {
+      class_of[root] = static_cast<std::uint32_t>(merged.size());
+      merged.emplace_back();
+    }
+    merged[class_of[root]].fresh.push_back(comp_flows_[fresh_begin + i]);
+  }
+  std::size_t add_flows = nfresh, add_res = new_res.size();
+  for (std::uint32_t cid = 0; cid < comp_node.size(); ++cid) {
+    // Group membership: every comp rides with its head's union class.
+    const std::uint32_t head = group_head[cid];
+    if (head == kNone || comp_node[head] == kNone) continue;
+    merged[class_of[uf_find(comp_node[head])]].comps.push_back(cid);
+    add_flows += comps_[cid].flow_cnt;
+    add_res += comps_[cid].res_cnt;
+  }
+  for (std::size_t k = 0; k < new_res.size(); ++k)
+    merged[class_of[uf_find(new_res_node[k])]].nres.push_back(new_res[k]);
+
+  // Reserve up front: the absorbed-span copies below read from the same
+  // vectors they append to.
+  split_flows_.reserve(split_flows_.size() + add_flows);
+  split_res_.reserve(split_res_.size() + add_res);
+  for (const Merged& m : merged) {
+    CompSpan nc;
+    nc.flow_off = static_cast<std::uint32_t>(split_flows_.size());
+    nc.res_off = static_cast<std::uint32_t>(split_res_.size());
+    const auto nci = static_cast<std::uint32_t>(comps_.size());
+    for (const std::uint32_t cid : m.comps) {
+      CompSpan& old = comps_[cid];
+      for (std::uint32_t k = 0; k < old.flow_cnt; ++k)
+        split_flows_.push_back(split_flows_[old.flow_off + k]);
+      for (std::uint32_t k = 0; k < old.res_cnt; ++k) {
+        Resource* r = split_res_[old.res_off + k];
+        r->comp_id = nci;
+        r->split_epoch = mtoken;  // re-stamp: membership moved here
+        split_res_.push_back(r);
+      }
+      old.dead = true;
+    }
+    for (const std::uint32_t slot : m.fresh) split_flows_.push_back(slot);
+    for (Resource* r : m.nres) {
+      r->comp_id = nci;  // split_epoch is already mtoken
+      split_res_.push_back(r);
+    }
+    nc.flow_cnt =
+        static_cast<std::uint32_t>(split_flows_.size()) - nc.flow_off;
+    nc.res_cnt = static_cast<std::uint32_t>(split_res_.size()) - nc.res_off;
+    nc.stamp = mtoken;
+    nc.dirty = true;
+    comps_.push_back(nc);
+  }
+}
+
 // ---------------------------------------------------- hierarchical solver --
 
 
-bool FlowNetwork::fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
-                                    std::uint64_t* iters) const {
+bool FlowNetwork::fill_hierarchical(const CompSpan& comp,
+                                    std::size_t island_jobs,
+                                    std::uint64_t* pops, std::uint64_t* iters,
+                                    std::uint64_t* par_rounds) const {
   // Decompose an oversubscribed-TOR component along its structure: interior
   // NIC resources (kTx/kRx) form per-rack *islands* coupled only through
   // the kRackUp/kRackDown fabric resources. Each island is solved
@@ -1005,83 +1506,197 @@ bool FlowNetwork::fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
   std::vector<std::uint8_t> lam_sat(nr, 0);
   std::vector<double> rem(nr), lastl(nr), hkey(nr);
   std::vector<std::uint32_t> live(nr), hpos(nr, kNone);
-  std::vector<std::uint32_t> hvec;
-  hvec.reserve(nr);
-  std::vector<std::uint32_t> order;
   std::vector<std::pair<double, std::uint32_t>> ccaps;
 
-  const auto hless = [&hkey](std::uint32_t a, std::uint32_t b) {
-    if (hkey[a] != hkey[b]) return hkey[a] < hkey[b];
-    return a < b;
-  };
-  const auto hsift_up = [&](std::uint32_t pos) {
-    const std::uint32_t v = hvec[pos];
-    while (pos > 0) {
-      const std::uint32_t parent = (pos - 1) / 2;
-      if (!hless(v, hvec[parent])) break;
-      hvec[pos] = hvec[parent];
-      hpos[hvec[pos]] = pos;
-      pos = parent;
+  // --- One island's capped bottleneck elimination. Reads prev_lvl/lam/cap
+  // (frozen for the duration of a Jacobi round) and writes only
+  // island-disjoint slices: ordinal-indexed scratch (rem/live/lastl/rlam/
+  // hkey/hpos) of its own interiors and member-position-indexed state
+  // (frozen/lvl/bnm) of its own member range. The heap and freeze order
+  // live entirely in the caller-provided hvec/order, so island solves of
+  // one round run concurrently and bit-identically in any interleaving.
+  // Returns false on the degenerate nothing-binds shape.
+  const auto solve_island = [&](std::uint32_t isl,
+                                std::vector<std::uint32_t>& hvec,
+                                std::vector<std::uint32_t>& order,
+                                std::uint64_t& pop_out) -> bool {
+    const auto hless = [&hkey](std::uint32_t a, std::uint32_t b) {
+      if (hkey[a] != hkey[b]) return hkey[a] < hkey[b];
+      return a < b;
+    };
+    const auto hsift_up = [&](std::uint32_t pos) {
+      const std::uint32_t v = hvec[pos];
+      while (pos > 0) {
+        const std::uint32_t parent = (pos - 1) / 2;
+        if (!hless(v, hvec[parent])) break;
+        hvec[pos] = hvec[parent];
+        hpos[hvec[pos]] = pos;
+        pos = parent;
+      }
+      hvec[pos] = v;
+      hpos[v] = pos;
+    };
+    const auto hsift_down = [&](std::uint32_t pos) {
+      const auto size = static_cast<std::uint32_t>(hvec.size());
+      const std::uint32_t v = hvec[pos];
+      while (true) {
+        std::uint32_t child = 2 * pos + 1;
+        if (child >= size) break;
+        if (child + 1 < size && hless(hvec[child + 1], hvec[child])) ++child;
+        if (!hless(hvec[child], v)) break;
+        hvec[pos] = hvec[child];
+        hpos[hvec[pos]] = pos;
+        pos = child;
+      }
+      hvec[pos] = v;
+      hpos[v] = pos;
+    };
+    const auto hremove = [&](std::uint32_t ord) {
+      const std::uint32_t pos = hpos[ord];
+      const std::uint32_t last = hvec.back();
+      hvec.pop_back();
+      hpos[ord] = kNone;
+      if (last != ord) {
+        hvec[pos] = last;
+        hpos[last] = pos;
+        hsift_down(pos);
+        hsift_up(hpos[last]);
+      }
+    };
+    double lambda = 0.0;
+    const auto refresh = [&](std::uint32_t ord) {
+      rem[ord] -= (lambda - lastl[ord]) * live[ord];
+      if (rem[ord] < 0.0) rem[ord] = 0.0;
+      lastl[ord] = lambda;
+    };
+    // Detach a freezing member from its island resources: capacity
+    // consumed, degree down, heap key up (skip: the resource doing the
+    // freezing).
+    const auto detach = [&](std::uint32_t p, std::uint32_t skip) {
+      const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+      for (std::uint8_t c = 0; c < sd.cnt; ++c) {
+        const std::uint32_t o = sd.ires[c];
+        if (o == skip) continue;
+        refresh(o);
+        assert(live[o] > 0);
+        --live[o];
+        if (live[o] == 0) {
+          hremove(o);
+        } else {
+          hkey[o] = lambda + rem[o] / live[o];
+          hsift_down(hpos[o]);
+          hsift_up(hpos[o]);
+        }
+      }
+    };
+
+    hvec.clear();
+    for (std::uint32_t k = irl_off[isl]; k < irl_off[isl + 1]; ++k) {
+      const std::uint32_t ord = irl[k];
+      rem[ord] = res[ord]->rem;
+      live[ord] = res[ord]->live;
+      lastl[ord] = 0.0;
+      rlam[ord] = kInf;
+      hkey[ord] = rem[ord] / live[ord];
+      hpos[ord] = static_cast<std::uint32_t>(hvec.size());
+      hvec.push_back(ord);
     }
-    hvec[pos] = v;
-    hpos[v] = pos;
-  };
-  const auto hsift_down = [&](std::uint32_t pos) {
-    const auto size = static_cast<std::uint32_t>(hvec.size());
-    const std::uint32_t v = hvec[pos];
-    while (true) {
-      std::uint32_t child = 2 * pos + 1;
-      if (child >= size) break;
-      if (child + 1 < size && hless(hvec[child + 1], hvec[child])) ++child;
-      if (!hless(hvec[child], v)) break;
-      hvec[pos] = hvec[child];
-      hpos[hvec[pos]] = pos;
-      pos = child;
+    if (hvec.size() > 1)
+      for (auto i = static_cast<std::int64_t>(hvec.size() / 2) - 1; i >= 0;
+           --i)
+        hsift_down(static_cast<std::uint32_t>(i));
+    const std::uint32_t mbeg = ioff[isl], mend = ioff[isl + 1];
+    order.resize(mend - mbeg);
+    std::iota(order.begin(), order.end(), mbeg);
+    std::sort(order.begin(), order.end(),
+              [&cap](std::uint32_t a, std::uint32_t b) {
+                if (cap[a] != cap[b]) return cap[a] < cap[b];
+                return a < b;
+              });
+    for (std::uint32_t p = mbeg; p < mend; ++p) frozen[p] = 0;
+    std::uint32_t unf = mend - mbeg;
+    std::size_t ci = 0;
+    while (unf > 0) {
+      while (ci < order.size() && frozen[order[ci]]) ++ci;
+      const double cnext = ci < order.size() ? cap[order[ci]] : kInf;
+      if (hvec.empty()) {
+        if (cnext == kInf) return false;  // degenerate: nothing binds
+      }
+      if (hvec.empty() || cnext <= hkey[hvec.front()]) {
+        // External constraint binds first: freeze at the cap.
+        const std::uint32_t p = order[ci++];
+        lambda = cnext;
+        frozen[p] = 1;
+        lvl[p] = cnext;
+        bnm[p] = kNone;
+        --unf;
+        detach(p, kNone);
+      } else {
+        // This island resource saturates next: freeze its remaining
+        // members at the fair share.
+        ++pop_out;
+        const std::uint32_t ord = hvec.front();
+        hremove(ord);
+        refresh(ord);
+        assert(live[ord] > 0);
+        lambda += rem[ord] / live[ord];
+        rem[ord] = 0.0;
+        lastl[ord] = lambda;
+        rlam[ord] = lambda;
+        for (std::uint32_t k = roff[ord]; k < roff[ord + 1]; ++k) {
+          const std::uint32_t p = rmem[k];
+          if (frozen[p]) continue;
+          frozen[p] = 1;
+          lvl[p] = lambda;
+          bnm[p] = ord;
+          --unf;
+          detach(p, ord);
+        }
+        live[ord] = 0;
+      }
     }
-    hvec[pos] = v;
-    hpos[v] = pos;
-  };
-  const auto hremove = [&](std::uint32_t ord) {
-    const std::uint32_t pos = hpos[ord];
-    const std::uint32_t last = hvec.back();
-    hvec.pop_back();
-    hpos[ord] = kNone;
-    if (last != ord) {
-      hvec[pos] = last;
-      hpos[last] = pos;
-      hsift_down(pos);
-      hsift_up(hpos[last]);
+    // Advertised level = the constraint THIS island imposes on the
+    // member: the lowest saturation level among its interior resources,
+    // inf when none saturated. A cap-frozen member must never advertise
+    // the cap itself — that echoes the *other* side's stale value back
+    // at it, and two cap-frozen sides of one flow then mirror each
+    // other's levels in a permanent two-cycle instead of converging.
+    // (The saturation levels are still computed under the caps: a
+    // capped member only consumes its cap here, which is exactly its
+    // consumption at the fixed point.)
+    for (std::uint32_t p = mbeg; p < mend; ++p) {
+      if (bnm[p] != kNone) continue;  // frozen by a saturation: exact
+      const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
+      double best = kInf;
+      std::uint32_t bord = kNone;
+      for (std::uint8_t c = 0; c < sd.cnt; ++c)
+        if (rlam[sd.ires[c]] < best) {
+          best = rlam[sd.ires[c]];
+          bord = sd.ires[c];
+        }
+      lvl[p] = best;
+      bnm[p] = bord;
     }
+    return true;
   };
 
   std::uint64_t pop_count = 0;
+  std::uint64_t par_eligible = 0;
   bool converged = false;
   std::size_t it = 0;
-  double lambda = 0.0;
-  const auto refresh = [&](std::uint32_t ord) {
-    rem[ord] -= (lambda - lastl[ord]) * live[ord];
-    if (rem[ord] < 0.0) rem[ord] = 0.0;
-    lastl[ord] = lambda;
-  };
-  // Detach a freezing member from its island resources: capacity consumed,
-  // degree down, heap key up (skip: the resource doing the freezing).
-  const auto detach = [&](std::uint32_t p, std::uint32_t skip) {
-    const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
-    for (std::uint8_t c = 0; c < sd.cnt; ++c) {
-      const std::uint32_t o = sd.ires[c];
-      if (o == skip) continue;
-      refresh(o);
-      assert(live[o] > 0);
-      --live[o];
-      if (live[o] == 0) {
-        hremove(o);
-      } else {
-        hkey[o] = lambda + rem[o] / live[o];
-        hsift_down(hpos[o]);
-        hsift_up(hpos[o]);
-      }
-    }
-  };
+  // Per-island pop counts / failure flags and per-worker heap scratch for
+  // the parallel island dispatch; merged in island order after each round
+  // so the totals are byte-identical for any job count.
+  std::vector<std::uint64_t> isl_pops(nisl, 0);
+  std::vector<std::uint8_t> isl_fail(nisl, 0);
+  const bool par_rounds_eligible =
+      nisl >= 2 && nmem >= kIslandParMinMembers;
+  const std::size_t isl_jobs =
+      par_rounds_eligible ? std::min(island_jobs, std::size_t{nisl}) : 1;
+  std::vector<std::vector<std::uint32_t>> whvec(std::max<std::size_t>(
+      isl_jobs, 1));
+  std::vector<std::vector<std::uint32_t>> worder(whvec.size());
+  for (auto& v : whvec) v.reserve(nr);
 
   for (; it < kHierMaxIters; ++it) {
     // Caps from the previous iteration's advertised levels (Jacobi across
@@ -1097,96 +1712,28 @@ bool FlowNetwork::fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
         c = std::min(c, lam[h.cpl[k]]);
       cap[p] = c;
     }
-    // Island solves: capped bottleneck elimination per island.
+    // Island solves: capped bottleneck elimination per island, dispatched
+    // across workers when the round is big enough. The eligibility (and
+    // the counter) depend only on the component shape, never on the
+    // actual job count.
+    if (par_rounds_eligible) ++par_eligible;
+    std::fill(isl_pops.begin(), isl_pops.end(), 0);
+    std::fill(isl_fail.begin(), isl_fail.end(), 0);
+    if (isl_jobs > 1) {
+      util::parallel_for_workers(
+          nisl, isl_jobs, [&](std::size_t w, std::size_t isl) {
+            if (!solve_island(static_cast<std::uint32_t>(isl), whvec[w],
+                              worder[w], isl_pops[isl]))
+              isl_fail[isl] = 1;
+          });
+    } else {
+      for (std::uint32_t isl = 0; isl < nisl; ++isl)
+        if (!solve_island(isl, whvec[0], worder[0], isl_pops[isl]))
+          isl_fail[isl] = 1;
+    }
     for (std::uint32_t isl = 0; isl < nisl; ++isl) {
-      hvec.clear();
-      for (std::uint32_t k = irl_off[isl]; k < irl_off[isl + 1]; ++k) {
-        const std::uint32_t ord = irl[k];
-        rem[ord] = res[ord]->rem;
-        live[ord] = res[ord]->live;
-        lastl[ord] = 0.0;
-        rlam[ord] = kInf;
-        hkey[ord] = rem[ord] / live[ord];
-        hpos[ord] = static_cast<std::uint32_t>(hvec.size());
-        hvec.push_back(ord);
-      }
-      if (hvec.size() > 1)
-        for (auto i = static_cast<std::int64_t>(hvec.size() / 2) - 1; i >= 0;
-             --i)
-          hsift_down(static_cast<std::uint32_t>(i));
-      const std::uint32_t mbeg = ioff[isl], mend = ioff[isl + 1];
-      order.resize(mend - mbeg);
-      std::iota(order.begin(), order.end(), mbeg);
-      std::sort(order.begin(), order.end(),
-                [&cap](std::uint32_t a, std::uint32_t b) {
-                  if (cap[a] != cap[b]) return cap[a] < cap[b];
-                  return a < b;
-                });
-      for (std::uint32_t p = mbeg; p < mend; ++p) frozen[p] = 0;
-      std::uint32_t unf = mend - mbeg;
-      std::size_t ci = 0;
-      lambda = 0.0;
-      while (unf > 0) {
-        while (ci < order.size() && frozen[order[ci]]) ++ci;
-        const double cnext = ci < order.size() ? cap[order[ci]] : kInf;
-        if (hvec.empty()) {
-          if (cnext == kInf) return false;  // degenerate: nothing binds
-        }
-        if (hvec.empty() || cnext <= hkey[hvec.front()]) {
-          // External constraint binds first: freeze at the cap.
-          const std::uint32_t p = order[ci++];
-          lambda = cnext;
-          frozen[p] = 1;
-          lvl[p] = cnext;
-          bnm[p] = kNone;
-          --unf;
-          detach(p, kNone);
-        } else {
-          // This island resource saturates next: freeze its remaining
-          // members at the fair share.
-          ++pop_count;
-          const std::uint32_t ord = hvec.front();
-          hremove(ord);
-          refresh(ord);
-          assert(live[ord] > 0);
-          lambda += rem[ord] / live[ord];
-          rem[ord] = 0.0;
-          lastl[ord] = lambda;
-          rlam[ord] = lambda;
-          for (std::uint32_t k = roff[ord]; k < roff[ord + 1]; ++k) {
-            const std::uint32_t p = rmem[k];
-            if (frozen[p]) continue;
-            frozen[p] = 1;
-            lvl[p] = lambda;
-            bnm[p] = ord;
-            --unf;
-            detach(p, ord);
-          }
-          live[ord] = 0;
-        }
-      }
-      // Advertised level = the constraint THIS island imposes on the
-      // member: the lowest saturation level among its interior resources,
-      // inf when none saturated. A cap-frozen member must never advertise
-      // the cap itself — that echoes the *other* side's stale value back
-      // at it, and two cap-frozen sides of one flow then mirror each
-      // other's levels in a permanent two-cycle instead of converging.
-      // (The saturation levels are still computed under the caps: a
-      // capped member only consumes its cap here, which is exactly its
-      // consumption at the fixed point.)
-      for (std::uint32_t p = mbeg; p < mend; ++p) {
-        if (bnm[p] != kNone) continue;  // frozen by a saturation: exact
-        const Side& sd = hf[mem_flow[p]].side[mem_side[p]];
-        double best = kInf;
-        std::uint32_t bord = kNone;
-        for (std::uint8_t c = 0; c < sd.cnt; ++c)
-          if (rlam[sd.ires[c]] < best) {
-            best = rlam[sd.ires[c]];
-            bord = sd.ires[c];
-          }
-        lvl[p] = best;
-        bnm[p] = bord;
-      }
+      if (isl_fail[isl]) return false;
+      pop_count += isl_pops[isl];
     }
     // Coupling fair shares over members capped by their fresh island levels
     // and the other coupling's previous share (the exact water level of a
@@ -1318,6 +1865,7 @@ bool FlowNetwork::fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
   }
   *pops = pop_count;
   *iters = it;
+  *par_rounds = par_eligible;
   return true;
 }
 
@@ -1336,14 +1884,24 @@ std::uint64_t FlowNetwork::memo_fingerprint(
   const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
   Resource* const* res = split_res_.data() + comp.res_off;
   key.clear();
-  key.reserve(2 + 2 * comp.res_cnt + 4 * comp.flow_cnt);
+  key.reserve(2 + (comp.prepared ? 5 : 2) * comp.res_cnt +
+              4 * comp.flow_cnt);
   key.push_back(topo_version_);
   key.push_back((static_cast<std::uint64_t>(comp.res_cnt) << 32) |
-                comp.flow_cnt);
+                comp.flow_cnt | (comp.prepared ? 1ull << 63 : 0));
   for (std::uint32_t i = 0; i < comp.res_cnt; ++i) {
     const Resource* r = res[i];
     key.push_back((static_cast<std::uint64_t>(r->kind) << 32) | r->live);
     key.push_back(std::bit_cast<std::uint64_t>(r->rem));
+    if (comp.prepared) {
+      // Peeled pieces carry refreshed per-resource state a fresh prepare
+      // never has; the fill reads last_lambda and validate_boundary reads
+      // the accumulated local aggregates, so two pieces may only share an
+      // entry when those match bit-for-bit too.
+      key.push_back(std::bit_cast<std::uint64_t>(r->last_lambda));
+      key.push_back(std::bit_cast<std::uint64_t>(r->usage_local));
+      key.push_back(std::bit_cast<std::uint64_t>(r->max_local));
+    }
   }
   for (std::uint32_t i = 0; i < comp.flow_cnt; ++i) {
     const Flow& f = slab_[flows[i]];
@@ -1443,35 +2001,78 @@ void FlowNetwork::memo_update_probation() {
 }
 
 void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
-  // Serial phase: prepare each dirty component, probe the memo, replay
-  // hits; queue misses. Parallel phase: fill the missed components — each
-  // one reads/writes only its own resources and flow slots, so any
-  // interleaving is race-free and the merge below (component order) keeps
-  // counters and stores byte-identical for any job count. Serial epilogue:
-  // account filling rounds, store memo entries, update probation.
+  // Five phases. (1) Serial: prepare each dirty component, peel saturation
+  // cuts off the big uncoupled ones (appending the surviving pieces to
+  // comps_ — the loop bound re-reads comps_.size() so pieces are visited,
+  // and possibly re-peeled, in the same pass), and sort everything into
+  // memo-probe candidates vs direct misses. (2) Parallel: fingerprint the
+  // probe candidates — pure reads of disjoint components into per-probe
+  // key slots. (3) Serial: probe the memo in component order, replay hits,
+  // queue misses. (4) Parallel: fill the misses — each fill reads/writes
+  // only its own resources and flow slots; workers reuse a private heap
+  // across the misses they claim. (5) Serial epilogue: merge counters and
+  // stores in component order (byte-identical for any job count) and
+  // compare the peel oracle, if armed, bit-for-bit.
   local_arena_.clear();
   boundary_arena_.clear();
   miss_comps_.clear();
   miss_keys_.clear();
   miss_hashes_.clear();
+  probe_comps_.clear();
   const bool memo_on = memoize_ && !memo_auto_off_;
-  std::vector<std::uint64_t> key_scratch;
   for (std::uint32_t ci = 0; ci < comps_.size(); ++ci) {
-    CompSpan& comp = comps_[ci];
-    if (!comp.dirty) continue;
+    // Index access throughout: peel_and_split appends to comps_.
+    if (!comps_[ci].dirty || comps_[ci].dead) continue;
     ++counters_.component_fills;
     counters_.max_component =
-        std::max<std::uint64_t>(counters_.max_component, comp.flow_cnt);
-    fill_prepare(comp, mark);
-    comp.hier = false;
+        std::max<std::uint64_t>(counters_.max_component, comps_[ci].flow_cnt);
+    // Peeled pieces arrive prepared: their resources carry the refreshed
+    // (rem, live, last_lambda) state the cut freezes left, which a
+    // re-prepare would destroy.
+    if (!comps_[ci].prepared) fill_prepare(comps_[ci], mark, ci);
+    comps_[ci].hier = false;
+    if (!comps_[ci].has_coupling && comps_[ci].flow_cnt >= cut_min_flows_) {
+      peel_and_split(ci, mark);
+      // Peel applied: the residue's rates froze during the peel and the
+      // pieces queued behind it; nothing left to fill under this index.
+      if (comps_[ci].solved) continue;
+    }
+    CompSpan& comp = comps_[ci];
     if (!memo_on || comp.flow_cnt < memo_min_flows_) {
       miss_comps_.push_back(ci);
       miss_hashes_.push_back(0);
       miss_keys_.emplace_back();  // empty key: not memo-eligible, no store
       continue;
     }
-    const std::uint64_t hash = memo_fingerprint(comp, key_scratch);
-    if (MemoEntry* e = memo_find(hash, key_scratch)) {
+    probe_comps_.push_back(ci);
+  }
+
+  // Phase 2: fingerprints. Each probe writes its own key slot and only
+  // reads its component, so the hash work parallelises; probing the table
+  // itself stays serial below.
+  const std::size_t nprobe = probe_comps_.size();
+  probe_hashes_.assign(nprobe, 0);
+  probe_keys_.resize(nprobe);
+  std::size_t probe_flows = 0;
+  for (std::size_t pi = 0; pi < nprobe; ++pi)
+    probe_flows += comps_[probe_comps_[pi]].flow_cnt;
+  if (fill_jobs_ > 1 && nprobe > 1 && probe_flows >= kParallelMinFlows) {
+    util::parallel_for(nprobe, fill_jobs_, [&](std::size_t pi) {
+      probe_hashes_[pi] =
+          memo_fingerprint(comps_[probe_comps_[pi]], probe_keys_[pi]);
+    });
+  } else {
+    for (std::size_t pi = 0; pi < nprobe; ++pi)
+      probe_hashes_[pi] =
+          memo_fingerprint(comps_[probe_comps_[pi]], probe_keys_[pi]);
+  }
+
+  // Phase 3: serial memo probe in component order.
+  for (std::size_t pi = 0; pi < nprobe; ++pi) {
+    const std::uint32_t ci = probe_comps_[pi];
+    CompSpan& comp = comps_[ci];
+    const std::uint64_t hash = probe_hashes_[pi];
+    if (MemoEntry* e = memo_find(hash, probe_keys_[pi])) {
       ++counters_.memo_hits;
       const std::uint32_t* flows = split_flows_.data() + comp.flow_off;
       Resource* const* res = split_res_.data() + comp.res_off;
@@ -1483,8 +2084,8 @@ void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
         // bottlenecks and aggregates exactly as the hit would.
         bool ok = true;
         if (e->hier) {
-          std::uint64_t p = 0, q = 0;
-          ok = fill_hierarchical(comp, &p, &q);
+          std::uint64_t p = 0, q = 0, pr = 0;
+          ok = fill_hierarchical(comp, 1, &p, &q, &pr);
         } else {
           fill_exact(comp, res_heap_);
         }
@@ -1527,27 +2128,30 @@ void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
     ++counters_.memo_misses;
     miss_comps_.push_back(ci);
     miss_hashes_.push_back(hash);
-    miss_keys_.push_back(std::move(key_scratch));
-    key_scratch = {};
+    miss_keys_.push_back(std::move(probe_keys_[pi]));
   }
 
   const std::size_t nmiss = miss_comps_.size();
   if (nmiss == 0) {
     memo_update_probation();
+    peel_oracle_compare();
     return;
   }
   miss_pops_.assign(nmiss, 0);
   miss_iters_.assign(nmiss, 0);
+  miss_par_.assign(nmiss, 0);
   miss_fb_.assign(nmiss, 0);
-  const auto run_one = [this](std::size_t mi, std::vector<Resource*>& heap) {
+  const auto run_one = [this](std::size_t mi, std::vector<Resource*>& heap,
+                              std::size_t island_jobs) {
     CompSpan& comp = comps_[miss_comps_[mi]];
     if (hierarchical_ && comp.has_coupling && !comp.has_pair &&
         comp.flow_cnt >= hier_min_flows_) {
-      std::uint64_t pops = 0, its = 0;
-      if (fill_hierarchical(comp, &pops, &its)) {
+      std::uint64_t pops = 0, its = 0, par = 0;
+      if (fill_hierarchical(comp, island_jobs, &pops, &its, &par)) {
         comp.hier = true;
         miss_pops_[mi] = pops;
         miss_iters_[mi] = its;
+        miss_par_[mi] = par;
         return;
       }
       miss_fb_[mi] = 1;
@@ -1558,12 +2162,17 @@ void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
   for (std::size_t mi = 0; mi < nmiss; ++mi)
     total_flows += comps_[miss_comps_[mi]].flow_cnt;
   if (fill_jobs_ > 1 && nmiss > 1 && total_flows >= kParallelMinFlows) {
-    util::parallel_for(nmiss, fill_jobs_, [&](std::size_t mi) {
-      std::vector<Resource*> heap;
-      run_one(mi, heap);
-    });
+    // Component-level parallelism claims the workers; rack islands inside
+    // each component solve serially (island_jobs 1) rather than spawning a
+    // nested pool.
+    worker_heaps_.resize(fill_jobs_);
+    util::parallel_for_workers(
+        nmiss, fill_jobs_, [&](std::size_t w, std::size_t mi) {
+          run_one(mi, worker_heaps_[w], 1);
+        });
   } else {
-    for (std::size_t mi = 0; mi < nmiss; ++mi) run_one(mi, res_heap_);
+    for (std::size_t mi = 0; mi < nmiss; ++mi)
+      run_one(mi, res_heap_, fill_jobs_);
   }
   for (std::size_t mi = 0; mi < nmiss; ++mi) {
     const CompSpan& comp = comps_[miss_comps_[mi]];
@@ -1571,6 +2180,7 @@ void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
     if (comp.hier) {
       ++counters_.hier_fills;
       counters_.hier_rounds += miss_iters_[mi];
+      counters_.island_par_rounds += miss_par_[mi];
     } else if (miss_fb_[mi]) {
       ++counters_.hier_fallbacks;
     }
@@ -1578,6 +2188,31 @@ void FlowNetwork::fill_dirty_components(std::uint64_t mark) {
       memo_store(miss_hashes_[mi], std::move(miss_keys_[mi]), comp);
   }
   memo_update_probation();
+  peel_oracle_compare();
+}
+
+void FlowNetwork::peel_oracle_compare() {
+  // Under set_cross_check, peel_and_split ran the flat fill over each
+  // to-be-split component before peeling and parked its verdicts; by now
+  // the peel + piece fills (or memo replays, themselves bit-checked above)
+  // have rewritten every one of those flows' scratch slots. The split
+  // claims byte equality, so compare rates AND bottleneck identity
+  // bitwise.
+  if (oracle_slots_.empty()) return;
+  for (std::size_t i = 0; i < oracle_slots_.size(); ++i) {
+    const std::uint32_t slot = oracle_slots_[i];
+    if (rates_scratch_[slot] != oracle_rates_[i] ||
+        bottleneck_scratch_[slot] != oracle_bns_[i]) {
+      std::fprintf(stderr,
+                   "FlowNetwork: saturation-cut split diverged from flat "
+                   "fill (t=%.9f, slot=%u, %.17g vs %.17g)\n",
+                   sim_.now(), slot, rates_scratch_[slot], oracle_rates_[i]);
+      std::abort();
+    }
+  }
+  oracle_slots_.clear();
+  oracle_rates_.clear();
+  oracle_bns_.clear();
 }
 
 // --------------------------------------------------- progressive oracle --
@@ -1698,7 +2333,7 @@ bool FlowNetwork::rates_match_full_recompute(double rel_tol,
     comp.res_cnt = static_cast<std::uint32_t>(all_resources.size());
     local_arena_.clear();
     boundary_arena_.clear();
-    fill_prepare(comp, 0);
+    fill_prepare(comp, 0, 0);  // ci 0: comps_ is empty, never revalidated
     fill_exact(comp, res_heap_);  // rounds deliberately uncounted
   } else {
     water_fill_progressive(all_flows, all_resources);

@@ -146,6 +146,13 @@ class FlowNetwork {
     std::uint64_t hier_fills = 0;      // components solved hierarchically
     std::uint64_t hier_rounds = 0;     // uplink fixed-point iterations
     std::uint64_t hier_fallbacks = 0;  // hierarchical gave up -> flat fill
+    std::uint64_t split_cuts = 0;      // saturation cuts peeled from fills
+    std::uint64_t split_pieces = 0;    // sub-components created by peeling
+    /// Hierarchical island rounds *eligible* for parallel dispatch (enough
+    /// islands and members). Counts eligibility, not actual dispatch, so
+    /// the value is identical for any set_fill_jobs value — the counters
+    /// block is part of the byte-identical-output contract.
+    std::uint64_t island_par_rounds = 0;
   };
   const Counters& counters() const { return counters_; }
   std::uint64_t reallocations() const { return counters_.reallocations; }
@@ -192,6 +199,16 @@ class FlowNetwork {
     hier_min_flows_ = min_flows;
   }
 
+  /// Minimum component size for schedule-aware splitting: uncoupled
+  /// components with at least this many flows are scanned for saturation
+  /// cuts before filling, and peeled into independently solved pieces when
+  /// cuts exist (see DESIGN.md §"Saturation-cut splitting"). The results
+  /// are bit-identical to the flat fill for any value; tests lower it to
+  /// exercise the split path on small components.
+  void set_cut_min_flows(std::size_t min_flows) {
+    cut_min_flows_ = min_flows;
+  }
+
   /// Recompute every rate from scratch (ignoring the incremental state) and
   /// compare with the incrementally maintained rates. True when every flow
   /// matches within `rel_tol` relative tolerance. `use_exact_fill` selects
@@ -233,6 +250,12 @@ class FlowNetwork {
     std::uint32_t fill_pos = kNone;
     double fill_key = 0.0;
     std::uint32_t comp_index = 0;
+    /// Index into comps_ of the component this resource was last prepared
+    /// (or peeled/merged) into. Valid only when comps_[comp_id].fill ==
+    /// fill_epoch — fill epochs are globally unique, so a stale id from an
+    /// earlier reallocation can never validate. Lets expansion rounds merge
+    /// grown components in place instead of re-running the global BFS.
+    std::uint32_t comp_id = kNone;
     /// Active flows whose *applied* bottleneck is this resource — lets
     /// boundary validation skip resources nobody's rate depends on.
     std::uint32_t bn_count = 0;
@@ -290,11 +313,27 @@ class FlowNetwork {
     std::uint32_t flow_off = 0, flow_cnt = 0;
     std::uint32_t res_off = 0, res_cnt = 0;
     std::uint64_t fill = 0;     // fill epoch assigned by fill_prepare
+    /// Membership token: equals the split_epoch of every resource in the
+    /// span, minted by split_components / merge_expansion (peel pieces
+    /// inherit the parent's). A resource's comp_id is believed only when
+    /// comps_[comp_id].stamp == r->split_epoch — epochs are globally
+    /// unique, so stale ids from earlier rounds or reallocations never
+    /// validate. 0 on the round-one pseudo-component, which no merge ever
+    /// sees (the first expansion round re-splits it).
+    std::uint64_t stamp = 0;
     bool dirty = false;         // gained a flow this round -> must refill
     bool has_pair = false;      // crosses a kPair resource
     bool has_coupling = false;  // crosses a kRackUp/kRackDown resource
     bool hier = false;          // solved by the hierarchical solver
-    std::int32_t pending = -1;  // index into the round's miss queue
+    /// Already prepared: a peeled piece shares its parent's fill epoch and
+    /// refreshed resource state, so fill_prepare must not run again.
+    bool prepared = false;
+    /// Rates final without a fill (the frozen residue of a peel): skipped
+    /// by the fill phase but still boundary-validated.
+    bool solved = false;
+    /// Absorbed into a merged component by an expansion round; the span is
+    /// stale and every phase skips it.
+    bool dead = false;
   };
 
   // -- flow slab ----------------------------------------------------------
@@ -333,6 +372,15 @@ class FlowNetwork {
   /// in-set), writing canonical-order spans into comps_. A component is
   /// dirty when one of its flows carries `fresh_token` in fresh_epoch_.
   void split_components(std::uint64_t mark, std::uint64_t fresh_token);
+  /// Expansion-round alternative to re-running split_components: the flows
+  /// appended by validate_boundary since `fresh_begin` (the new local
+  /// flows) are unioned with the existing components their resources
+  /// belong to — components are BFS closures, so a merged component is the
+  /// union of the absorbed spans, the fresh flows and their brand-new
+  /// resources, with no traversal of old member lists. Absorbed components
+  /// are marked dead, merged ones appended dirty; untouched components
+  /// keep their spans, rates and verdicts.
+  void merge_expansion(std::uint64_t mark, std::size_t fresh_begin);
   /// Prepare + memo probe + fill (possibly parallel across components) for
   /// every dirty component in comps_. Fills rates/bottlenecks scratch and
   /// the per-resource aggregates; updates fill/memo/hier counters.
@@ -352,8 +400,29 @@ class FlowNetwork {
   /// capacity (boundary rates subtracted), unfrozen degree and the
   /// boundary-side validation aggregates. Fills the span's kind flags and
   /// returns the epoch. Appends to the round-scoped arenas (cleared by the
-  /// caller once per round).
-  std::uint64_t fill_prepare(CompSpan& comp, std::uint64_t local_mark);
+  /// caller once per round). `ci` is the component's index in comps_,
+  /// recorded on each resource (Resource::comp_id) for expansion-round
+  /// merging.
+  std::uint64_t fill_prepare(CompSpan& comp, std::uint64_t local_mark,
+                             std::uint32_t ci);
+  /// Schedule-aware splitting of a prepared uncoupled component: detect
+  /// saturation cuts — resources whose exhaust level is margin-strictly
+  /// below every other exhaust level within graph distance two — freeze
+  /// their flows exactly as the flat fill's pop would, and split the
+  /// surviving graph into independent pieces appended to comps_ (sharing
+  /// the parent's fill epoch and refreshed resource state). The parent
+  /// span becomes the solved residue (frozen flows + exhausted resources),
+  /// still boundary-validated. Returns the number of pieces created; 0
+  /// means no cut was found and nothing was mutated. Bit-identical to
+  /// fill_exact over the unsplit component (see DESIGN.md
+  /// §"Saturation-cut splitting"); under cross_check_ the flat fill runs
+  /// first and the epilogue of fill_dirty_components compares bitwise.
+  std::size_t peel_and_split(std::uint32_t ci, std::uint64_t mark);
+
+  /// Bitwise-compare the verdicts parked by peel_and_split's oracle run
+  /// (cross-check builds only) against the peel + piece results; aborts on
+  /// the first divergent flow. No-op when no oracle is armed.
+  void peel_oracle_compare();
   /// Exact bottleneck elimination over a prepared component; writes
   /// per-slot rates into rates_scratch_ and freeze resources into
   /// bottleneck_scratch_. `heap` is caller-provided scratch so component
@@ -365,9 +434,14 @@ class FlowNetwork {
   /// DESIGN.md). Returns false (leaving scratch untouched) when it does
   /// not engage or the fixed point fails to stabilise — the caller falls
   /// back to fill_exact. On success writes the same outputs as fill_exact
-  /// and reports pops/iterations through the out-params.
-  bool fill_hierarchical(const CompSpan& comp, std::uint64_t* pops,
-                         std::uint64_t* iters) const;
+  /// and reports pops/iterations/parallel-eligible island rounds through
+  /// the out-params. `island_jobs` workers solve the per-rack islands of
+  /// one Jacobi round concurrently (islands write disjoint ordinal- and
+  /// member-sliced scratch; results are byte-identical for any value);
+  /// callers already inside a parallel component dispatch pass 1.
+  bool fill_hierarchical(const CompSpan& comp, std::size_t island_jobs,
+                         std::uint64_t* pops, std::uint64_t* iters,
+                         std::uint64_t* par_rounds) const;
   /// The pre-optimization progressive lazy-heap water filling, kept as the
   /// independent oracle behind set_cross_check / the property tests.
   void water_fill_progressive(const std::vector<std::uint32_t>& comp_flows,
@@ -484,8 +558,40 @@ class FlowNetwork {
   std::vector<std::uint64_t> miss_pops_;        // per-miss filling rounds
   std::vector<std::uint64_t> miss_iters_;       // per-miss hier iterations
   std::vector<std::uint8_t> miss_fb_;           // per-miss hier fallback flag
+  std::vector<std::uint64_t> miss_par_;         // per-miss eligible isl rounds
   std::vector<std::vector<std::uint64_t>> miss_keys_;  // per-miss memo keys
   std::vector<std::uint64_t> miss_hashes_;
+  // Round-scoped memo probe queue: fingerprints of probe candidates are
+  // computed (possibly in parallel — the fingerprint is a pure function of
+  // the prepared component) before the serial probe/replay pass, so memo
+  // hits never wait on worker handoff.
+  std::vector<std::uint32_t> probe_comps_;      // indices into comps_
+  std::vector<std::uint64_t> probe_hashes_;
+  std::vector<std::vector<std::uint64_t>> probe_keys_;
+  // Per-worker fill-heap scratch for the parallel miss dispatch (reused
+  // across the items each worker claims instead of allocating per item).
+  std::vector<std::vector<Resource*>> worker_heaps_;
+  // Saturation-cut peel scratch (see peel_and_split). Indexed by
+  // component-local flow index / resource ordinal; the slot-indexed pair
+  // grows with the slab and is epoch-stamped.
+  std::vector<double> cut_s1_, cut_s2_;         // per flow: two lowest keys
+  std::vector<std::uint32_t> cut_o1_;           // per flow: owner of s1
+  std::vector<double> cut_nb1_;                 // per res: distance-1 min
+  std::vector<double> cut_e1_, cut_e2_;         // per res: two lowest s1
+  std::vector<std::uint32_t> cut_eo1_;          //   contributions, distinct
+  std::vector<double> cut_key_;                 // per res: exhaust level
+  std::vector<std::uint32_t> cut_list_;         // cut ordinals this round
+  std::vector<std::uint32_t> piece_of_res_;     // per res: piece id / kNone
+  std::vector<std::uint64_t> piece_flow_stamp_;  // slot-indexed BFS stamp
+  std::vector<std::uint32_t> piece_of_slot_;     // slot-indexed piece id
+  std::vector<std::uint32_t> part_flows_;        // partition scratch
+  std::vector<std::uint32_t> part_res_;  // permuted span positions
+  // Byte-equality oracle under cross_check_: the flat fill of a component
+  // about to be peeled, compared bitwise against the peel+piece results in
+  // the round epilogue.
+  std::vector<std::uint32_t> oracle_slots_;
+  std::vector<double> oracle_rates_;
+  std::vector<Resource*> oracle_bns_;
   // Per-fill member split (slices per resource via lmem_off/bmem_off):
   // the fill freeze loops walk exactly the local members and
   // validate_boundary exactly the boundary members, instead of filtering
@@ -532,6 +638,23 @@ class FlowNetwork {
 
   bool hierarchical_ = true;
   std::size_t hier_min_flows_ = 64;
+  /// Saturation-cut splitting engages on uncoupled components at least
+  /// this large; the cut-detection passes cost O(incidences) per fill, so
+  /// small components (already cheap, and where cuts buy nothing) skip
+  /// them. Tests lower it via set_cut_min_flows.
+  static constexpr std::size_t kCutMinFlows = 512;
+  std::size_t cut_min_flows_ = kCutMinFlows;
+  /// A resource is a cut only when its exhaust level is below every other
+  /// level within distance two by this *relative* margin. The margin is
+  /// what makes the peel bit-identical to the flat fill: it dominates FP
+  /// drift (~1e-14) by five orders, so exact-arithmetic strictness
+  /// survives rounding, cuts sit >= distance 3 apart, and every refresh a
+  /// piece fill performs happens at a level strictly above the peel's.
+  static constexpr double kCutMargin = 1e-9;
+  /// Island solves of one hierarchical round dispatch in parallel (and
+  /// count as island_par_rounds) when the round has at least two islands
+  /// and this many island members.
+  static constexpr std::size_t kIslandParMinMembers = 512;
   /// Fixed-point bound: iterations to stabilise before falling back to the
   /// flat fill. The level count is bounded by the number of distinct
   /// bottleneck levels, a handful in practice.
@@ -541,8 +664,21 @@ class FlowNetwork {
   static constexpr double kHierTol = 1e-13;
 
   /// Local-set growth rounds before giving up and recomputing the whole
-  /// affected connected component from scratch.
-  static constexpr int kMaxExpandRounds = 6;
+  /// affected connected component from scratch. The bound must cover the
+  /// *decelerating* tail of real expansions: on the fig8 pipeline points the
+  /// affected set grows fast for a few rounds and then creeps toward its
+  /// fixed point by a handful of flows per round (e.g. 12, 58, 134, 205,
+  /// 217, 220, ... +3), so a small cap truncates runs that were one or two
+  /// rounds from converging and forces a full-component recompute of
+  /// thousands of flows instead of a ~250-flow local refill. At 4096 nodes
+  /// a cap of 6 sent every large expansion to the fallback (75% of all
+  /// refilled flow work); 32 eliminates fallbacks entirely and roughly
+  /// halves wall time. Correctness does not depend on where the cap lands:
+  /// both the converged local set and the fallback recompute produce the
+  /// unique max-min allocation of the affected components (validate_boundary
+  /// re-checks every boundary resource each round), so the cap only trades
+  /// work, not results.
+  static constexpr int kMaxExpandRounds = 32;
   /// Relative tolerance for boundary-violation checks. Deliberately much
   /// tighter than the 1e-9 cross-check tolerance: any real rate change
   /// larger than this triggers a proper refill, so the error left behind by

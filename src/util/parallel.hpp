@@ -33,4 +33,14 @@ std::size_t default_jobs();
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn);
 
+/// Like parallel_for, but the callback also receives the worker ordinal
+/// (0 <= worker < jobs) that claimed the index. Callers hand each worker a
+/// private scratch slot (heaps, arenas) that is reused across the items it
+/// claims, instead of allocating per item. Which worker claims which index
+/// is nondeterministic — only per-index results may depend on `index`, and
+/// scratch must carry no state between items beyond capacity.
+void parallel_for_workers(
+    std::size_t count, std::size_t jobs,
+    const std::function<void(std::size_t worker, std::size_t index)>& fn);
+
 }  // namespace rdmc::util

@@ -1,0 +1,158 @@
+// Schedule-aware component splitting: peel_and_split detects saturation
+// cuts during a fill and splits the component into independent
+// sub-components that fill separately. The contract (DESIGN.md
+// "Saturation-cut splitting") is that the split changes *nothing* about
+// the result: rates and bottleneck assignments are byte-identical to the
+// unsplit flat fill, which is itself pinned to the full-recompute oracle
+// by set_cross_check. These tests drive randomized churn over an
+// oversubscription x fan-out grid with the cut threshold forced low
+// (every sizable component is a peel candidate) against a twin network
+// with the threshold effectively infinite, and require bit-equal rates at
+// every step — plus bit-equal behaviour across fill_jobs counts over the
+// split path, since peeled pieces are exactly what the worker pool
+// dispatches.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "util/random.hpp"
+
+namespace rdmc {
+namespace {
+
+struct Churn {
+  sim::TopologyConfig cfg;
+  std::size_t fanout = 1;
+  std::uint64_t seed = 1;
+  std::size_t steps = 300;
+  // Probability a destination lands in the source's rack. The peel only
+  // runs on uncoupled components (coupled ones belong to the hierarchical
+  // solver, whose fills are tolerance- not byte-equal to the flat path),
+  // so the churn must grow sizable intra-rack components to exercise it;
+  // the inter-rack remainder keeps coupled components in the mix.
+  double intra = 0.7;
+};
+
+// Drive the same pseudo-random flow churn through every network in `nets`,
+// asserting bit-equal rates across all of them after every step. Fan-out
+// k starts k flows from one source per arrival, which is what pushes NIC
+// tx resources to high degree and creates margin-separated levels (cuts).
+void run_churn(const Churn& c, std::vector<sim::FlowNetwork*> nets) {
+  const auto n = static_cast<int>(c.cfg.num_nodes);
+  util::Rng rng(c.seed);
+  std::vector<std::vector<sim::FlowId>> live;  // [flow][net]
+  for (std::size_t step = 0; step < c.steps; ++step) {
+    if (live.size() < 8 || rng.uniform01() < 0.6) {
+      const sim::NodeId src = static_cast<sim::NodeId>(rng.uniform(0, n - 1));
+      const int rack_lo = static_cast<int>(src) / 16 * 16;
+      for (std::size_t k = 0; k < c.fanout; ++k) {
+        sim::NodeId dst =
+            rng.uniform01() < c.intra
+                ? static_cast<sim::NodeId>(rack_lo + rng.uniform(0, 15))
+                : static_cast<sim::NodeId>(rng.uniform(0, n - 1));
+        if (dst == src) dst = (dst + 1) % n;
+        std::vector<sim::FlowId> ids;
+        ids.reserve(nets.size());
+        for (sim::FlowNetwork* net : nets)
+          ids.push_back(net->start_flow(src, dst, 1e15, [](sim::SimTime) {}));
+        live.push_back(std::move(ids));
+      }
+    } else {
+      const std::size_t i = rng.uniform(0, live.size() - 1);
+      for (std::size_t w = 0; w < nets.size(); ++w)
+        nets[w]->abort_flow(live[i][w]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+    for (const auto& ids : live)
+      for (std::size_t w = 1; w < nets.size(); ++w)
+        ASSERT_EQ(nets[0]->flow_rate(ids[0]), nets[w]->flow_rate(ids[w]))
+            << "step " << step << " net " << w;
+  }
+  for (const auto& ids : live)
+    for (std::size_t w = 0; w < nets.size(); ++w)
+      nets[w]->abort_flow(ids[w]);
+}
+
+// Split vs unsplit vs oracle across the oversubscription x fan-out grid.
+// The split network peels at >= 8 flows (everything is a candidate), the
+// unsplit network never peels, and both run with cross-checking on, so
+// every incremental result — peeled or not — is additionally pinned to
+// the flat full-recompute oracle. Rates must be bit-equal throughout.
+TEST(SplitFill, ChurnMatchesUnsplitAndOracleAcrossShapes) {
+  const double oversubs[] = {1.0, 3.5, 7.0};
+  const std::size_t fanouts[] = {1, 4};
+  std::uint64_t total_cuts = 0;
+  std::uint64_t seed = 11;
+  for (const double oversub : oversubs) {
+    for (const std::size_t fanout : fanouts) {
+      Churn c;
+      c.cfg.num_nodes = 48;
+      c.cfg.nic_gbps = 56.0;
+      c.cfg.nodes_per_rack = 16;
+      // 16 nodes/rack at 56 Gb/s behind an uplink of 16*56/oversub.
+      c.cfg.rack_uplink_gbps = 16.0 * 56.0 / oversub;
+      c.fanout = fanout;
+      c.seed = seed++;
+
+      sim::Simulator sim_s, sim_u;
+      sim::Topology topo_s(c.cfg), topo_u(c.cfg);
+      sim::FlowNetwork net_s(sim_s, topo_s);
+      sim::FlowNetwork net_u(sim_u, topo_u);
+      net_s.set_cross_check(true);
+      net_u.set_cross_check(true);
+      net_s.set_cut_min_flows(8);
+      net_u.set_cut_min_flows(std::size_t{1} << 30);
+
+      run_churn(c, {&net_s, &net_u});
+
+      // Identical work modulo the peel itself.
+      EXPECT_EQ(net_s.counters().reallocations,
+                net_u.counters().reallocations);
+      EXPECT_EQ(net_u.counters().split_cuts, 0u);
+      total_cuts += net_s.counters().split_cuts;
+    }
+  }
+  // The grid must actually exercise the peel; all-zero cuts means the
+  // low threshold stopped engaging and the test went vacuous.
+  EXPECT_GT(total_cuts, 0u);
+}
+
+// fill_jobs 1 vs 8 over the *split* path: peeled pieces are independent
+// components and exactly what the parallel dispatch distributes, so the
+// byte-identical contract must hold with the peel forced on.
+TEST(SplitFill, SplitPathBitEqualAcrossJobCounts) {
+  Churn c;
+  c.cfg.num_nodes = 64;
+  c.cfg.nic_gbps = 56.0;
+  c.cfg.nodes_per_rack = 16;
+  c.cfg.rack_uplink_gbps = 16.0 * 56.0 / 3.5;
+  c.fanout = 4;
+  c.seed = 77;
+  c.steps = 250;
+
+  sim::Simulator sim1, sim8;
+  sim::Topology topo1(c.cfg), topo8(c.cfg);
+  sim::FlowNetwork net1(sim1, topo1);
+  sim::FlowNetwork net8(sim8, topo8);
+  net1.set_fill_jobs(1);
+  net8.set_fill_jobs(8);
+  net1.set_cut_min_flows(8);
+  net8.set_cut_min_flows(8);
+
+  run_churn(c, {&net1, &net8});
+
+  EXPECT_EQ(net1.counters().filling_rounds, net8.counters().filling_rounds);
+  EXPECT_EQ(net1.counters().component_fills, net8.counters().component_fills);
+  EXPECT_EQ(net1.counters().flows_touched, net8.counters().flows_touched);
+  EXPECT_EQ(net1.counters().split_cuts, net8.counters().split_cuts);
+  EXPECT_EQ(net1.counters().split_pieces, net8.counters().split_pieces);
+  EXPECT_GT(net1.counters().split_cuts, 0u);
+}
+
+}  // namespace
+}  // namespace rdmc

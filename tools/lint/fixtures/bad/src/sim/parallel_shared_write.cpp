@@ -1,0 +1,31 @@
+// Fixture: shared fill state mutated inside parallel worker loops. Every
+// write here races across workers AND makes the counts depend on the
+// interleaving — both sides of the byte-identical contract broken at once.
+#include <cstddef>
+#include <cstdint>
+
+template <typename F>
+void parallel_for_workers(std::size_t n, std::size_t jobs, F f);
+template <typename F>
+void parallel_for(std::size_t n, std::size_t jobs, F f);
+
+class Net {
+  struct Counters {
+    std::uint64_t filling_rounds = 0;
+    std::uint64_t memo_hits = 0;
+  };
+  Counters counters_;
+  void memo_store(std::uint64_t h);
+
+  void fill(std::size_t n) {
+    parallel_for_workers(n, 4, [&](std::size_t w, std::size_t i) {
+      ++counters_.filling_rounds;
+      counters_.memo_hits += 1;
+      memo_store(i);
+    });
+  }
+
+  void probe(std::size_t n) {
+    parallel_for(n, 4, [&](std::size_t i) { memo_store(i); });
+  }
+};

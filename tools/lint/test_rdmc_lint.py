@@ -25,6 +25,7 @@ ALL_RULES = (
     "pointer-order",
     "float-accumulate",
     "raw-mutex",
+    "parallel-shared-write",
 )
 
 failures = []
@@ -62,6 +63,7 @@ def main():
         ("pointer-order", "bad/src/util/pointer_order.cpp", 3),
         ("float-accumulate", "bad/bench/float_accumulate.cpp", 1),
         ("raw-mutex", "bad/src/obs/raw_mutex.cpp", 3),
+        ("parallel-shared-write", "bad/src/sim/parallel_shared_write.cpp", 3),
     ]
     for rule, rel, min_count in bad_cases:
         code, out, _ = run_lint([os.path.join(FIXTURES, rel)])
@@ -122,7 +124,7 @@ def main():
         code, out, _ = run_lint([tmp])
         check("stripped copy exits nonzero", code != 0)
         check(
-            "stripped copy fires all six rules",
+            "stripped copy fires every rule",
             set(ALL_RULES) <= rules_in(out),
             f"got {sorted(rules_in(out))}:\n{out}",
         )
